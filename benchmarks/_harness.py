@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark suite.
+
+Every experiment writes the rows it reproduces into
+``benchmarks/results/<exp_id>.txt`` (and prints them when pytest runs
+with ``-s``), so EXPERIMENTS.md can be checked against fresh numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from typing import Callable
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+class ExperimentLog:
+    """Collects printable rows for one experiment and writes them out."""
+
+    def __init__(self, exp_id: str, title: str):
+        self.exp_id = exp_id
+        self.title = title
+        self.lines: list[str] = [f"{exp_id}: {title}", "=" * 72]
+
+    def row(self, text: str) -> None:
+        self.lines.append(text)
+        print(text)
+
+    def table(self, headers: list[str], rows: list[list]) -> None:
+        widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+                  for i, h in enumerate(headers)] if rows else \
+                 [len(str(h)) for h in headers]
+        fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+        self.row(fmt.format(*headers))
+        self.row(fmt.format(*("-" * w for w in widths)))
+        for r in rows:
+            self.row(fmt.format(*(str(c) for c in r)))
+
+    def flush(self) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.exp_id.lower()}.txt"
+        path.write_text("\n".join(self.lines) + "\n")
+
+
+def timed(fn: Callable, repeat: int = 1) -> tuple[float, object]:
+    """Wall-clock one callable; returns (best seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result

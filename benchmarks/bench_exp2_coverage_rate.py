@@ -1,0 +1,85 @@
+"""EXP-2 — Section 1: "77% of conjunctive queries are boundedly
+evaluable under a set of 84 simple access constraints".
+
+400 random FK-join CQs over the extended accident schema, against the
+curated access schema (the analogue of the paper's 84 constraints) and
+against a blindly discovered schema.  Expected shape: a clear majority
+(not all) of the workload is covered; the PTIME coverage check answers
+in well under a millisecond per query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import is_boundedly_evaluable, is_covered
+from repro.schema.discovery import DiscoveryOptions, discover_access_schema
+from repro.workload import (AccidentScale, accident_workload_config,
+                            extended_access_schema, extended_accidents,
+                            extended_schema, generate_workload)
+
+from _harness import ExperimentLog, timed
+
+WORKLOAD_SIZE = 400
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(WORKLOAD_SIZE,
+                             accident_workload_config(extended_schema()),
+                             seed=7)
+
+
+@pytest.fixture(scope="module")
+def log():
+    experiment = ExperimentLog(
+        "EXP-2", "coverage rate of a random CQ workload (paper: 77%)")
+    yield experiment
+    experiment.flush()
+
+
+def test_coverage_check_throughput(benchmark, workload):
+    """The PTIME syntactic check over the whole workload."""
+    access = extended_access_schema()
+    rate = benchmark(lambda: sum(
+        1 for q in workload if is_covered(q, access)) / len(workload))
+    benchmark.extra_info["coverage_rate"] = rate
+
+
+def test_bep_pipeline_throughput(benchmark, workload):
+    """The full BEP pipeline (adds unsat + rewriting paths)."""
+    access = extended_access_schema()
+    sample = workload[:80]
+    rate = benchmark(lambda: sum(
+        1 for q in sample if is_boundedly_evaluable(q, access)) / len(sample))
+    benchmark.extra_info["bep_rate"] = rate
+
+
+def test_report(benchmark, workload, log):
+    access = extended_access_schema()
+    elapsed, covered = timed(lambda: sum(
+        1 for q in workload if is_covered(q, access)))
+    rate = covered / len(workload)
+
+    db = extended_accidents(AccidentScale(days=20, max_accidents_per_day=12))
+    discovered = discover_access_schema(
+        db, DiscoveryOptions(max_bound=256))
+    discovered_rate = sum(
+        1 for q in workload if is_covered(q, discovered)) / len(workload)
+
+    log.row("")
+    log.table(
+        ["access schema", "#constraints", "covered", "rate",
+         "s/400 queries"],
+        [["curated (84-analogue)", len(access), covered,
+          f"{rate:.1%}", f"{elapsed:.3f}"],
+         ["discovered from data", len(discovered),
+          round(discovered_rate * len(workload)),
+          f"{discovered_rate:.1%}", "-"]])
+    log.row("")
+    log.row("paper: 77% of CQs boundedly evaluable under 84 constraints.")
+    log.row(f"measured: {rate:.1%} under the curated schema "
+            f"({len(access)} constraints); a clear majority, not all.")
+    assert 0.55 <= rate <= 0.95
+    assert rate < 1.0  # The experiment is vacuous at 100%.
+    benchmark(lambda: None)

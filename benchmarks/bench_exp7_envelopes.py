@@ -1,0 +1,123 @@
+"""EXP-7 — Section 4 / Examples 4.1 and 4.5: boundedly evaluable
+envelopes and their accuracy bounds, verified on data.
+
+For Q1 of Example 4.1 (bounded but not boundedly evaluable) we build
+the covered upper and lower envelopes and check, on generated instances
+satisfying A, the sandwich ``Ql(D) ⊆ Q(D) ⊆ Qu(D)`` with
+``|Qu(D) − Q(D)| ≤ Nu`` and ``|Q(D) − Ql(D)| ≤ Nl``.  For Q2 (not
+bounded) no envelope exists (Lemma 4.2).  Example 4.5's split-based
+lower envelope is exercised too.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import AccessConstraint, AccessSchema, Database, Schema
+from repro.core import lower_envelope, upper_envelope
+from repro.engine import evaluate, execute_plan
+from repro.query import parse_cq
+
+from _harness import ExperimentLog, timed
+
+
+def example41_world(n_rows: int, bound: int = 3, seed: int = 1):
+    schema = Schema.from_dict({"R": ("A", "B")})
+    access = AccessSchema(schema, [
+        AccessConstraint("R", ("A",), ("B",), bound)])
+    db = Database(schema, access)
+    rng = random.Random(seed)
+    fanout: dict[int, set] = {}
+    values = list(range(1, max(8, n_rows // 2)))
+    while db.size() < n_rows:
+        a, b = rng.choice(values), rng.choice(values)
+        group = fanout.setdefault(a, set())
+        if b in group or len(group) >= bound:
+            continue
+        group.add(b)
+        db.insert("R", (a, b))
+    db.check()
+    return schema, access, db
+
+
+Q1_TEXT = "Q1(x) :- R(w, x), R(y, w), R(x, z), w = 1"
+
+
+@pytest.fixture(scope="module")
+def log():
+    experiment = ExperimentLog(
+        "EXP-7", "envelope construction and accuracy bounds (Section 4)")
+    yield experiment
+    experiment.flush()
+
+
+def test_upper_envelope_construction(benchmark):
+    _, access, _ = example41_world(50)
+    q1 = parse_cq(Q1_TEXT)
+    decision = benchmark(lambda: upper_envelope(q1, access))
+    assert decision
+
+
+def test_lower_envelope_construction(benchmark):
+    _, access, _ = example41_world(50)
+    q1 = parse_cq(Q1_TEXT)
+    decision = benchmark(lambda: lower_envelope(q1, access, k=2))
+    assert decision
+
+
+def test_report(benchmark, log):
+    schema, access, _ = example41_world(60)
+    q1 = parse_cq(Q1_TEXT)
+    up_time, up = timed(lambda: upper_envelope(q1, access))
+    low_time, low = timed(lambda: lower_envelope(q1, access, k=2))
+    assert up and low
+    upper = up.witness
+    lower = low.witness
+
+    rows = []
+    worst_upper_slack = worst_lower_slack = 0
+    for seed in range(6):
+        _, _, db = example41_world(60, seed=seed)
+        exact = evaluate(q1, db)
+        upper_answers = execute_plan(upper.plan, db).answers
+        lower_answers = execute_plan(lower.plan, db).answers
+        assert lower_answers <= exact <= upper_answers
+        upper_slack = len(upper_answers - exact)
+        lower_slack = len(exact - lower_answers)
+        assert upper_slack <= upper.bound
+        assert lower_slack <= lower.bound
+        worst_upper_slack = max(worst_upper_slack, upper_slack)
+        worst_lower_slack = max(worst_lower_slack, lower_slack)
+        rows.append([seed, len(exact), len(lower_answers),
+                     len(upper_answers), lower_slack, upper_slack])
+    log.row("")
+    log.row(f"Q1 (Example 4.1): upper = {upper.query}")
+    log.row(f"                  lower = {lower.query}")
+    log.row(f"bounds: Nu = {upper.bound}, Nl = {lower.bound}; "
+            f"construction: {up_time * 1e3:.1f}ms / {low_time * 1e3:.1f}ms")
+    log.table(["instance", "|Q(D)|", "|Ql(D)|", "|Qu(D)|",
+               "lower slack", "upper slack"], rows)
+    log.row(f"worst observed slack: lower {worst_lower_slack} <= "
+            f"Nl={lower.bound}; upper {worst_upper_slack} <= "
+            f"Nu={upper.bound}")
+
+    # Q2 has no envelopes (Lemma 4.2).
+    q2 = parse_cq("Q2(x, y) :- R(w, x), R(y, w), w = 1")
+    assert upper_envelope(q2, access).is_no
+    assert lower_envelope(q2, access).is_no
+    log.row("Q2 (Example 4.1): no upper and no lower envelope "
+            "(not bounded; Lemma 4.2) — reproduced.")
+
+    # Example 4.5: split-based lower envelope.
+    schema45 = Schema.from_dict({"R": ("A", "B", "C")})
+    access45 = AccessSchema(schema45, [
+        AccessConstraint("R", ("A",), ("B",), 4),
+        AccessConstraint("R", ("B",), ("C",), 1)])
+    q45 = parse_cq("Q(x, y) :- R(u, x, y), u = 1")
+    split = lower_envelope(q45, access45, k=2)
+    assert split
+    log.row(f"Example 4.5: lower envelope via atom split: "
+            f"{split.witness.query} — reproduced.")
+    benchmark(lambda: None)

@@ -1,0 +1,115 @@
+"""EXP-T2 — Table 1, rows "UCQ"/"∃FO+": CQP/UEP/QSP are Πp2-complete,
+LEP stays NP (UCQ) / DP (∃FO+).
+
+The Πp2 flavour shows up as the *subsumption* check: deciding whether an
+uncovered CQ sub-query is answered by the covered ones requires
+enumerating its A-instances (the ∀ layer) and evaluating the union on
+each (the ∃ layer).  The sweep grows the number of disjuncts and the
+uncovered sub-query's variable count and watches the cost climb, while
+the per-disjunct PTIME coverage check stays flat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AccessConstraint, AccessSchema, Schema, Var
+from repro.core import (Budget, is_boundedly_evaluable, is_covered,
+                        lower_envelope, specialize_minimally)
+from repro.query import parse_ucq
+
+from _harness import ExperimentLog, timed
+
+
+def world():
+    schema = Schema.from_dict({"Rp": ("A", "B", "C")})
+    access = AccessSchema(schema, [
+        AccessConstraint("Rp", ("A",), ("B",), 4)])
+    return schema, access
+
+
+def subsumption_union(extra_bound_vars: int) -> "UCQ":
+    """Q1 covered; Q2 uncovered but subsumed (Example 3.5 pattern),
+    with ``extra_bound_vars`` inflating Q2's A-instance space."""
+    extra = "".join(f", Rp(x, w{i}, u{i})" for i in range(extra_bound_vars))
+    return parse_ucq(
+        "Q(y) :- Rp(x, y, z), x = 1 ; "
+        f"Q(y) :- Rp(x, y, z), x = 1, z = y{extra}")
+
+
+@pytest.fixture(scope="module")
+def log():
+    experiment = ExperimentLog(
+        "EXP-T2", "Table 1 / UCQ and EFO+ rows: Pi^p_2 subsumption vs "
+        "per-disjunct PTIME")
+    yield experiment
+    experiment.flush()
+
+
+@pytest.mark.parametrize("extra", [0, 1, 2])
+def test_cqp_ucq_scaling(benchmark, extra):
+    _, access = world()
+    union = subsumption_union(extra)
+    decision = benchmark(lambda: is_covered(union, access,
+                                            Budget(10 ** 7)))
+    assert decision
+
+
+@pytest.mark.parametrize("disjuncts", [2, 4, 8])
+def test_bep_ucq_all_covered(benchmark, disjuncts):
+    """When every disjunct is covered, UCQ analysis stays PTIME-ish."""
+    _, access = world()
+    text = " ; ".join(f"Q(y) :- Rp(x, y, z), x = {i}"
+                      for i in range(disjuncts))
+    union = parse_ucq(text)
+    decision = benchmark(lambda: is_boundedly_evaluable(union, access))
+    assert decision
+
+
+def test_report(benchmark, log):
+    _, access = world()
+    rows = []
+    for extra in (0, 1, 2):
+        union = subsumption_union(extra)
+        q2 = union.disjuncts[1]
+        elapsed, decision = timed(lambda: is_covered(
+            union, access, Budget(10 ** 7)))
+        assert decision
+        rows.append([f"+{extra} vars in the uncovered disjunct",
+                     len(q2.variables()), f"{elapsed * 1e3:.1f}ms"])
+    log.row("")
+    log.row("CQP(UCQ) (Πp2-c): subsumption cost vs A-instance space of "
+            "the uncovered sub-query:")
+    log.table(["uncovered disjunct", "variables", "time"], rows)
+
+    rows = []
+    for disjuncts in (2, 4, 8, 16):
+        text = " ; ".join(f"Q(y) :- Rp(x, y, z), x = {i}"
+                          for i in range(disjuncts))
+        union = parse_ucq(text)
+        elapsed, decision = timed(lambda: is_boundedly_evaluable(
+            union, access))
+        assert decision
+        rows.append([disjuncts, f"{elapsed * 1e3:.1f}ms"])
+    log.row("")
+    log.row("BEP(UCQ) with all-covered disjuncts — linear in the number "
+            "of disjuncts (the expensive layer never fires):")
+    log.table(["disjuncts", "time"], rows)
+
+    # LEP(UCQ) is NP-complete — per-disjunct expansion search.
+    schema = Schema.from_dict({"R": ("A", "B")})
+    acc = AccessSchema(schema, [AccessConstraint("R", ("A",), ("B",), 3)])
+    union = parse_ucq(
+        "Q(x) :- R(w, x), R(y, w), R(x, z), w = 1 ; "
+        "Q(x) :- R(w, x), R(y, w), R(x, z), w = 2")
+    lep_t, lep = timed(lambda: lower_envelope(union, acc, k=2))
+    assert lep
+    log.row("")
+    log.row(f"LEP(UCQ) (NP-c): union expansion search {lep_t * 1e3:.1f}ms")
+
+    # QSP(UCQ) is Πp2-complete — subsets x parameter checks.
+    qsp_union = parse_ucq("Q(y) :- R(x, y) ; Q(y) :- R(y, c), c = 1")
+    qsp_t, qsp = timed(lambda: specialize_minimally(qsp_union, acc))
+    assert qsp
+    log.row(f"QSP(UCQ) (Πp2-c): parameter search {qsp_t * 1e3:.1f}ms")
+    benchmark(lambda: None)

@@ -1,0 +1,80 @@
+"""Example 1.1 end to end: UK road-accident analytics at scale.
+
+Generates a synthetic accident dataset (the stand-in for the UK
+1979–2005 data), discovers access constraints from it, answers the
+paper's Q0 through a bounded plan, and contrasts time and data access
+with the full-scan baseline across growing database sizes.
+
+Run:  python examples/accident_analytics.py
+"""
+
+import time
+
+from repro.core import analyze_coverage, is_boundedly_evaluable
+from repro.engine import (ScanStats, build_bounded_plan, evaluate_cq,
+                          execute_plan, static_bounds)
+from repro.query import parse_cq
+from repro.schema.discovery import DiscoveryOptions, discover_access_schema
+from repro.workload import (AccidentScale, canonical_access_schema,
+                            simple_accidents)
+
+
+def q0_text(date: str) -> str:
+    return (f"Q0(xa) :- Accident(aid, 'Queens Park', '{date}'), "
+            "Casualty(cid, aid, class, vid), Vehicle(vid, dri, xa)")
+
+
+def main() -> None:
+    access = canonical_access_schema()
+    print("access schema (ψ1–ψ4):", access)
+    print()
+
+    print(f"{'|D|':>9}  {'fetched':>8}  {'bounded':>9}  {'scan':>9}  "
+          f"{'speedup':>8}")
+    for days in (60, 240, 960):
+        db = simple_accidents(AccidentScale(days=days,
+                                            max_accidents_per_day=40))
+        date = db.relation_tuples("Accident")[0][2]
+        q0 = parse_cq(q0_text(date))
+
+        coverage = analyze_coverage(q0, access)
+        assert coverage.is_covered
+        plan = build_bounded_plan(coverage)
+
+        start = time.perf_counter()
+        result = execute_plan(plan, db)
+        bounded_time = time.perf_counter() - start
+
+        scan = ScanStats()
+        start = time.perf_counter()
+        naive = evaluate_cq(q0, db, scan)
+        naive_time = time.perf_counter() - start
+        assert result.answers == naive
+
+        print(f"{db.size():>9}  {result.stats.tuples_fetched:>8}  "
+              f"{bounded_time * 1e3:>7.2f}ms  {naive_time * 1e3:>7.2f}ms  "
+              f"{naive_time / bounded_time:>7.0f}x")
+
+    print()
+    cost = static_bounds(plan)
+    print(f"static certificate: fetch <= {cost.fetch_bound} "
+          "(paper: 610 + 610*192*2 = 234850), whatever |D| is.")
+    print()
+
+    # Constraint discovery: the paper's constraints were "discovered by
+    # simple aggregate queries on D0" — do the same on our data.
+    small = simple_accidents(AccidentScale(days=30,
+                                           max_accidents_per_day=20))
+    discovered = discover_access_schema(
+        small, DiscoveryOptions(max_bound=700))
+    print(f"discovered {len(discovered)} access constraints from the "
+          "data, e.g.:")
+    for constraint in discovered.constraints[:6]:
+        print(f"  {constraint}")
+    date = small.relation_tuples("Accident")[0][2]
+    decision = is_boundedly_evaluable(parse_cq(q0_text(date)), discovered)
+    print(f"Q0 under the discovered schema: {decision.verdict}")
+
+
+if __name__ == "__main__":
+    main()

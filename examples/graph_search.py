@@ -1,0 +1,69 @@
+"""Personalized graph search: "find me all my friends in NYC who like
+cycling" (paper, Section 1 / Example 1.1's graph claims).
+
+Builds a synthetic social graph, declares its access constraints
+(bounded friend degree, one home city, bounded likes, small label
+domains), checks that the Graph Search pattern is covered, and matches
+it through the bounded plan vs. a conventional subgraph-isomorphism
+backtracker.
+
+Run:  python examples/graph_search.py
+"""
+
+import time
+
+from repro.graph import (GraphAccessStats, MatchStats, analyze_pattern,
+                         bounded_match, subgraph_match)
+from repro.workload import (SocialScale, generate_patterns,
+                            graph_search_pattern, social_access_schema,
+                            social_graph)
+
+
+def main() -> None:
+    scale = SocialScale(persons=10_000, max_friends=20, seed=42)
+    graph = social_graph(scale)
+    access = social_access_schema(scale)
+    print(f"social graph: {graph}")
+    print(f"graph access schema: {access}")
+    print()
+
+    me = ("person", 4711)
+    pattern = graph_search_pattern(me, city="nyc", interest="cycling")
+    print(f"pattern: {pattern}")
+    coverage = analyze_pattern(pattern, access)
+    print(coverage.explain())
+    print()
+
+    bounded_stats = GraphAccessStats()
+    start = time.perf_counter()
+    friends = bounded_match(pattern, graph, access, coverage=coverage,
+                            stats=bounded_stats)
+    bounded_time = time.perf_counter() - start
+
+    scan_stats = MatchStats()
+    start = time.perf_counter()
+    baseline = subgraph_match(pattern, graph, stats=scan_stats,
+                              strategy="scan")
+    scan_time = time.perf_counter() - start
+    assert friends == baseline
+
+    print(f"matches: {friends}")
+    print(f"bounded:      {bounded_stats.nodes_fetched} nodes fetched, "
+          f"{bounded_time * 1e3:.2f} ms")
+    print(f"conventional: {scan_stats.candidates_examined} candidates "
+          f"examined, {scan_time * 1e3:.1f} ms")
+    gap = scan_stats.candidates_examined / max(bounded_stats.nodes_fetched, 1)
+    print(f"access gap: {gap:,.0f}x  (paper: ~4 orders of magnitude "
+          "on billion-node graphs)")
+    print()
+
+    # How much of a random pattern workload is boundedly evaluable?
+    patterns = generate_patterns(100, scale, seed=1)
+    covered = sum(1 for p in patterns
+                  if analyze_pattern(p, access).is_covered)
+    print(f"random pattern workload: {covered}/100 covered "
+          "(paper reports 60%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""Command-line front end: analyze queries against an access schema.
+
+Usage (after installing the package)::
+
+    python -m repro.cli analyze --db DIR "Q(x) :- R(x, y), y = 1"
+    python -m repro.cli run     --db DIR "Q(x) :- R(x, y), y = 1"
+    python -m repro.cli discover --db DIR [--max-bound N]
+
+``--db DIR`` points at a directory written by
+``repro.storage.io.save_database`` (CSV files plus ``schema.json``).
+``analyze`` reports coverage / bounded evaluability / envelopes /
+specialization advice; ``run`` additionally executes the bounded plan
+(or the baseline when none exists) and prints access accounting;
+``discover`` mines an access schema from the data and prints it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import (analyze_coverage, is_boundedly_evaluable, lower_envelope,
+                   specialize_minimally, upper_envelope)
+from .engine import ScanStats, evaluate, execute_plan, static_bounds
+from .query import CQ, parse_query
+from .schema.discovery import DiscoveryOptions, discover_access_schema
+from .storage.io import load_database
+
+
+def _load(args):
+    db = load_database(args.db)
+    if db.access_schema is None or not len(db.access_schema):
+        print("warning: no access constraints in schema.json",
+              file=sys.stderr)
+    return db
+
+
+def cmd_analyze(args) -> int:
+    db = _load(args)
+    query = parse_query(args.query)
+    access = db.access_schema
+    decision = is_boundedly_evaluable(query, access)
+    print(f"BEP: {decision.explain()}")
+    if decision.is_yes:
+        plan = decision.witness["plan"]
+        cost = static_bounds(plan, db_size=db.size())
+        print(f"plan: {len(plan)} ops, fetch bound {cost.fetch_bound}, "
+              f"output bound {cost.output_bound}")
+        if args.verbose:
+            print(plan.explain())
+        return 0
+    if isinstance(query, CQ):
+        coverage = analyze_coverage(query, access)
+        print(coverage.explain())
+        upper = upper_envelope(query, access)
+        print(f"upper envelope: {upper.explain()}")
+        lower = lower_envelope(query, access, k=args.k)
+        print(f"lower envelope ({args.k}-expansion): {lower.explain()}")
+        qsp = specialize_minimally(query, access)
+        if qsp.is_yes:
+            names = ", ".join(v.name for v in qsp.witness)
+            print(f"specialization: instantiate {{{names}}} to make the "
+                  "query boundedly evaluable")
+        else:
+            print(f"specialization: {qsp.explain()}")
+    return 1
+
+
+def cmd_run(args) -> int:
+    db = _load(args)
+    query = parse_query(args.query)
+    decision = is_boundedly_evaluable(query, db.access_schema)
+    if decision.is_yes:
+        result = execute_plan(decision.witness["plan"], db)
+        print(f"bounded plan: fetched {result.stats.tuples_fetched} of "
+              f"{db.size()} tuples "
+              f"({result.stats.index_lookups} index lookups)")
+        answers = result.answers
+    else:
+        print(f"not boundedly evaluable ({decision.reason}); "
+              "falling back to a full scan")
+        stats = ScanStats()
+        answers = evaluate(query, db, stats)
+        print(f"baseline: scanned {stats.tuples_scanned} tuples")
+    for row in sorted(answers, key=repr)[:args.limit]:
+        print("  ", row)
+    if len(answers) > args.limit:
+        print(f"   ... {len(answers) - args.limit} more")
+    print(f"{len(answers)} answer(s)")
+    return 0
+
+
+def cmd_discover(args) -> int:
+    db = _load(args)
+    options = DiscoveryOptions(max_bound=args.max_bound)
+    access = discover_access_schema(db, options)
+    for constraint in access:
+        print(constraint)
+    print(f"-- {len(access)} constraints (max bound {args.max_bound})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="bounded evaluability analyzer")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="decide bounded evaluability")
+    analyze.add_argument("--db", required=True)
+    analyze.add_argument("--k", type=int, default=2,
+                         help="lower-envelope expansion budget")
+    analyze.add_argument("--verbose", action="store_true")
+    analyze.add_argument("query")
+    analyze.set_defaults(func=cmd_analyze)
+
+    run = sub.add_parser("run", help="execute a query (bounded if possible)")
+    run.add_argument("--db", required=True)
+    run.add_argument("--limit", type=int, default=20)
+    run.add_argument("query")
+    run.set_defaults(func=cmd_run)
+
+    discover = sub.add_parser("discover",
+                              help="mine access constraints from data")
+    discover.add_argument("--db", required=True)
+    discover.add_argument("--max-bound", type=int, default=1024)
+    discover.set_defaults(func=cmd_discover)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""The paper's decision procedures: coverage, BEP, CQP, UEP, LEP, QSP."""
+
+from .bep import is_boundedly_evaluable, is_covered
+from .chase import ChaseResult, chase, chase_and_core, core_of
+from .containment import a_contained, a_equivalent
+from .coverage import (AtomIndexWitness, ConstraintApplication,
+                       CoverageResult, analyze_coverage, covered_disjuncts,
+                       covered_variables, is_bounded_cq, is_covered_cq)
+from .decision import Budget, Decision, Verdict, no, unknown, yes
+from .envelopes import (Envelope, answer_count_bound, lower_envelope,
+                        upper_envelope)
+from .satisfiability import AInstance, FreshValue, a_instances, a_satisfiable
+from .specialization import (all_parameters, can_boundedly_specialize,
+                             fully_parameterized_specialization,
+                             specialization_is_covered, specialize_minimally)
+
+__all__ = [
+    "Decision", "Verdict", "Budget", "yes", "no", "unknown",
+    "analyze_coverage", "covered_variables", "is_covered_cq",
+    "is_bounded_cq", "covered_disjuncts", "CoverageResult",
+    "ConstraintApplication", "AtomIndexWitness",
+    "chase", "chase_and_core", "core_of", "ChaseResult",
+    "a_satisfiable", "a_instances", "AInstance", "FreshValue",
+    "a_contained", "a_equivalent",
+    "is_boundedly_evaluable", "is_covered",
+    "upper_envelope", "lower_envelope", "Envelope", "answer_count_bound",
+    "specialize_minimally", "can_boundedly_specialize",
+    "specialization_is_covered", "fully_parameterized_specialization",
+    "all_parameters",
+]

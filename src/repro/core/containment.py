@@ -1,0 +1,111 @@
+"""A-containment and A-equivalence (Lemma 3.3).
+
+``Q1 ⊑A Q2`` holds iff for every instance ``D |= A``,
+``Q1(D) ⊆ Q2(D)``.  Lemma 3.3 characterizes it: either ``Q1`` is not
+A-satisfiable, or every A-instance ``θ(T_Q1)`` satisfies
+``θ(u) ∈ Q2(θ(T_Q1))`` — a departure from the classical Homomorphism
+Theorem, where a single canonical instance suffices.  The presence of
+access constraints pushes the complexity from NP-complete to
+Πp2-complete, which shows up here as: enumerate all A-instances (the ∀
+layer), and evaluate ``Q2`` on each (the NP layer, delegated to the
+naive evaluator).
+
+Example 3.5's failure of the Sagiv–Yannakakis union lemma under ``A``
+is handled for free: for UCQ right-hand sides we check membership in
+the *union's* answer, never per-disjunct.
+
+Fast paths: classical containment (sound, Homomorphism Theorem) and
+chase-based unsatisfiability of ``Q1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import QueryError
+from ..query.ast import CQ, UCQ
+from ..query.normalize import as_ucq, normalize_cq
+from ..query.terms import Const
+from ..schema.access import AccessSchema
+from ..engine.naive import evaluate
+from .chase import chase
+from .decision import Budget, Decision, no, unknown, yes
+from .satisfiability import a_instances
+
+
+def _named_constants(query) -> set[Const]:
+    if isinstance(query, CQ):
+        return query.constants()
+    if isinstance(query, UCQ):
+        constants: set[Const] = set()
+        for disjunct in query.disjuncts:
+            constants |= disjunct.constants()
+        return constants
+    raise QueryError(f"expected CQ or UCQ, got {type(query).__name__}")
+
+
+def a_contained(q1, q2, access_schema: AccessSchema,
+                budget: Budget | None = None) -> Decision:
+    """Decide ``Q1 ⊑A Q2`` for CQ/UCQ inputs (Lemma 3.3).
+
+    Exact within the enumeration budget.  The witness of a NO decision
+    is the counterexample A-instance (whose ``head_value`` lies in
+    ``Q1`` but not ``Q2``).
+    """
+    schema = access_schema.schema
+    left = as_ucq(q1, schema)
+    right = as_ucq(q2, schema)
+    if left.arity != right.arity:
+        return no(f"arity mismatch: {left.arity} vs {right.arity}")
+
+    budget = budget or Budget()
+    extra = _named_constants(left) | _named_constants(right)
+    saw_unknown = False
+
+    for disjunct in left.disjuncts:
+        disjunct = normalize_cq(disjunct, schema)
+        # Fast path 1: disjunct A-unsatisfiable => contained trivially.
+        if chase(disjunct, access_schema, normalized=True).unsatisfiable:
+            continue
+        # Fast path 2: classical containment in some right disjunct is
+        # sound for A-containment (fewer instances to rule out).
+        from ..query.tableau import classically_contained
+        if any(classically_contained(disjunct, rd)
+               for rd in right.disjuncts):
+            continue
+
+        exhausted = True
+        for instance in a_instances(disjunct, access_schema,
+                                    extra_constants=extra, budget=budget,
+                                    normalized=True):
+            answers = evaluate(right, instance.db)
+            if instance.head_value not in answers:
+                return no(
+                    f"counterexample: A-instance of {disjunct.name} whose "
+                    f"head value {instance.head_value!r} is not in "
+                    f"{right.name}", witness=instance)
+        if budget.exhausted:
+            saw_unknown = True
+
+    if saw_unknown:
+        return unknown("enumeration budget exhausted; containment holds on "
+                       "all A-instances examined")
+    return yes(f"{left.name} is A-contained in {right.name}")
+
+
+def a_equivalent(q1, q2, access_schema: AccessSchema,
+                 budget: Budget | None = None) -> Decision:
+    """Decide ``Q1 ≡A Q2``: mutual A-containment (Lemma 3.3(2))."""
+    forward = a_contained(q1, q2, access_schema, budget)
+    if not forward.is_yes:
+        if forward.is_no:
+            return no(f"not A-equivalent: {forward.reason}",
+                      witness=forward.witness)
+        return forward
+    backward = a_contained(q2, q1, access_schema, budget)
+    if not backward.is_yes:
+        if backward.is_no:
+            return no(f"not A-equivalent: {backward.reason}",
+                      witness=backward.witness)
+        return backward
+    return yes("A-equivalent (mutual A-containment)")

@@ -1,0 +1,98 @@
+"""Tri-state decisions with explanations and witnesses.
+
+The paper's decision problems range from PTIME to undecidable
+(Table 1).  Every analysis entry point in :mod:`repro.core` therefore
+returns a :class:`Decision`:
+
+* ``YES`` / ``NO`` — definite answers, with a ``witness`` where one
+  exists (a bounded plan, a covered rewriting, an envelope, a parameter
+  tuple, a counterexample A-instance, ...);
+* ``UNKNOWN`` — only where completeness is provably out of reach
+  (FO undecidability) or an enumeration budget was exhausted; the
+  ``reason`` says which.
+
+``Decision`` is truthy exactly when the verdict is ``YES``, so simple
+callers can write ``if is_covered(q, a): ...``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Verdict(enum.Enum):
+    YES = "yes"
+    NO = "no"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class Decision:
+    """Outcome of one decision procedure."""
+
+    verdict: Verdict
+    reason: str = ""
+    #: Constructive evidence: plan, rewriting, envelope, parameters, ...
+    witness: Any = None
+    #: Free-form diagnostics (e.g. uncovered variables, failing atoms).
+    details: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.verdict is Verdict.YES
+
+    @property
+    def is_yes(self) -> bool:
+        return self.verdict is Verdict.YES
+
+    @property
+    def is_no(self) -> bool:
+        return self.verdict is Verdict.NO
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.verdict is Verdict.UNKNOWN
+
+    def explain(self) -> str:
+        return f"{self.verdict}: {self.reason}" if self.reason else str(self.verdict)
+
+    def __str__(self) -> str:
+        return self.explain()
+
+
+def yes(reason: str = "", witness: Any = None, **details) -> Decision:
+    return Decision(Verdict.YES, reason, witness, dict(details))
+
+
+def no(reason: str = "", witness: Any = None, **details) -> Decision:
+    return Decision(Verdict.NO, reason, witness, dict(details))
+
+
+def unknown(reason: str = "", **details) -> Decision:
+    return Decision(Verdict.UNKNOWN, reason, None, dict(details))
+
+
+@dataclass
+class Budget:
+    """Enumeration budget for the exponential procedures.
+
+    ``steps`` bounds the number of candidate objects (valuations,
+    partitions, subsets, plans) a procedure may examine.  Procedures
+    decrement via :meth:`spend`; exhaustion surfaces as an ``UNKNOWN``
+    decision rather than an exception at API boundaries.
+    """
+
+    steps: int = 200_000
+
+    def spend(self, amount: int = 1) -> bool:
+        """Consume budget; returns False when exhausted."""
+        self.steps -= amount
+        return self.steps >= 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.steps < 0

@@ -1,0 +1,178 @@
+"""A-satisfiability: does some instance with ``D |= A`` satisfy ``Q``?
+
+Lemma 3.2 proves this NP-complete for CQ (contrast with plain
+satisfiability, which is PTIME): the access constraints rule out some
+valuations of the tableau, so one must search over the (exponentially
+many, up to isomorphism) *A-instances* ``θ(T_Q)`` with ``θ(T_Q) |= A``.
+
+The enumeration follows the NP upper-bound proof: guess a valuation of
+the tableau.  Up to isomorphism a valuation is
+
+* a partition of the tableau's variable units and named constants
+  (constants pairwise separated), plus
+* fresh pairwise-distinct values for the blocks containing no constant
+  (:class:`FreshValue` — guaranteed disjoint from real data values).
+
+Each candidate is materialized as a tiny :class:`Database` and checked
+against ``A`` — including general constraints ``R(X→Y, s(·))``, whose
+bound is evaluated at the candidate instance's size, which suffices: if
+``θ(T_Q)`` satisfies ``A`` then a witnessing instance exists.
+
+Fast paths: the chase's contradiction/pigeonhole detection (sound NO),
+and a constraint-free shortcut (classically satisfiable ⇒ YES).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from .._util import constrained_partitions
+from ..errors import QueryError
+from ..query.ast import CQ, UCQ
+from ..query.normalize import normalize_cq
+from ..query.tableau import Tableau, resolved_tableau
+from ..query.terms import Const, Term, Var, is_const, is_var
+from ..query.varclasses import analyze_variables
+from ..schema.access import AccessSchema
+from ..storage.database import Database
+from .chase import chase
+from .decision import Budget, Decision, no, unknown, yes
+
+
+@dataclass(frozen=True)
+class FreshValue:
+    """A labelled null: a fresh domain value distinct from all constants
+    and from every other :class:`FreshValue` with a different index."""
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"⊥{self.index}"
+
+
+@dataclass
+class AInstance:
+    """One A-instance ``θ(T_Q)`` of a query.
+
+    ``db`` is the materialized instance, ``head_value`` is ``θ(u)``,
+    ``valuation`` maps each resolved variable to its value.
+    """
+
+    db: Database
+    head_value: tuple
+    valuation: dict[Var, object]
+
+    def __str__(self) -> str:
+        pairs = ", ".join(f"{v.name}={val!r}"
+                          for v, val in sorted(self.valuation.items(),
+                                               key=lambda kv: kv[0].name))
+        return f"AInstance(head={self.head_value!r}, {{{pairs}}})"
+
+
+def a_instances(q: CQ, access_schema: AccessSchema,
+                extra_constants: Iterable[Const] = (),
+                budget: Budget | None = None,
+                normalized: bool = False) -> Iterator[AInstance]:
+    """Enumerate the A-instances of ``q`` up to isomorphism.
+
+    ``extra_constants`` extends the named-constant pool (needed by
+    A-containment: a variable of ``Q1`` may be mapped onto a constant
+    that only appears in ``Q2``).  Stops silently when the budget runs
+    out; callers that need to distinguish exhaustion use
+    :func:`a_satisfiable` / the containment APIs, which surface UNKNOWN.
+    """
+    if not normalized:
+        q = normalize_cq(q, access_schema.schema)
+    analysis = analyze_variables(q)
+    if not analysis.classically_satisfiable:
+        return
+    tableau = resolved_tableau(q, analysis)
+
+    variables = sorted(tableau.variables(), key=lambda v: v.name)
+    constants = sorted(tableau.constants() | set(extra_constants),
+                       key=lambda c: repr(c.value))
+    units: list[Term] = list(variables) + list(constants)
+    separate = [(a, b) for a, b in itertools.combinations(constants, 2)]
+
+    for partition in constrained_partitions(units, must_differ=separate):
+        if budget is not None and not budget.spend():
+            return
+        value_of: dict[Term, object] = {}
+        fresh_index = 0
+        ok = True
+        for block in partition:
+            block_constants = [u for u in block if is_const(u)]
+            if len(block_constants) > 1:
+                ok = False
+                break
+            if block_constants:
+                value = block_constants[0].value
+            else:
+                value = FreshValue(fresh_index)
+                fresh_index += 1
+            for unit in block:
+                value_of[unit] = value
+        if not ok:
+            continue
+
+        db = Database(access_schema.schema)
+        for row in tableau.rows:
+            db.insert(row.relation, tuple(
+                term.value if is_const(term) else value_of[term]
+                for term in row.terms))
+        if not db.satisfies(access_schema):
+            continue
+        head_value = tuple(
+            term.value if is_const(term) else value_of[term]
+            for term in tableau.summary)
+        valuation = {v: value_of[v] for v in variables}
+        yield AInstance(db=db, head_value=head_value, valuation=valuation)
+
+
+def a_satisfiable(q, access_schema: AccessSchema,
+                  budget: Budget | None = None) -> Decision:
+    """Decide A-satisfiability (Lemma 3.2) for a CQ or UCQ.
+
+    Exact within the enumeration budget; UNKNOWN if the budget runs out
+    before a witness is found.
+    """
+    if isinstance(q, UCQ):
+        saw_unknown = False
+        for disjunct in q.disjuncts:
+            decision = a_satisfiable(disjunct, access_schema, budget)
+            if decision.is_yes:
+                return decision
+            if decision.is_unknown:
+                saw_unknown = True
+        if saw_unknown:
+            return unknown("enumeration budget exhausted before a witness")
+        return no(f"no disjunct of {q.name} is A-satisfiable")
+    if not isinstance(q, CQ):
+        raise QueryError(f"a_satisfiable expects CQ or UCQ, got {type(q).__name__}")
+
+    q = normalize_cq(q, access_schema.schema)
+    analysis = analyze_variables(q)
+    if not analysis.classically_satisfiable:
+        return no(f"{q.name} is classically unsatisfiable")
+
+    # Sound fast path: chase contradiction / pigeonhole.
+    chased = chase(q, access_schema, normalized=True)
+    if chased.unsatisfiable:
+        return no(f"{q.name} is A-unsatisfiable: {chased.steps[-1]}",
+                  details={"chase_steps": chased.steps})
+
+    if len(access_schema) == 0:
+        witness = next(a_instances(q, access_schema, normalized=True), None)
+        return yes("no access constraints: the canonical instance works",
+                   witness=witness)
+
+    budget = budget or Budget()
+    for instance in a_instances(q, access_schema, budget=budget,
+                                normalized=True):
+        return yes(f"{q.name} has an A-instance", witness=instance)
+    if budget.exhausted:
+        return unknown("enumeration budget exhausted before a witness")
+    return no(f"{q.name} has no A-instance: every valuation of its "
+              "tableau violates some access constraint")

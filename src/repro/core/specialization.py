@@ -1,0 +1,187 @@
+"""Bounded query specialization — QSP (Section 5).
+
+A parameterized query ``Q`` with parameter set ``X`` can be *boundedly
+specialized* with ``x̄ ⊆ X`` when (a) ``Q(x̄ = c̄)`` is boundedly
+evaluable for **all** valuations ``c̄``, and (b) at least one valuation
+keeps it A-satisfiable.  QSP asks for such an ``x̄`` with ``|x̄| ≤ k``
+(NP-complete for CQ, Πp2-complete for UCQ/∃FO+, undecidable for FO —
+Theorem 5.3).
+
+Key implementation fact: instantiating a parameter turns it into a
+*constant variable*, and the coverage analysis of Section 3.2 does not
+depend on which constant is used — only on which variables are pinned.
+So "covered for all valuations" reduces to one coverage check with the
+chosen parameters marked as extra constants
+(``repro.core.coverage.covered_variables``'s ``extra_constants``), and
+the search over parameter subsets is exact.  (A coincidental valuation —
+a user choosing a constant already in ``Q`` — only merges more eq+
+classes and makes coverage easier, never breaks it.)
+
+For UCQ/∃FO+ the specialized query must be covered; we use the
+per-sub-query notion the paper itself offers as the tractable
+alternative in Section 3.2 ("one can define a query in ∃FO+ to be
+covered if each of its CQ sub-queries is covered"), which keeps the
+check sound for bounded evaluability.
+
+Condition (b) uses the lemma from the proof of Theorem 5.3: if ``Q`` is
+A-satisfiable then for every parameter tuple some valuation keeps the
+specialization A-satisfiable — so it suffices to check ``Q`` itself.
+
+Proposition 5.4: when ``A`` *covers* the relational schema (every
+relation has a constraint with ``X ∪ Y`` spanning all attributes),
+every fully parameterized FO query can be boundedly specialized;
+:func:`fully_parameterized_specialization` is the constructive version.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from ..errors import QueryError
+from ..query.ast import CQ, UCQ, FOQuery, PositiveQuery
+from ..query.normalize import as_ucq, normalize_cq
+from ..query.terms import Var
+from ..schema.access import AccessSchema
+from .coverage import analyze_coverage
+from .decision import Budget, Decision, no, unknown, yes
+from .satisfiability import a_satisfiable
+
+
+def _disjuncts_of(query, schema) -> list[CQ]:
+    if isinstance(query, CQ):
+        return [normalize_cq(query, schema)]
+    if isinstance(query, (UCQ, PositiveQuery)):
+        return [normalize_cq(d, schema) for d in as_ucq(query, schema)]
+    raise QueryError(f"QSP expects CQ/UCQ/PositiveQuery, got "
+                     f"{type(query).__name__}")
+
+
+def specialization_is_covered(query, access_schema: AccessSchema,
+                              parameters: Sequence[Var]) -> bool:
+    """Is ``Q(x̄ = c̄)`` covered for all valuations ``c̄`` of ``x̄``?
+
+    Valuation-independent: the parameters are treated as constant
+    variables in the coverage analysis.
+    """
+    disjuncts = _disjuncts_of(query, access_schema.schema)
+    return all(
+        analyze_coverage(d, access_schema, extra_constants=parameters,
+                         normalized=True).is_covered
+        for d in disjuncts
+    )
+
+
+def all_parameters(query) -> tuple[Var, ...]:
+    """Every variable of the query, as the default parameter set
+    ("fully parameterized", Section 5)."""
+    if isinstance(query, CQ):
+        return tuple(sorted(query.variables(), key=lambda v: v.name))
+    if isinstance(query, (UCQ, PositiveQuery)):
+        names: set[Var] = set()
+        query = query if isinstance(query, UCQ) else as_ucq(query)
+        for disjunct in query:
+            names |= disjunct.variables()
+        return tuple(sorted(names, key=lambda v: v.name))
+    if isinstance(query, FOQuery):
+        return tuple(sorted(query.body.all_variables() | set(query.head),
+                            key=lambda v: v.name))
+    raise QueryError(f"unsupported query type {type(query).__name__}")
+
+
+def specialize_minimally(query, access_schema: AccessSchema,
+                         parameters: Iterable[Var] | None = None,
+                         k: int | None = None,
+                         budget: Budget | None = None) -> Decision:
+    """QSP: find a smallest parameter tuple making ``Q`` covered.
+
+    ``parameters`` defaults to all variables; ``k`` caps the tuple size
+    (defaults to the full parameter count).  A YES decision's witness is
+    the parameter tuple; its details carry the per-size search trace.
+    """
+    if isinstance(query, FOQuery):
+        if query.is_positive():
+            query = PositiveQuery(query.name, query.head, query.body)
+        else:
+            return unknown(
+                "QSP is undecidable for FO (Theorem 5.3); this query uses "
+                "negation or universal quantification.  If A covers the "
+                "schema and the query is fully parameterized, use "
+                "fully_parameterized_specialization (Proposition 5.4)")
+
+    schema = access_schema.schema
+    budget = budget or Budget()
+    disjuncts = _disjuncts_of(query, schema)
+    if parameters is None:
+        params = list(all_parameters(query))
+    else:
+        params = list(dict.fromkeys(parameters))
+        variables: set[Var] = set()
+        for disjunct in disjuncts:
+            variables |= disjunct.variables()
+        for parameter in params:
+            if parameter not in variables:
+                raise QueryError(
+                    f"parameter {parameter} does not occur in the query")
+    limit = len(params) if k is None else min(k, len(params))
+
+    # Condition (b): Q itself must be A-satisfiable; then some valuation
+    # keeps every specialization A-satisfiable (proof of Theorem 5.3).
+    sat = a_satisfiable(
+        query if isinstance(query, (CQ, UCQ)) else as_ucq(query, schema),
+        access_schema, budget)
+    if sat.is_no:
+        return no(f"{getattr(query, 'name', 'Q')} is not A-satisfiable; "
+                  "no specialization is sensible (condition (b))")
+
+    tried = 0
+    for size in range(0, limit + 1):
+        for subset in itertools.combinations(params, size):
+            tried += 1
+            if not budget.spend():
+                return unknown("budget exhausted during the parameter "
+                               f"search after {tried} subsets")
+            if specialization_is_covered(query, access_schema, subset):
+                reason = (f"instantiating {size} parameter(s) "
+                          f"({', '.join(v.name for v in subset)}) makes "
+                          "every specialization covered"
+                          if subset else
+                          "the query is already covered with no "
+                          "instantiation")
+                return yes(reason, witness=tuple(subset),
+                           subsets_tried=tried,
+                           satisfiability=sat.verdict.value)
+    return no(f"no parameter tuple of size <= {limit} from "
+              f"{{{', '.join(v.name for v in params)}}} yields a covered "
+              "specialization", subsets_tried=tried)
+
+
+def can_boundedly_specialize(query, access_schema: AccessSchema,
+                             parameters: Sequence[Var], k: int,
+                             budget: Budget | None = None) -> Decision:
+    """The QSP decision problem verbatim: is there ``x̄ ⊆ X``, ``|x̄| ≤ k``?"""
+    return specialize_minimally(query, access_schema, parameters, k, budget)
+
+
+def fully_parameterized_specialization(query, access_schema: AccessSchema
+                                       ) -> Decision:
+    """Proposition 5.4, constructively.
+
+    When ``A`` covers the relational schema, a fully parameterized FO
+    query is boundedly specialized by instantiating **all** its
+    variables: every relation atom's membership is then checkable
+    through the covering constraint's index, and the remaining formula
+    is a Boolean combination of those checks.  The witness is the
+    variable tuple to instantiate.
+    """
+    if not access_schema.covers_schema():
+        missing = [name for name in access_schema.schema.relation_names()
+                   if not access_schema.covers_relation(name)]
+        return no("A does not cover the schema: relations without a "
+                  f"spanning constraint: {', '.join(missing)} "
+                  "(Proposition 5.4 precondition)")
+    parameters = all_parameters(query)
+    return yes("A covers the schema; instantiating all "
+               f"{len(parameters)} variables yields a boundedly "
+               "evaluable specialization (Proposition 5.4)",
+               witness=parameters)

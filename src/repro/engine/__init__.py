@@ -1,0 +1,21 @@
+"""Query execution: naive baseline, bounded plans, executor, cost bounds."""
+
+from .builder import build_bounded_plan, build_empty_plan, build_union_plan
+from .cost import FetchBound, PlanCost, static_bounds
+from .executor import (AccessStats, ExecutionResult, Executor, Table,
+                       execute_plan)
+from .naive import (ScanStats, evaluate, evaluate_cq, evaluate_fo,
+                    evaluate_positive, evaluate_ucq)
+from .plan import (ColEq, ConstEq, ConstOp, DiffOp, EmptyOp, FetchOp, Plan,
+                   ProductOp, ProjectOp, RenameOp, SelectOp, UnionOp, UnitOp)
+
+__all__ = [
+    "Plan", "UnitOp", "EmptyOp", "ConstOp", "FetchOp", "ProjectOp",
+    "SelectOp", "RenameOp", "ProductOp", "UnionOp", "DiffOp",
+    "ColEq", "ConstEq",
+    "Executor", "ExecutionResult", "AccessStats", "Table", "execute_plan",
+    "build_bounded_plan", "build_union_plan", "build_empty_plan",
+    "static_bounds", "PlanCost", "FetchBound",
+    "ScanStats", "evaluate", "evaluate_cq", "evaluate_ucq",
+    "evaluate_positive", "evaluate_fo",
+]

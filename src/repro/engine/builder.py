@@ -1,0 +1,385 @@
+"""Building bounded query plans from covered queries.
+
+This is the constructive half of Theorem 3.11: *if a CQ is covered by
+A, it is boundedly evaluable under A*.  The builder replays the coverage
+fixpoint trace (``repro.core.coverage``) as plan operations:
+
+1. start from the unit table and the query's pinned constants;
+2. for each recorded constraint application, emit
+   ``fetch → × → σ → π`` steps that extend the environment table with
+   the newly covered variables (one column per eq-class);
+3. verify every relation atom through its condition-(c) witness
+   constraint (a ``fetch`` + semijoin) — this is what Example 3.1(1)
+   shows cannot be skipped in general: without it, x- and y-values need
+   not come from the *same* tuple.  Two plan-quality refinements mirror
+   the paper's Example 1.1 plan:
+
+   * a verification is emitted *as soon as* its inputs are covered, so
+     selective conditions (district = "Queen's Park") prune the
+     environment before further expansion;
+   * it is skipped entirely when some application on the same atom
+     already checked all needed positions (the application's fetch
+     returns genuine ``X∪Y`` projections, so the witnessing tuple
+     exists) — this is why Example 1.1 needs ``610 + 610·192·2``
+     fetches rather than a second pass per relation;
+
+4. project the head.
+
+Every data access goes through ``fetch``.  The builder also issues a
+:class:`~repro.engine.cost.CostCertificate`: after each application the
+environment bound multiplies by that constraint's cardinality bound, so
+each fetch retrieves at most ``(∏ earlier bounds) · N`` tuples — the
+paper's "determined by Q and A only" guarantee, checkable without
+executing the plan.
+
+Correctness (plan result == naive evaluation on every instance
+satisfying A) is property-tested in ``tests/engine/test_builder.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from .._util import FreshNames
+from ..errors import PlanError
+from ..query.ast import CQ, Atom
+from ..query.terms import Const, Var, is_var
+from ..query.varclasses import VariableAnalysis
+from ..schema.access import AccessConstraint
+from .cost import CostCertificate
+from .plan import (ColEq, Condition, ConstEq, ConstOp, EmptyOp, FetchOp,
+                   Plan, ProductOp, ProjectOp, SelectOp, UnionOp, UnitOp)
+
+
+class _CQPlanBuilder:
+    """Appends the bounded plan of one covered CQ to a :class:`Plan`."""
+
+    def __init__(self, plan: Plan, coverage, eager_verification: bool = True,
+                 skip_subsumed_verification: bool = True) -> None:
+        self.plan = plan
+        self.coverage = coverage
+        # Plan-quality switches (benchmarked in bench_ablation_builder.py):
+        # eager_verification schedules each atom check as soon as its
+        # inputs are covered (pruning before expansion); skip_subsumed_
+        # verification drops checks an application fetch already proved.
+        self.eager_verification = eager_verification
+        self.skip_subsumed_verification = skip_subsumed_verification
+        self.query: CQ = coverage.query
+        self.analysis: VariableAnalysis = coverage.analysis
+        self.schema = coverage.access_schema.schema
+        self.fresh = FreshNames(
+            {v.name for v in self.query.variables()} | {"q"}
+        )
+        # Environment state: step index + column name per eq-class rep.
+        self.env: int | None = None
+        self.env_columns: dict[Var, str] = {}
+        self.env_order: list[Var] = []
+        # Cost certificate bookkeeping: the environment-size bound is the
+        # product of the constraint bounds applied so far.
+        self.certificate = plan.certificate
+        self.env_factors: list[AccessConstraint] = []
+        # Which (atom, checked-position-span) pairs applications proved.
+        self.applied_spans: dict[int, list[set[int]]] = {}
+
+    # -- small helpers ---------------------------------------------------------
+
+    def _rep(self, var: Var) -> Var:
+        return self.analysis.eq.find(var)
+
+    def _pinned(self, var: Var):
+        constant = self.analysis.constant_of(var)
+        return None if constant is None else constant.value
+
+    def _materialized(self, term) -> bool:
+        """Is this term usable right now (pinned or has a column)?"""
+        if self._pinned(term) is not None:
+            return True
+        return self._rep(term) in self.env_columns
+
+    def _head_column_names(self) -> tuple[str, ...]:
+        return tuple(f"q_{i}" for i in range(len(self.query.head)))
+
+    def _record_fetch_term(self, constraint: AccessConstraint) -> None:
+        if self.certificate is not None:
+            self.certificate.fetch_terms.append(
+                tuple(self.env_factors) + (constraint,))
+
+    # -- main entry --------------------------------------------------------------
+
+    def build(self) -> int:
+        if not self.coverage.is_covered:
+            raise PlanError(
+                f"{self.query.name} is not covered by the access schema; "
+                f"{self.coverage.decision().reason}"
+            )
+        if not self.analysis.classically_satisfiable:
+            # Example 3.12: a query equating two constants is empty on
+            # every instance; the empty plan answers it.
+            return self.plan.add(EmptyOp(self._head_column_names()))
+
+        self.env = self.plan.add(UnitOp())
+        pending = set(range(len(self.query.atoms)))
+        if self.eager_verification:
+            self._flush_verifications(pending)
+        for application in self.coverage.applications:
+            self._emit_application(application)
+            if self.eager_verification:
+                self._flush_verifications(pending)
+        if not self.eager_verification:
+            self._flush_verifications(pending)
+        if pending:
+            raise PlanError(
+                f"internal: atoms {sorted(pending)} of {self.query.name} "
+                "never became verifiable; coverage witness inconsistent")
+        return self._emit_head()
+
+    # -- verification scheduling ------------------------------------------------
+
+    def _flush_verifications(self, pending: set[int]) -> None:
+        """Emit (or skip) every verification whose inputs are ready.
+
+        Early verification prunes the environment before later, more
+        expensive expansions — the Example 1.1 plan shape.
+        """
+        progress = True
+        while progress:
+            progress = False
+            for atom_index in sorted(pending):
+                atom = self.query.atoms[atom_index]
+                witness = self.coverage.atom_witnesses[atom_index]
+                needed = set(witness.checked_positions)
+                if self.skip_subsumed_verification and any(
+                        span >= needed
+                        for span in self.applied_spans.get(atom_index, ())):
+                    # An application on this atom already matched every
+                    # needed position against a real tuple projection.
+                    pending.remove(atom_index)
+                    progress = True
+                    break
+                if not self._verification_ready(atom, witness):
+                    continue
+                self._emit_verification(atom, witness)
+                pending.remove(atom_index)
+                progress = True
+                break
+
+    def _verification_ready(self, atom: Atom, witness) -> bool:
+        relation = self.schema.relation(atom.relation)
+        constraint = witness.constraint
+        for position in constraint.x_positions(relation):
+            if not self._materialized(atom.terms[position]):
+                return False
+        for position in witness.checked_positions:
+            if not self._materialized(atom.terms[position]):
+                return False
+        return True
+
+    # -- fetch plumbing ------------------------------------------------------------
+
+    def _emit_fetch(self, atom: Atom, constraint: AccessConstraint
+                    ) -> tuple[int, list[str], list[int], list[int]]:
+        """Emit TX = π(env × consts), F = fetch(TX, constraint).
+
+        Returns ``(join_index, fetch_columns, x_positions, y_positions)``
+        where ``join_index`` is env × F and ``fetch_columns`` name F's
+        ``X ∪ Y`` output inside the joined table (X attrs first).
+        """
+        relation = self.schema.relation(atom.relation)
+        x_positions = list(constraint.x_positions(relation))
+        y_positions = list(constraint.y_positions(relation))
+
+        aux = self.env
+        aux_entry_columns: list[str] = []
+        for position in x_positions:
+            term = atom.terms[position]
+            pinned = self._pinned(term)
+            if pinned is not None:
+                column = self.fresh.fresh("k")
+                const_index = self.plan.add(ConstOp(column, pinned))
+                aux = self.plan.add(ProductOp(aux, const_index))
+                aux_entry_columns.append(column)
+            else:
+                rep = self._rep(term)
+                if rep not in self.env_columns:
+                    raise PlanError(
+                        f"internal: X-side variable {term} of {atom} not "
+                        "yet materialized; coverage trace out of order"
+                    )
+                aux_entry_columns.append(self.env_columns[rep])
+
+        x_out = [self.fresh.fresh("x") for _ in x_positions]
+        tx = self.plan.add(ProjectOp(aux, tuple(aux_entry_columns),
+                                     tuple(x_out)))
+        f_columns = [self.fresh.fresh("f") for _ in
+                     range(len(x_positions) + len(y_positions))]
+        self._record_fetch_term(constraint)
+        fetch_index = self.plan.add(FetchOp(
+            tx, tuple(x_out), constraint, tuple(f_columns)))
+        join_index = self.plan.add(ProductOp(self.env, fetch_index))
+        return join_index, f_columns, x_positions, y_positions
+
+    def _x_match_conditions(self, atom: Atom, x_positions: Sequence[int],
+                            f_columns: Sequence[str]) -> list[Condition]:
+        """Equate F's X-columns with the environment (or constants)."""
+        conditions: list[Condition] = []
+        for offset, position in enumerate(x_positions):
+            term = atom.terms[position]
+            f_column = f_columns[offset]
+            pinned = self._pinned(term)
+            if pinned is not None:
+                conditions.append(ConstEq(f_column, pinned))
+            else:
+                rep = self._rep(term)
+                conditions.append(ColEq(f_column, self.env_columns[rep]))
+        return conditions
+
+    # -- coverage-application replay ---------------------------------------------------
+
+    def _emit_application(self, application) -> None:
+        atom = self.query.atoms[application.atom_index]
+        constraint = application.constraint
+        join_index, f_columns, x_positions, y_positions = self._emit_fetch(
+            atom, constraint)
+
+        conditions = self._x_match_conditions(atom, x_positions, f_columns)
+        new_reps: dict[Var, str] = {}
+        for offset, position in enumerate(y_positions):
+            term = atom.terms[position]
+            f_column = f_columns[len(x_positions) + offset]
+            pinned = self._pinned(term)
+            if pinned is not None:
+                conditions.append(ConstEq(f_column, pinned))
+                continue
+            rep = self._rep(term)
+            if rep in self.env_columns:
+                conditions.append(ColEq(f_column, self.env_columns[rep]))
+            elif rep in new_reps:
+                conditions.append(ColEq(f_column, new_reps[rep]))
+            else:
+                new_reps[rep] = f_column
+
+        selected = self.plan.add(SelectOp(join_index, tuple(conditions)))
+
+        keep_src = [self.env_columns[rep] for rep in self.env_order]
+        keep_out = list(keep_src)
+        for rep, f_column in new_reps.items():
+            keep_src.append(f_column)
+            keep_out.append(rep.name)
+        self.env = self.plan.add(ProjectOp(selected, tuple(keep_src),
+                                           tuple(keep_out)))
+        for rep in new_reps:
+            self.env_columns[rep] = rep.name
+            self.env_order.append(rep)
+
+        # After the X-match selection, every environment row pairs with
+        # at most N fetched rows, so the environment bound multiplies by
+        # N — and every position in X ∪ Y was matched against a genuine
+        # tuple projection, which the verification scheduler exploits.
+        self.env_factors.append(constraint)
+        relation = self.schema.relation(atom.relation)
+        span = (set(constraint.x_positions(relation))
+                | set(constraint.y_positions(relation)))
+        self.applied_spans.setdefault(application.atom_index, []).append(span)
+
+    # -- atom verification -----------------------------------------------------------
+
+    def _emit_verification(self, atom: Atom, witness) -> None:
+        constraint = witness.constraint
+        join_index, f_columns, x_positions, y_positions = self._emit_fetch(
+            atom, constraint)
+
+        conditions = self._x_match_conditions(atom, x_positions, f_columns)
+        checked = set(witness.checked_positions)
+        for offset, position in enumerate(y_positions):
+            if position not in checked:
+                continue
+            term = atom.terms[position]
+            f_column = f_columns[len(x_positions) + offset]
+            pinned = self._pinned(term)
+            if pinned is not None:
+                conditions.append(ConstEq(f_column, pinned))
+            else:
+                rep = self._rep(term)
+                conditions.append(ColEq(f_column, self.env_columns[rep]))
+
+        selected = self.plan.add(SelectOp(join_index, tuple(conditions)))
+        keep = tuple(self.env_columns[rep] for rep in self.env_order)
+        self.env = self.plan.add(ProjectOp(selected, keep, keep))
+        # A semijoin never grows the environment: no new factor.
+
+    # -- head ---------------------------------------------------------------------
+
+    def _emit_head(self) -> int:
+        aux = self.env
+        const_columns: dict[Hashable, str] = {}
+        source_columns: list[str] = []
+        for head_var in self.query.head:
+            pinned = self._pinned(head_var)
+            if pinned is not None:
+                if pinned not in const_columns:
+                    column = self.fresh.fresh("h")
+                    const_index = self.plan.add(ConstOp(column, pinned))
+                    aux = self.plan.add(ProductOp(aux, const_index))
+                    const_columns[pinned] = column
+                source_columns.append(const_columns[pinned])
+            else:
+                rep = self._rep(head_var)
+                if rep not in self.env_columns:
+                    raise PlanError(
+                        f"internal: covered head variable {head_var} has no "
+                        "column"
+                    )
+                source_columns.append(self.env_columns[rep])
+        if self.certificate is not None:
+            self.certificate.output_terms.append(tuple(self.env_factors))
+        return self.plan.add(ProjectOp(aux, tuple(source_columns),
+                                       self._head_column_names()))
+
+
+def build_bounded_plan(coverage, name: str | None = None,
+                       eager_verification: bool = True,
+                       skip_subsumed_verification: bool = True) -> Plan:
+    """Build the bounded plan of one covered CQ.
+
+    ``coverage`` is a :class:`repro.core.coverage.CoverageResult` whose
+    ``is_covered`` is True; :class:`PlanError` otherwise.  The returned
+    plan carries a :class:`~repro.engine.cost.CostCertificate`.
+
+    The two keyword switches disable the plan-quality refinements
+    (early verification scheduling / subsumed-verification skipping);
+    correctness is unaffected, only the access bounds change — see the
+    ablation benchmark.
+    """
+    plan = Plan(name or f"bounded[{coverage.query.name}]")
+    plan.certificate = CostCertificate()
+    _CQPlanBuilder(plan, coverage, eager_verification,
+                   skip_subsumed_verification).build()
+    return plan
+
+
+def build_union_plan(coverages: Sequence, name: str = "bounded-union") -> Plan:
+    """Bounded plan for a union of covered CQs (Lemma 3.6 / Section 2).
+
+    Appends each disjunct's plan and a single trailing union block, so
+    the result stays within the UCQ plan fragment (unions only at the
+    end).
+    """
+    if not coverages:
+        raise PlanError("union plan needs at least one disjunct")
+    plan = Plan(name)
+    plan.certificate = CostCertificate()
+    results = []
+    for coverage in coverages:
+        results.append(_CQPlanBuilder(plan, coverage).build())
+    if len(results) > 1:
+        plan.add(UnionOp(tuple(results)))
+    return plan
+
+
+def build_empty_plan(arity: int, name: str = "empty") -> Plan:
+    """A plan returning the empty answer (for A-unsatisfiable queries:
+    Example 3.1(2) — a plan for the empty query suffices)."""
+    plan = Plan(name)
+    plan.certificate = CostCertificate()
+    plan.add(EmptyOp(tuple(f"q_{i}" for i in range(arity))))
+    return plan

@@ -1,0 +1,170 @@
+"""Static cost bounds for bounded plans.
+
+For a boundedly evaluable plan, both the amount of data fetched and the
+result size are bounded by functions of ``Q`` and ``A`` alone (paper,
+Section 2).  This module computes those bounds by abstract
+interpretation over the plan: every op's output-row bound is derived
+from its inputs' bounds and, for ``fetch``, the constraint's cardinality
+bound.
+
+For constant-cardinality access schemas the numbers are absolute
+constants; for general constraints ``R(X→Y, s(·))`` they are evaluated
+at a supplied ``db_size`` (the bound then grows like ``s(|D|)`` — still
+a small fraction of ``D``, as Section 2 observes).
+
+These static numbers are *guarantees*: the executor's observed
+``tuples_fetched`` never exceeds ``fetch_bound`` (property-tested in
+``tests/engine/test_cost.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PlanError
+from ..schema.access import AccessConstraint
+from .plan import (ConstOp, DiffOp, EmptyOp, FetchOp, Plan, ProductOp,
+                   ProjectOp, RenameOp, SelectOp, UnionOp, UnitOp)
+
+
+Factor = AccessConstraint  # A cost term is a product of constraint bounds.
+
+
+def _eval_term(term: tuple[Factor, ...], db_size: int | None) -> int:
+    """Evaluate a product of cardinality bounds."""
+    product = 1
+    for factor in term:
+        if factor.is_constant:
+            product *= factor.bound(0)
+        else:
+            if db_size is None:
+                raise PlanError(
+                    f"non-constant constraint {factor} in the cost "
+                    "certificate; pass db_size to evaluate it")
+            product *= factor.bound(db_size)
+    return product
+
+
+@dataclass
+class CostCertificate:
+    """The Theorem 3.11 construction bound, attached by the plan builder.
+
+    ``fetch_terms[i]`` bounds the tuples returned by the i-th fetch as a
+    product of cardinality bounds (the environment bound before the
+    fetch times the fetch's own bound); ``output_terms`` bound the
+    result size (one term per unioned disjunct).  These are the paper's
+    "determined by Q and A only" constants: for constant access schemas
+    they do not mention ``|D|`` at all.
+    """
+
+    fetch_terms: list[tuple[Factor, ...]] = field(default_factory=list)
+    output_terms: list[tuple[Factor, ...]] = field(default_factory=list)
+
+    def fetch_bound(self, db_size: int | None = None) -> int:
+        return sum(_eval_term(term, db_size) for term in self.fetch_terms)
+
+    def output_bound(self, db_size: int | None = None) -> int:
+        return sum(_eval_term(term, db_size) for term in self.output_terms)
+
+    def merge(self, other: "CostCertificate") -> None:
+        self.fetch_terms.extend(other.fetch_terms)
+        self.output_terms.extend(other.output_terms)
+
+
+@dataclass
+class FetchBound:
+    """Static bound for one fetch op."""
+
+    step: int
+    constraint_str: str
+    lookups: int
+    tuples: int
+
+
+@dataclass
+class PlanCost:
+    """Static bounds for a whole plan."""
+
+    output_bound: int
+    fetch_bound: int
+    lookup_bound: int
+    per_fetch: list[FetchBound] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return (f"PlanCost(output<={self.output_bound}, "
+                f"fetched<={self.fetch_bound}, "
+                f"lookups<={self.lookup_bound})")
+
+
+def static_bounds(plan: Plan, db_size: int | None = None) -> PlanCost:
+    """Compute static row/fetch bounds for ``plan``.
+
+    When the plan carries a builder-issued :class:`CostCertificate`
+    (``plan.certificate``), its tight Theorem-3.11 bounds are used.
+    Otherwise a generic abstract interpretation runs over the ops; it is
+    sound but very loose on join patterns (a product's bound is the
+    product of its inputs' bounds, ignoring the selection that follows),
+    so builder plans should always carry certificates.
+
+    ``db_size`` is required when the plan fetches through non-constant
+    cardinality constraints; for constant access schemas it is ignored.
+    """
+    certificate = getattr(plan, "certificate", None)
+    if certificate is not None:
+        return PlanCost(
+            output_bound=certificate.output_bound(db_size),
+            fetch_bound=certificate.fetch_bound(db_size),
+            lookup_bound=sum(
+                _eval_term(term[:-1], db_size) if term else 1
+                for term in certificate.fetch_terms),
+            per_fetch=[
+                FetchBound(step=i, constraint_str=str(term[-1]) if term else "?",
+                           lookups=_eval_term(term[:-1], db_size) if term else 1,
+                           tuples=_eval_term(term, db_size))
+                for i, term in enumerate(certificate.fetch_terms)
+            ],
+        )
+    bounds: list[int] = []
+    per_fetch: list[FetchBound] = []
+    fetch_total = 0
+    lookup_total = 0
+    for step, op in enumerate(plan.steps):
+        if isinstance(op, (UnitOp, ConstOp)):
+            bound = 1
+        elif isinstance(op, EmptyOp):
+            bound = 0
+        elif isinstance(op, FetchOp):
+            source_bound = bounds[op.source]
+            if op.constraint.is_constant:
+                per_lookup = op.constraint.bound(0)
+            else:
+                if db_size is None:
+                    raise PlanError(
+                        f"plan fetches through non-constant constraint "
+                        f"{op.constraint}; pass db_size to bound it"
+                    )
+                per_lookup = op.constraint.bound(db_size)
+            bound = source_bound * per_lookup
+            fetch_total += bound
+            lookup_total += source_bound
+            per_fetch.append(FetchBound(step, str(op.constraint),
+                                        source_bound, bound))
+        elif isinstance(op, (ProjectOp, SelectOp, RenameOp)):
+            bound = bounds[op.source]
+        elif isinstance(op, ProductOp):
+            bound = bounds[op.left] * bounds[op.right]
+        elif isinstance(op, UnionOp):
+            bound = sum(bounds[s] for s in op.sources)
+        elif isinstance(op, DiffOp):
+            bound = bounds[op.left]
+        else:
+            raise PlanError(f"cannot bound unknown op {op!r}")
+        bounds.append(bound)
+    if not bounds:
+        raise PlanError("cannot bound an empty plan")
+    return PlanCost(
+        output_bound=bounds[plan.result_index],
+        fetch_bound=fetch_total,
+        lookup_bound=lookup_total,
+        per_fetch=per_fetch,
+    )

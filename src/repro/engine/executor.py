@@ -1,0 +1,181 @@
+"""Plan execution with access accounting.
+
+The executor materializes each plan step as a named-column table (set
+semantics) and, crucially, counts every tuple that crosses the storage
+boundary: bounded evaluability is an *access* guarantee, so the numbers
+reported here — fetch calls, tuples fetched — are the paper's
+``|D_Q|``-style quantities (Section 2) and what EXP-1/EXP-4 plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from ..errors import ExecutionError
+from ..storage.database import Database
+from .plan import (ColEq, Condition, ConstEq, ConstOp, DiffOp, EmptyOp,
+                   FetchOp, Op, Plan, ProductOp, ProjectOp, RenameOp,
+                   SelectOp, UnionOp, UnitOp)
+
+
+@dataclass
+class Table:
+    """A named-column table with set semantics."""
+
+    columns: tuple[str, ...]
+    rows: set[tuple]
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise ExecutionError(
+                f"no column {name!r}; columns are {self.columns}"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class AccessStats:
+    """What the plan touched: the empirical ``|D_Q|`` ingredients."""
+
+    fetch_calls: int = 0
+    #: Distinct index lookups (one per distinct X-value per fetch op).
+    index_lookups: int = 0
+    #: Tuples returned across all index lookups — the data accessed.
+    tuples_fetched: int = 0
+    #: Largest intermediate table (plan-side work, not data access).
+    max_intermediate: int = 0
+    ops_executed: int = 0
+
+    def observe_table(self, table: Table) -> None:
+        self.max_intermediate = max(self.max_intermediate, len(table))
+
+
+@dataclass
+class ExecutionResult:
+    """The final table plus accounting."""
+
+    table: Table
+    stats: AccessStats
+
+    @property
+    def answers(self) -> set[tuple]:
+        return self.table.rows
+
+    @property
+    def boolean(self) -> bool:
+        """For Boolean (zero-column) results: is the answer 'true'?"""
+        return bool(self.table.rows)
+
+
+class Executor:
+    """Executes plans against one database instance."""
+
+    def __init__(self, db: Database):
+        self.db = db
+
+    def execute(self, plan: Plan) -> ExecutionResult:
+        stats = AccessStats()
+        tables: list[Table] = []
+        for op in plan.steps:
+            table = self._run_op(op, tables, stats)
+            stats.ops_executed += 1
+            stats.observe_table(table)
+            tables.append(table)
+        if not tables:
+            raise ExecutionError("cannot execute an empty plan")
+        return ExecutionResult(tables[-1], stats)
+
+    # -- op dispatch ------------------------------------------------------------
+
+    def _run_op(self, op: Op, tables: list[Table],
+                stats: AccessStats) -> Table:
+        if isinstance(op, UnitOp):
+            return Table((), {()})
+        if isinstance(op, EmptyOp):
+            return Table(op.columns, set())
+        if isinstance(op, ConstOp):
+            return Table((op.column,), {(op.value,)})
+        if isinstance(op, FetchOp):
+            return self._run_fetch(op, tables[op.source], stats)
+        if isinstance(op, ProjectOp):
+            return self._run_project(op, tables[op.source])
+        if isinstance(op, SelectOp):
+            return self._run_select(op, tables[op.source])
+        if isinstance(op, RenameOp):
+            mapping = dict(op.mapping)
+            source = tables[op.source]
+            return Table(tuple(mapping.get(c, c) for c in source.columns),
+                         set(source.rows))
+        if isinstance(op, ProductOp):
+            left, right = tables[op.left], tables[op.right]
+            rows = {l + r for l in left.rows for r in right.rows}
+            return Table(left.columns + right.columns, rows)
+        if isinstance(op, UnionOp):
+            first = tables[op.sources[0]]
+            rows: set[tuple] = set()
+            for source in op.sources:
+                rows |= tables[source].rows
+            return Table(first.columns, rows)
+        if isinstance(op, DiffOp):
+            left, right = tables[op.left], tables[op.right]
+            return Table(left.columns, left.rows - right.rows)
+        raise ExecutionError(f"unknown op {op!r}")
+
+    def _run_fetch(self, op: FetchOp, source: Table,
+                   stats: AccessStats) -> Table:
+        positions = [source.column_index(c) for c in op.x_columns]
+        x_values = {tuple(row[p] for p in positions) for row in source.rows}
+        stats.fetch_calls += 1
+        rows: set[tuple] = set()
+        for x_value in x_values:
+            fetched = self.db.fetch(op.constraint, x_value)
+            stats.index_lookups += 1
+            stats.tuples_fetched += len(fetched)
+            rows.update(fetched)
+        return Table(op.out_columns, rows)
+
+    @staticmethod
+    def _run_project(op: ProjectOp, source: Table) -> Table:
+        positions = [source.column_index(c) for c in op.src_columns]
+        rows = {tuple(row[p] for p in positions) for row in source.rows}
+        columns = op.out_columns if op.out_columns is not None else op.src_columns
+        return Table(tuple(columns), rows)
+
+    @staticmethod
+    def _run_select(op: SelectOp, source: Table) -> Table:
+        checks: list = []
+        for condition in op.conditions:
+            if isinstance(condition, ColEq):
+                li = source.column_index(condition.left)
+                ri = source.column_index(condition.right)
+                checks.append(("col", li, ri))
+            elif isinstance(condition, ConstEq):
+                ci = source.column_index(condition.column)
+                checks.append(("const", ci, condition.value))
+            else:
+                raise ExecutionError(f"unknown condition {condition!r}")
+        rows = set()
+        for row in source.rows:
+            ok = True
+            for kind, a, b in checks:
+                if kind == "col":
+                    if row[a] != row[b]:
+                        ok = False
+                        break
+                else:
+                    if row[a] != b:
+                        ok = False
+                        break
+            if ok:
+                rows.add(row)
+        return Table(source.columns, rows)
+
+
+def execute_plan(plan: Plan, db: Database) -> ExecutionResult:
+    """Convenience wrapper: run ``plan`` against ``db``."""
+    return Executor(db).execute(plan)

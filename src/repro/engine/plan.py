@@ -1,0 +1,374 @@
+"""Query plans (paper, Section 2, "Query plans").
+
+A plan is a sequence ``T1 = δ1, ..., Tn = δn`` where each ``δi`` is one
+of the paper's operations:
+
+* ``{a}`` — a singleton constant (:class:`ConstOp`; :class:`UnitOp` is
+  the empty projection of a singleton, the standard nullary unit);
+* ``fetch(X ∈ Tj, R, Y)`` — retrieve ``⋃_{ā∈Tj} D_XY(X = ā)`` through
+  the index of an access constraint (:class:`FetchOp`) — the *only*
+  operation that touches data;
+* ``π``, ``σ``, ``ρ`` (:class:`ProjectOp`, :class:`SelectOp`,
+  :class:`RenameOp`);
+* ``×``, ``∪``, ``−`` (:class:`ProductOp`, :class:`UnionOp`,
+  :class:`DiffOp`).
+
+Tables are sets of rows with named columns.  A plan is *boundedly
+evaluable under A* when every fetch is backed by a constraint of ``A``
+(with ``Y ⊆ X ∪ Y'``) and its length is bounded — checked by
+:meth:`Plan.check_bounded_under`.  The language fragment a plan stays
+within (CQ: no ∪/−; UCQ: trailing ∪ block; ∃FO+: ∪ anywhere; FO: −
+allowed) is classified by :meth:`Plan.language_class`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence, Union
+
+from ..errors import PlanError
+from ..schema.access import AccessConstraint, AccessSchema
+
+
+@dataclass(frozen=True)
+class ColEq:
+    """Selection condition: two columns are equal."""
+
+    left: str
+    right: str
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class ConstEq:
+    """Selection condition: a column equals a constant."""
+
+    column: str
+    value: Hashable
+
+    def __str__(self) -> str:
+        return f"{self.column} = {self.value!r}"
+
+
+Condition = Union[ColEq, ConstEq]
+
+
+class Op:
+    """Base class for plan operations; ``inputs`` lists step indices."""
+
+    def inputs(self) -> tuple[int, ...]:
+        return ()
+
+    def output_columns(self, plan: "Plan") -> tuple[str, ...]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class UnitOp(Op):
+    """The nullary unit table: one row, no columns (π∅ of a constant)."""
+
+    def output_columns(self, plan: "Plan") -> tuple[str, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return "unit()"
+
+
+@dataclass(frozen=True)
+class EmptyOp(Op):
+    """An empty table with the given columns (for unsatisfiable queries)."""
+
+    columns: tuple[str, ...]
+
+    def output_columns(self, plan: "Plan") -> tuple[str, ...]:
+        return self.columns
+
+    def __str__(self) -> str:
+        return f"empty({', '.join(self.columns)})"
+
+
+@dataclass(frozen=True)
+class ConstOp(Op):
+    """``{a}``: a one-column, one-row table holding a constant of Q."""
+
+    column: str
+    value: Hashable
+
+    def output_columns(self, plan: "Plan") -> tuple[str, ...]:
+        return (self.column,)
+
+    def __str__(self) -> str:
+        return f"{{{self.value!r}}} as {self.column}"
+
+
+@dataclass(frozen=True)
+class FetchOp(Op):
+    """``fetch(X ∈ T_source, R, X∪Y)`` backed by ``constraint``.
+
+    ``x_columns`` name the source columns holding the X-value, in the
+    constraint's X-attribute order; ``out_columns`` name the result's
+    ``X ∪ Y`` columns (X attributes first, then Y attributes).
+    """
+
+    source: int
+    x_columns: tuple[str, ...]
+    constraint: AccessConstraint
+    out_columns: tuple[str, ...]
+
+    def inputs(self) -> tuple[int, ...]:
+        return (self.source,)
+
+    def output_columns(self, plan: "Plan") -> tuple[str, ...]:
+        return self.out_columns
+
+    def __str__(self) -> str:
+        xs = ", ".join(self.x_columns) or "()"
+        return (f"fetch(({xs}) in T{self.source}, {self.constraint}) "
+                f"as ({', '.join(self.out_columns)})")
+
+
+@dataclass(frozen=True)
+class ProjectOp(Op):
+    """``π``: keep ``src_columns`` (repeats allowed), optionally renamed."""
+
+    source: int
+    src_columns: tuple[str, ...]
+    out_columns: tuple[str, ...] | None = None
+
+    def inputs(self) -> tuple[int, ...]:
+        return (self.source,)
+
+    def output_columns(self, plan: "Plan") -> tuple[str, ...]:
+        return self.out_columns if self.out_columns is not None else self.src_columns
+
+    def __str__(self) -> str:
+        cols = ", ".join(self.src_columns)
+        if self.out_columns is not None and self.out_columns != self.src_columns:
+            cols += f" as {', '.join(self.out_columns)}"
+        return f"project(T{self.source}; {cols})"
+
+
+@dataclass(frozen=True)
+class SelectOp(Op):
+    """``σ``: filter by a conjunction of equality conditions."""
+
+    source: int
+    conditions: tuple[Condition, ...]
+
+    def inputs(self) -> tuple[int, ...]:
+        return (self.source,)
+
+    def output_columns(self, plan: "Plan") -> tuple[str, ...]:
+        return plan.columns_of(self.source)
+
+    def __str__(self) -> str:
+        conds = " and ".join(str(c) for c in self.conditions)
+        return f"select(T{self.source}; {conds})"
+
+
+@dataclass(frozen=True)
+class RenameOp(Op):
+    """``ρ``: rename columns via an (old -> new) mapping."""
+
+    source: int
+    mapping: tuple[tuple[str, str], ...]
+
+    def inputs(self) -> tuple[int, ...]:
+        return (self.source,)
+
+    def output_columns(self, plan: "Plan") -> tuple[str, ...]:
+        mapping = dict(self.mapping)
+        return tuple(mapping.get(c, c) for c in plan.columns_of(self.source))
+
+    def __str__(self) -> str:
+        pairs = ", ".join(f"{a}->{b}" for a, b in self.mapping)
+        return f"rename(T{self.source}; {pairs})"
+
+
+@dataclass(frozen=True)
+class ProductOp(Op):
+    """``×``: Cartesian product; column names must not clash."""
+
+    left: int
+    right: int
+
+    def inputs(self) -> tuple[int, ...]:
+        return (self.left, self.right)
+
+    def output_columns(self, plan: "Plan") -> tuple[str, ...]:
+        return plan.columns_of(self.left) + plan.columns_of(self.right)
+
+    def __str__(self) -> str:
+        return f"T{self.left} x T{self.right}"
+
+
+@dataclass(frozen=True)
+class UnionOp(Op):
+    """``∪``: union of same-arity tables (columns taken from the first)."""
+
+    sources: tuple[int, ...]
+
+    def inputs(self) -> tuple[int, ...]:
+        return self.sources
+
+    def output_columns(self, plan: "Plan") -> tuple[str, ...]:
+        return plan.columns_of(self.sources[0])
+
+    def __str__(self) -> str:
+        return " u ".join(f"T{s}" for s in self.sources)
+
+
+@dataclass(frozen=True)
+class DiffOp(Op):
+    """``−``: set difference of same-arity tables."""
+
+    left: int
+    right: int
+
+    def inputs(self) -> tuple[int, ...]:
+        return (self.left, self.right)
+
+    def output_columns(self, plan: "Plan") -> tuple[str, ...]:
+        return plan.columns_of(self.left)
+
+    def __str__(self) -> str:
+        return f"T{self.left} - T{self.right}"
+
+
+class Plan:
+    """An executable query plan: an append-only sequence of ops.
+
+    >>> plan = Plan("demo")
+    >>> unit = plan.add(UnitOp())
+    >>> plan.result_index
+    0
+    """
+
+    def __init__(self, name: str = "plan"):
+        self.name = name
+        self.steps: list[Op] = []
+        self._columns: list[tuple[str, ...]] = []
+        #: Optional builder-issued cost certificate (see repro.engine.cost).
+        self.certificate = None
+
+    def add(self, op: Op) -> int:
+        """Append an op (validating its inputs); returns its step index."""
+        for source in op.inputs():
+            if not 0 <= source < len(self.steps):
+                raise PlanError(
+                    f"op {op} references step T{source}, but only "
+                    f"{len(self.steps)} steps exist"
+                )
+        index = len(self.steps)
+        self.steps.append(op)
+        self._columns.append(op.output_columns(self))
+        self._validate_columns(op, index)
+        return index
+
+    def _validate_columns(self, op: Op, index: int) -> None:
+        columns = self._columns[index]
+        if len(set(columns)) != len(columns) and not isinstance(op, ProjectOp):
+            raise PlanError(f"op {op} produces duplicate columns {columns}")
+        if isinstance(op, (FetchOp,)):
+            source_columns = set(self.columns_of(op.source))
+            for column in op.x_columns:
+                if column not in source_columns:
+                    raise PlanError(
+                        f"fetch x-column {column!r} missing from source "
+                        f"columns {sorted(source_columns)}"
+                    )
+            expected = len(op.constraint.x) + len(op.constraint.y)
+            if len(op.out_columns) != expected:
+                raise PlanError(
+                    f"fetch over {op.constraint} must output {expected} "
+                    f"columns, got {len(op.out_columns)}"
+                )
+        if isinstance(op, ProjectOp):
+            source_columns = set(self.columns_of(op.source))
+            for column in op.src_columns:
+                if column not in source_columns:
+                    raise PlanError(
+                        f"projection column {column!r} missing from source"
+                    )
+            if (op.out_columns is not None
+                    and len(op.out_columns) != len(op.src_columns)):
+                raise PlanError("projection rename arity mismatch")
+        if isinstance(op, UnionOp):
+            arities = {len(self.columns_of(s)) for s in op.sources}
+            if len(arities) != 1:
+                raise PlanError(f"union inputs disagree on arity: {arities}")
+        if isinstance(op, DiffOp):
+            if len(self.columns_of(op.left)) != len(self.columns_of(op.right)):
+                raise PlanError("difference inputs disagree on arity")
+
+    def columns_of(self, index: int) -> tuple[str, ...]:
+        return self._columns[index]
+
+    @property
+    def result_index(self) -> int:
+        if not self.steps:
+            raise PlanError("plan has no steps")
+        return len(self.steps) - 1
+
+    @property
+    def result_columns(self) -> tuple[str, ...]:
+        return self.columns_of(self.result_index)
+
+    def fetch_ops(self) -> list[FetchOp]:
+        return [op for op in self.steps if isinstance(op, FetchOp)]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    # -- paper-facing checks ---------------------------------------------------
+
+    def check_bounded_under(self, access_schema: AccessSchema) -> None:
+        """Raise :class:`PlanError` unless every fetch is backed by a
+        constraint of ``A`` (with the fetched Y inside ``X ∪ Y'``) and the
+        plan length is within the paper's exponential envelope."""
+        available = list(access_schema)
+        for op in self.fetch_ops():
+            ok = any(
+                existing.relation_name == op.constraint.relation_name
+                and existing.x_set == op.constraint.x_set
+                and op.constraint.y_set <= existing.xy_set
+                for existing in available
+            )
+            if not ok:
+                raise PlanError(
+                    f"fetch {op} is not backed by any constraint of A"
+                )
+        # The length bound is exponential in |R|, |A|, |Q|; any plan the
+        # builder emits is linear in |Q|·|A|, so a generous cap suffices.
+        cap = 2 ** min(40, (access_schema.size() + 1) * 4 + 16)
+        if len(self.steps) > cap:
+            raise PlanError(f"plan length {len(self.steps)} exceeds bound")
+
+    def language_class(self) -> str:
+        """Which fragment's op restrictions the plan honours (Section 2).
+
+        Returns ``"CQ"``, ``"UCQ"``, ``"EFO+"`` or ``"FO"``.
+        """
+        has_diff = any(isinstance(op, DiffOp) for op in self.steps)
+        if has_diff:
+            return "FO"
+        union_positions = [i for i, op in enumerate(self.steps)
+                           if isinstance(op, UnionOp)]
+        if not union_positions:
+            return "CQ"
+        # UCQ: unions only in one trailing block.
+        tail = range(union_positions[0], len(self.steps))
+        if all(isinstance(self.steps[i], UnionOp) for i in tail):
+            return "UCQ"
+        return "EFO+"
+
+    def explain(self) -> str:
+        lines = [f"plan {self.name}:"]
+        for index, op in enumerate(self.steps):
+            lines.append(f"  T{index} = {op}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.explain()

@@ -1,0 +1,94 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the public API derives from :class:`ReproError`, so
+callers can catch one type.  Finer-grained subclasses indicate which layer
+rejected the input: schema definition, query construction, parsing, plan
+building or execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema or access schema is malformed.
+
+    Examples: duplicate attribute names, an access constraint referring
+    to an unknown relation or attribute, a non-positive cardinality.
+    """
+
+
+class QueryError(ReproError):
+    """A query is malformed with respect to its schema.
+
+    Examples: an atom whose arity does not match its relation schema, a
+    free variable that never occurs in the body (unsafe query), or a
+    variable equated with two distinct constants at construction time
+    when strict checking is requested.
+    """
+
+
+class ParseError(QueryError):
+    """The textual form of a query could not be parsed."""
+
+    def __init__(self, message: str, text: str = "", position: int = -1):
+        self.text = text
+        self.position = position
+        if position >= 0:
+            message = f"{message} (at offset {position}: ...{text[position:position + 20]!r})"
+        super().__init__(message)
+
+
+class UnsafeQueryError(QueryError):
+    """The query violates the safety assumption of the paper (Section 3.2).
+
+    Every variable must be equal, via the equality atoms, to a variable
+    occurring in a relation atom or to a constant.
+    """
+
+
+class PlanError(ReproError):
+    """A query plan is malformed or cannot be built.
+
+    Raised e.g. when asked to build a bounded plan for a query that is
+    not covered by the access schema.
+    """
+
+
+class ExecutionError(ReproError):
+    """A plan failed during execution against a database instance."""
+
+
+class ConstraintViolation(ReproError):
+    """A database instance violates its access schema.
+
+    Carries the offending constraint and the witnessing X-value so the
+    caller can report or repair.
+    """
+
+    def __init__(self, constraint, x_value, count):
+        self.constraint = constraint
+        self.x_value = x_value
+        self.count = count
+        super().__init__(
+            f"instance violates {constraint}: X-value {x_value!r} has "
+            f"{count} distinct Y-values"
+        )
+
+
+class BudgetExceeded(ReproError):
+    """An exact decision procedure exceeded its enumeration budget.
+
+    The exact procedures for A-satisfiability, A-containment, BEP, UEP,
+    LEP and QSP enumerate exponentially many candidates in the worst case
+    (the paper proves the problems NP- to EXPSPACE-complete).  Callers
+    choose a budget; when it is exhausted the procedure raises this or
+    returns an UNKNOWN decision, depending on the entry point.
+    """
+
+
+class UndecidableForFO(ReproError):
+    """The requested analysis is undecidable for full FO (paper, Table 1)."""

@@ -1,0 +1,20 @@
+"""Graph substrate: labelled graphs, graph access constraints, bounded
+pattern matching and the brute-force baseline (Example 1.1 / [11])."""
+
+from .access import (DegreeConstraint, GraphAccessSchema,
+                     LabelCountConstraint, discover_graph_access_schema)
+from .bounded import (GraphAccessStats, PatternCoverage, PlanStep,
+                      analyze_pattern, bounded_match)
+from .graph import Graph
+from .matcher import MatchStats, subgraph_match
+from .pattern import Pattern, PatternEdge, PatternNode
+
+__all__ = [
+    "Graph",
+    "Pattern", "PatternNode", "PatternEdge",
+    "LabelCountConstraint", "DegreeConstraint", "GraphAccessSchema",
+    "discover_graph_access_schema",
+    "analyze_pattern", "bounded_match", "PatternCoverage", "PlanStep",
+    "GraphAccessStats",
+    "subgraph_match", "MatchStats",
+]

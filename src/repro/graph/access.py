@@ -1,0 +1,160 @@
+"""Graph access constraints: label counts and degree bounds.
+
+The graph analogue of the relational access schema (Example 1.1 / [11]):
+
+* :class:`LabelCountConstraint` — at most ``N`` nodes carry a label,
+  and the label index retrieves them: the analogue of ``R(∅ -> Y, N)``.
+* :class:`DegreeConstraint` — every node (optionally restricted to a
+  node label) has at most ``N`` ``edge_label``-neighbors in the given
+  direction, retrievable through the adjacency index: the analogue of
+  ``R(X -> Y, N)``.
+
+A :class:`GraphAccessSchema` bundles constraints and checks ``G |= A``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..errors import SchemaError
+from .graph import Graph
+
+
+@dataclass(frozen=True)
+class LabelCountConstraint:
+    """At most ``bound`` nodes carry ``label`` (with a label index)."""
+
+    label: str
+    bound: int
+
+    def __post_init__(self):
+        if self.bound < 1:
+            raise SchemaError("label-count bound must be >= 1")
+
+    def satisfied_by(self, graph: Graph) -> bool:
+        return graph.label_count(self.label) <= self.bound
+
+    def __str__(self) -> str:
+        return f"count({self.label}) <= {self.bound}"
+
+
+@dataclass(frozen=True)
+class DegreeConstraint:
+    """Each ``node_label`` node has at most ``bound`` ``edge_label``
+    neighbors in ``direction`` ('out' or 'in'); ``node_label=None``
+    applies to every node."""
+
+    edge_label: str
+    bound: int
+    direction: str = "out"
+    node_label: str | None = None
+
+    def __post_init__(self):
+        if self.direction not in ("out", "in"):
+            raise SchemaError(f"direction must be 'out' or 'in', got "
+                              f"{self.direction!r}")
+        if self.bound < 1:
+            raise SchemaError("degree bound must be >= 1")
+
+    def applies_to(self, graph: Graph, node) -> bool:
+        return (self.node_label is None
+                or graph.label_of(node) == self.node_label)
+
+    def degree(self, graph: Graph, node) -> int:
+        if self.direction == "out":
+            return graph.out_degree(node, self.edge_label)
+        return graph.in_degree(node, self.edge_label)
+
+    def neighbors(self, graph: Graph, node) -> list:
+        if self.direction == "out":
+            return graph.out_neighbors(node, self.edge_label)
+        return graph.in_neighbors(node, self.edge_label)
+
+    def satisfied_by(self, graph: Graph) -> bool:
+        return all(self.degree(graph, node) <= self.bound
+                   for node in graph.nodes()
+                   if self.applies_to(graph, node))
+
+    def __str__(self) -> str:
+        scope = self.node_label or "*"
+        return (f"deg_{self.direction}({scope}, {self.edge_label}) "
+                f"<= {self.bound}")
+
+
+class GraphAccessSchema:
+    """A set of graph access constraints."""
+
+    def __init__(self, constraints: Iterable = ()):
+        self.label_counts: list[LabelCountConstraint] = []
+        self.degrees: list[DegreeConstraint] = []
+        for constraint in constraints:
+            self.add(constraint)
+
+    def add(self, constraint) -> None:
+        if isinstance(constraint, LabelCountConstraint):
+            self.label_counts.append(constraint)
+        elif isinstance(constraint, DegreeConstraint):
+            self.degrees.append(constraint)
+        else:
+            raise SchemaError(f"unknown graph constraint {constraint!r}")
+
+    def label_bound(self, label: str) -> int | None:
+        bounds = [c.bound for c in self.label_counts if c.label == label]
+        return min(bounds, default=None)
+
+    def degree_constraints(self, node_label: str | None, edge_label: str,
+                           direction: str) -> list[DegreeConstraint]:
+        """Constraints usable to expand from a node with ``node_label``
+        over ``edge_label`` in ``direction`` (generic constraints apply
+        to every label)."""
+        return [
+            c for c in self.degrees
+            if c.edge_label == edge_label and c.direction == direction
+            and (c.node_label is None or c.node_label == node_label)
+        ]
+
+    def degree_bound(self, node_label: str | None, edge_label: str,
+                     direction: str) -> int | None:
+        bounds = [c.bound for c in self.degree_constraints(
+            node_label, edge_label, direction)]
+        return min(bounds, default=None)
+
+    def satisfied_by(self, graph: Graph) -> bool:
+        return (all(c.satisfied_by(graph) for c in self.label_counts)
+                and all(c.satisfied_by(graph) for c in self.degrees))
+
+    def __iter__(self) -> Iterator:
+        yield from self.label_counts
+        yield from self.degrees
+
+    def __len__(self) -> int:
+        return len(self.label_counts) + len(self.degrees)
+
+    def __str__(self) -> str:
+        return "{" + "; ".join(str(c) for c in self) + "}"
+
+
+def discover_graph_access_schema(graph: Graph, max_label_count: int = 64,
+                                 max_degree: int = 512) -> GraphAccessSchema:
+    """Discover label-count and degree constraints from a graph,
+    mirroring relational constraint discovery (Example 1.1)."""
+    schema = GraphAccessSchema()
+    for label in graph.node_labels():
+        count = graph.label_count(label)
+        if count <= max_label_count:
+            schema.add(LabelCountConstraint(label, count))
+    for direction in ("out", "in"):
+        for edge_label in graph.edge_labels():
+            per_label: dict[str, int] = {}
+            for node in graph.nodes():
+                degree = (graph.out_degree(node, edge_label)
+                          if direction == "out"
+                          else graph.in_degree(node, edge_label))
+                label = graph.label_of(node)
+                per_label[label] = max(per_label.get(label, 0), degree)
+            for label, degree in per_label.items():
+                if 0 < degree <= max_degree:
+                    schema.add(DegreeConstraint(edge_label, degree,
+                                                direction, label))
+    return schema

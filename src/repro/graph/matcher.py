@@ -1,0 +1,146 @@
+"""Baseline subgraph-isomorphism matcher (the expensive comparator).
+
+A standard backtracking matcher in the VF2 spirit: pattern nodes are
+matched in a connectivity-aware order; candidates for the first node of
+each connected component come from a *full label scan* (or a scan of
+all nodes when unlabelled).  Work is measured in candidate nodes
+examined — the quantity bounded matching beats by orders of magnitude
+on large graphs (Example 1.1: "4 orders of magnitude on average").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from .graph import Graph
+from .pattern import Pattern, PatternEdge, PatternNode
+
+
+@dataclass
+class MatchStats:
+    """Work accounting for a matcher run."""
+
+    candidates_examined: int = 0
+    edges_checked: int = 0
+    nodes_scanned: int = 0
+
+
+def _match_order(pattern: Pattern) -> list[PatternNode]:
+    """Constants first, then connectivity-first expansion."""
+    ordered: list[PatternNode] = []
+    placed: set[str] = set()
+    remaining = list(pattern.nodes)
+
+    def adjacency(node: PatternNode) -> int:
+        return sum(1 for e in pattern.edges_of(node.name)
+                   if (e.src in placed) != (e.dst in placed)
+                   or (e.src in placed and e.dst in placed))
+
+    remaining.sort(key=lambda n: (n.constant is None, n.label is None,
+                                  n.name))
+    while remaining:
+        connected = [n for n in remaining
+                     if any(e.src in placed or e.dst in placed
+                            for e in pattern.edges_of(n.name))]
+        pool = connected or remaining
+        best = min(pool, key=lambda n: (n.constant is None,
+                                        n.label is None, n.name))
+        remaining.remove(best)
+        ordered.append(best)
+        placed.add(best.name)
+    return ordered
+
+
+def subgraph_match(pattern: Pattern, graph: Graph,
+                   stats: MatchStats | None = None,
+                   injective: bool = True,
+                   limit: int | None = None,
+                   strategy: str = "walk") -> list[tuple]:
+    """All matches of ``pattern`` in ``graph`` by brute backtracking.
+
+    Returns output tuples (graph node ids in ``pattern.output`` order),
+    deduplicated.  ``injective=True`` requires distinct pattern nodes to
+    map to distinct graph nodes (subgraph isomorphism); ``False`` gives
+    homomorphism semantics.
+
+    ``strategy`` picks the candidate generator:
+
+    * ``"walk"`` — edge-aware: once a neighbor is matched, candidates
+      come from adjacency lists (a competent hand-tuned matcher);
+    * ``"scan"`` — conventional: every pattern node draws candidates
+      from a full label scan, the generic-subgraph-isomorphism behaviour
+      the paper's 4-orders-of-magnitude comparison is made against.
+    """
+    stats = stats if stats is not None else MatchStats()
+    order = _match_order(pattern)
+    edge_index = {name: [] for name in (n.name for n in pattern.nodes)}
+    placed_before: dict[str, list[PatternEdge]] = {}
+    seen: set[str] = set()
+    for node in order:
+        placed_before[node.name] = [
+            e for e in pattern.edges_of(node.name)
+            if (e.src in seen or e.src == node.name)
+            and (e.dst in seen or e.dst == node.name)
+        ]
+        seen.add(node.name)
+
+    assignment: dict[str, Hashable] = {}
+    used: set[Hashable] = set()
+    results: set[tuple] = set()
+
+    def candidates(node: PatternNode) -> list[Hashable]:
+        if strategy == "walk":
+            if node.constant is not None:
+                return ([node.constant] if graph.has_node(node.constant)
+                        else [])
+            # Prefer walking an edge from an already-matched neighbor.
+            for edge in pattern.edges_of(node.name):
+                if edge.src == node.name and edge.dst in assignment:
+                    return graph.in_neighbors(assignment[edge.dst],
+                                              edge.edge_label)
+                if edge.dst == node.name and edge.src in assignment:
+                    return graph.out_neighbors(assignment[edge.src],
+                                               edge.edge_label)
+        # Conventional path: a label scan (or a full node scan).
+        if node.label is not None:
+            pool = graph.nodes_by_label(node.label)
+        else:
+            pool = list(graph.nodes())
+        stats.nodes_scanned += len(pool)
+        return pool
+
+    def consistent(node: PatternNode, target: Hashable) -> bool:
+        if node.label is not None and graph.label_of(target) != node.label:
+            return False
+        if node.constant is not None and target != node.constant:
+            return False
+        if injective and target in used:
+            return False
+        for edge in placed_before[node.name]:
+            src = target if edge.src == node.name else assignment[edge.src]
+            dst = target if edge.dst == node.name else assignment[edge.dst]
+            stats.edges_checked += 1
+            if not graph.has_edge(src, edge.edge_label, dst):
+                return False
+        return True
+
+    def extend(index: int) -> bool:
+        if index == len(order):
+            results.add(tuple(assignment[name] for name in pattern.output))
+            return limit is not None and len(results) >= limit
+        node = order[index]
+        for target in candidates(node):
+            stats.candidates_examined += 1
+            if not consistent(node, target):
+                continue
+            assignment[node.name] = target
+            used.add(target)
+            if extend(index + 1):
+                return True
+            del assignment[node.name]
+            used.discard(target)
+        return False
+
+    extend(0)
+    return sorted(results, key=repr)

@@ -1,0 +1,540 @@
+"""Query abstract syntax: CQ, UCQ, positive-existential FO and full FO.
+
+The paper studies four query classes (Section 2):
+
+* :class:`CQ` — conjunctive queries: relation atoms plus equality atoms,
+  closed under conjunction and existential quantification.  Stored in
+  flat normal form: a head variable tuple, a tuple of relation atoms and
+  a tuple of equality atoms (all non-head variables implicitly
+  existentially quantified).
+* :class:`UCQ` — finite unions of CQs with identical head arity.
+* :class:`PositiveQuery` (∃FO+) — a head plus a positive formula tree
+  built from atoms, equalities, ``AND``, ``OR`` and ``EXISTS``; it
+  normalizes to a UCQ (``repro.query.normalize.positive_to_ucq``).
+* :class:`FOQuery` — adds ``NOT`` and ``FORALL``; the paper's
+  undecidability frontier.
+
+Construction performs cheap structural checks only.  Schema-aware
+validation (arity checks), safety analysis and the paper's normal-form
+assumptions (constants only in equality atoms) live in
+``repro.query.normalize``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..errors import QueryError
+from .terms import Const, Term, Var, is_const, is_var
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relation atom ``R(t1, ..., tn)``.
+
+    >>> str(Atom("R", (Var("x"), Const(1))))
+    'R(x, 1)'
+    """
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __init__(self, relation: str, terms: Sequence[Term]):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(terms))
+        for term in self.terms:
+            if not isinstance(term, (Var, Const)):
+                raise QueryError(f"atom term must be Var or Const, got {term!r}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> list[Var]:
+        """Variables in positional order, with repeats."""
+        return [t for t in self.terms if is_var(t)]
+
+    def constants(self) -> list[Const]:
+        return [t for t in self.terms if is_const(t)]
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "Atom":
+        return Atom(self.relation, tuple(mapping.get(t, t) for t in self.terms))
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(str(t) for t in self.terms)})"
+
+
+@dataclass(frozen=True)
+class Equality:
+    """An equality atom ``t1 = t2`` (``x = y`` or ``x = c``).
+
+    Normal form orders a variable first when one side is constant.
+    """
+
+    left: Term
+    right: Term
+
+    def __init__(self, left: Term, right: Term):
+        if is_const(left) and is_var(right):
+            left, right = right, left
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    @property
+    def is_var_var(self) -> bool:
+        return is_var(self.left) and is_var(self.right)
+
+    @property
+    def is_var_const(self) -> bool:
+        return is_var(self.left) and is_const(self.right)
+
+    @property
+    def is_const_const(self) -> bool:
+        return is_const(self.left) and is_const(self.right)
+
+    def variables(self) -> list[Var]:
+        return [t for t in (self.left, self.right) if is_var(t)]
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "Equality":
+        return Equality(mapping.get(self.left, self.left),
+                        mapping.get(self.right, self.right))
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+class CQ:
+    """A conjunctive query in flat normal form.
+
+    ``head`` lists the free variables (possibly with repeats, possibly
+    empty for a Boolean query); every non-head variable is existentially
+    quantified.  ``atoms`` are the relation atoms, ``equalities`` the
+    equality atoms.
+
+    >>> q = CQ("Q", (Var("x"),), (Atom("R", (Var("x"), Var("y"))),),
+    ...        (Equality(Var("y"), Const(1)),))
+    >>> print(q)
+    Q(x) :- R(x, y), y = 1
+    """
+
+    def __init__(self, name: str, head: Sequence[Var],
+                 atoms: Sequence[Atom] = (),
+                 equalities: Sequence[Equality] = ()):
+        self.name = name or "Q"
+        self.head: tuple[Var, ...] = tuple(head)
+        self.atoms: tuple[Atom, ...] = tuple(atoms)
+        self.equalities: tuple[Equality, ...] = tuple(equalities)
+        for v in self.head:
+            if not is_var(v):
+                raise QueryError(f"head terms must be variables, got {v!r}")
+        for eq in self.equalities:
+            if eq.is_const_const:
+                raise QueryError(
+                    f"constant-to-constant equality {eq} is not allowed; "
+                    "drop it (if trivially true) or mark the query "
+                    "unsatisfiable explicitly"
+                )
+
+    # -- structural accessors ----------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.head)
+
+    def variables(self) -> set[Var]:
+        """``var(Q)``: all variables, free or bound."""
+        result: set[Var] = set(self.head)
+        for atom in self.atoms:
+            result.update(atom.variables())
+        for eq in self.equalities:
+            result.update(eq.variables())
+        return result
+
+    def free_variables(self) -> set[Var]:
+        return set(self.head)
+
+    def bound_variables(self) -> set[Var]:
+        return self.variables() - set(self.head)
+
+    def atom_variables(self) -> set[Var]:
+        """Variables occurring in relation atoms."""
+        result: set[Var] = set()
+        for atom in self.atoms:
+            result.update(atom.variables())
+        return result
+
+    def constants(self) -> set[Const]:
+        result: set[Const] = set()
+        for atom in self.atoms:
+            result.update(atom.constants())
+        for eq in self.equalities:
+            if is_const(eq.right):
+                result.add(eq.right)
+            if is_const(eq.left):
+                result.add(eq.left)
+        return result
+
+    def occurrence_count(self, var: Var) -> int:
+        """Total occurrences of ``var`` in relation and equality atoms.
+
+        Used by condition (b) of covered queries ("only occurs once in
+        Q", Section 3.2).  Head occurrences are not counted: a free
+        variable is already handled by condition (a).
+        """
+        count = 0
+        for atom in self.atoms:
+            count += sum(1 for t in atom.terms if t == var)
+        for eq in self.equalities:
+            count += sum(1 for t in (eq.left, eq.right) if t == var)
+        return count
+
+    def relation_names(self) -> set[str]:
+        return {atom.relation for atom in self.atoms}
+
+    def size(self) -> int:
+        """``|Q|``: number of term occurrences plus head arity."""
+        return (len(self.head)
+                + sum(a.arity for a in self.atoms)
+                + 2 * len(self.equalities))
+
+    # -- builders ------------------------------------------------------------
+
+    def with_atoms(self, atoms: Sequence[Atom],
+                   equalities: Sequence[Equality] | None = None,
+                   name: str | None = None) -> "CQ":
+        """A copy with the body replaced (head unchanged)."""
+        return CQ(name or self.name, self.head, atoms,
+                  self.equalities if equalities is None else equalities)
+
+    def substitute(self, mapping: Mapping[Term, Term],
+                   name: str | None = None) -> "CQ":
+        """Apply a term substitution to body **and head**.
+
+        Head variables mapped to constants are not representable in a
+        head tuple, so the caller must ensure head variables map to
+        variables; otherwise a :class:`QueryError` is raised.
+        """
+        new_head = []
+        for v in self.head:
+            image = mapping.get(v, v)
+            if not is_var(image):
+                raise QueryError(
+                    f"substitution maps head variable {v} to constant {image}"
+                )
+            new_head.append(image)
+        return CQ(name or self.name, new_head,
+                  tuple(a.substitute(mapping) for a in self.atoms),
+                  tuple(e.substitute(mapping) for e in self.equalities
+                        if not (mapping.get(e.left, e.left)
+                                == mapping.get(e.right, e.right))))
+
+    def specialize(self, valuation: Mapping[Var, Const],
+                   name: str | None = None) -> "CQ":
+        """The specialized query ``Q(x̄ = c̄)`` of Section 5.
+
+        Adds equality atoms ``x = c`` for each parameter; the structure
+        of the query (and hence its coverage analysis) is otherwise
+        unchanged.
+        """
+        extra = tuple(Equality(var, const) for var, const in valuation.items())
+        return CQ(name or f"{self.name}_spec", self.head, self.atoms,
+                  self.equalities + extra)
+
+    def __str__(self) -> str:
+        head = f"{self.name}({', '.join(str(v) for v in self.head)})"
+        parts = [str(a) for a in self.atoms] + [str(e) for e in self.equalities]
+        if not parts:
+            return f"{head} :- true"
+        return f"{head} :- {', '.join(parts)}"
+
+    def __repr__(self) -> str:
+        return f"<CQ {self}>"
+
+
+class UCQ:
+    """A union of conjunctive queries ``Q1 ∪ ... ∪ Qk``.
+
+    All disjuncts must share the same head arity.
+
+    >>> q1 = CQ("Q", (Var("x"),), (Atom("R", (Var("x"),)),))
+    >>> q2 = CQ("Q", (Var("x"),), (Atom("S", (Var("x"),)),))
+    >>> u = UCQ("Q", (q1, q2))
+    >>> len(u.disjuncts)
+    2
+    """
+
+    def __init__(self, name: str, disjuncts: Sequence[CQ]):
+        self.name = name or "Q"
+        self.disjuncts: tuple[CQ, ...] = tuple(disjuncts)
+        if not self.disjuncts:
+            raise QueryError("a UCQ needs at least one disjunct")
+        arities = {q.arity for q in self.disjuncts}
+        if len(arities) != 1:
+            raise QueryError(f"UCQ disjuncts disagree on arity: {arities}")
+
+    @property
+    def arity(self) -> int:
+        return self.disjuncts[0].arity
+
+    def relation_names(self) -> set[str]:
+        names: set[str] = set()
+        for q in self.disjuncts:
+            names.update(q.relation_names())
+        return names
+
+    def size(self) -> int:
+        return sum(q.size() for q in self.disjuncts)
+
+    def __iter__(self) -> Iterator[CQ]:
+        return iter(self.disjuncts)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __str__(self) -> str:
+        return "  UNION  ".join(str(q) for q in self.disjuncts)
+
+    def __repr__(self) -> str:
+        return f"<UCQ {self}>"
+
+
+# ---------------------------------------------------------------------------
+# Formula trees for ∃FO+ and FO.
+# ---------------------------------------------------------------------------
+
+class Formula:
+    """Base class for formula-tree nodes."""
+
+    def free_variables(self) -> set[Var]:
+        raise NotImplementedError
+
+    def all_variables(self) -> set[Var]:
+        raise NotImplementedError
+
+    def is_positive(self) -> bool:
+        """True when the subtree uses only atoms, =, AND, OR, EXISTS."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FAtom(Formula):
+    atom: Atom
+
+    def free_variables(self) -> set[Var]:
+        return set(self.atom.variables())
+
+    def all_variables(self) -> set[Var]:
+        return set(self.atom.variables())
+
+    def is_positive(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return str(self.atom)
+
+
+@dataclass(frozen=True)
+class FEq(Formula):
+    equality: Equality
+
+    def free_variables(self) -> set[Var]:
+        return set(self.equality.variables())
+
+    def all_variables(self) -> set[Var]:
+        return set(self.equality.variables())
+
+    def is_positive(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return str(self.equality)
+
+
+class FAnd(Formula):
+    def __init__(self, children: Sequence[Formula]):
+        if not children:
+            raise QueryError("AND needs at least one child")
+        self.children = tuple(children)
+
+    def free_variables(self) -> set[Var]:
+        return set().union(*(c.free_variables() for c in self.children))
+
+    def all_variables(self) -> set[Var]:
+        return set().union(*(c.all_variables() for c in self.children))
+
+    def is_positive(self) -> bool:
+        return all(c.is_positive() for c in self.children)
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(str(c) for c in self.children) + ")"
+
+
+class FOr(Formula):
+    def __init__(self, children: Sequence[Formula]):
+        if not children:
+            raise QueryError("OR needs at least one child")
+        self.children = tuple(children)
+
+    def free_variables(self) -> set[Var]:
+        return set().union(*(c.free_variables() for c in self.children))
+
+    def all_variables(self) -> set[Var]:
+        return set().union(*(c.all_variables() for c in self.children))
+
+    def is_positive(self) -> bool:
+        return all(c.is_positive() for c in self.children)
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(c) for c in self.children) + ")"
+
+
+class FExists(Formula):
+    def __init__(self, variables: Sequence[Var], child: Formula):
+        if not variables:
+            raise QueryError("EXISTS needs at least one variable")
+        self.variables = tuple(variables)
+        self.child = child
+
+    def free_variables(self) -> set[Var]:
+        return self.child.free_variables() - set(self.variables)
+
+    def all_variables(self) -> set[Var]:
+        return self.child.all_variables() | set(self.variables)
+
+    def is_positive(self) -> bool:
+        return self.child.is_positive()
+
+    def __str__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"EXISTS {names}. {self.child}"
+
+
+class FNot(Formula):
+    def __init__(self, child: Formula):
+        self.child = child
+
+    def free_variables(self) -> set[Var]:
+        return self.child.free_variables()
+
+    def all_variables(self) -> set[Var]:
+        return self.child.all_variables()
+
+    def is_positive(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"NOT {self.child}"
+
+
+class FForAll(Formula):
+    def __init__(self, variables: Sequence[Var], child: Formula):
+        if not variables:
+            raise QueryError("FORALL needs at least one variable")
+        self.variables = tuple(variables)
+        self.child = child
+
+    def free_variables(self) -> set[Var]:
+        return self.child.free_variables() - set(self.variables)
+
+    def all_variables(self) -> set[Var]:
+        return self.child.all_variables() | set(self.variables)
+
+    def is_positive(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"FORALL {names}. {self.child}"
+
+
+class PositiveQuery:
+    """An ∃FO+ query: a head over a positive formula.
+
+    >>> body = FOr([FAtom(Atom("R", (Var("x"),))), FAtom(Atom("S", (Var("x"),)))])
+    >>> q = PositiveQuery("Q", (Var("x"),), body)
+    >>> q.body.is_positive()
+    True
+    """
+
+    def __init__(self, name: str, head: Sequence[Var], body: Formula):
+        self.name = name or "Q"
+        self.head = tuple(head)
+        self.body = body
+        if not body.is_positive():
+            raise QueryError(
+                "PositiveQuery body must be positive (no NOT/FORALL); "
+                "use FOQuery for full first-order logic"
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.head)
+
+    def __str__(self) -> str:
+        head = f"{self.name}({', '.join(str(v) for v in self.head)})"
+        return f"{head} := {self.body}"
+
+
+class FOQuery:
+    """A full first-order query: a head over an arbitrary formula.
+
+    The paper proves BEP/UEP/LEP/QSP undecidable for this class
+    (Table 1); the library evaluates FO queries naively and offers
+    syntactic specialization only.
+    """
+
+    def __init__(self, name: str, head: Sequence[Var], body: Formula):
+        self.name = name or "Q"
+        self.head = tuple(head)
+        self.body = body
+
+    @property
+    def arity(self) -> int:
+        return len(self.head)
+
+    def is_positive(self) -> bool:
+        return self.body.is_positive()
+
+    def __str__(self) -> str:
+        head = f"{self.name}({', '.join(str(v) for v in self.head)})"
+        return f"{head} := {self.body}"
+
+
+def conjunction(children: Iterable[Formula]) -> Formula:
+    """Build a (flattened) conjunction, collapsing singletons."""
+    flat: list[Formula] = []
+    for child in children:
+        if isinstance(child, FAnd):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    if len(flat) == 1:
+        return flat[0]
+    return FAnd(flat)
+
+
+def disjunction(children: Iterable[Formula]) -> Formula:
+    """Build a (flattened) disjunction, collapsing singletons."""
+    flat: list[Formula] = []
+    for child in children:
+        if isinstance(child, FOr):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    if len(flat) == 1:
+        return flat[0]
+    return FOr(flat)
+
+
+def cq_to_formula(q: CQ) -> Formula:
+    """The formula tree of a flat CQ (bound variables quantified)."""
+    parts: list[Formula] = [FAtom(a) for a in q.atoms]
+    parts += [FEq(e) for e in q.equalities]
+    if not parts:
+        raise QueryError(f"cannot convert empty-bodied CQ {q} to a formula")
+    body = conjunction(parts)
+    bound = sorted(q.bound_variables(), key=lambda v: v.name)
+    if bound:
+        body = FExists(bound, body)
+    return body

@@ -1,0 +1,230 @@
+"""Normalization to the paper's assumed normal form (Section 3.2).
+
+The paper assumes, w.l.o.g., that queries are *safe* (every variable is
+equal to a relation-atom variable or to a constant), that only variables
+appear in relation atoms while constants live in equality atoms, and
+that queries are written with explicit equality atoms.  This module
+enforces those assumptions:
+
+* :func:`normalize_cq` — validates a CQ against a schema, moves inline
+  constants out of relation atoms (``R(x, 1)`` becomes ``R(x, v) ∧
+  v = 1``), and checks safety.
+* :func:`positive_to_ucq` — converts an ∃FO+ query to an equivalent UCQ
+  by DNF expansion, the normal form Lemma 3.6 and Corollary 3.13 reason
+  over.
+* :func:`rename_apart` — alpha-renames a CQ away from a set of taken
+  names, for building unions and expansions with disjoint variables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .._util import FreshNames, UnionFind
+from ..errors import QueryError, UnsafeQueryError
+from ..schema.relation import Schema
+from .ast import (CQ, UCQ, Atom, Equality, FAnd, FAtom, FEq, FExists, FOr,
+                  Formula, PositiveQuery)
+from .terms import Const, Var, is_const, is_var
+
+
+def validate_arities(q: CQ, schema: Schema) -> None:
+    """Raise :class:`QueryError` when an atom's arity disagrees with the schema."""
+    for atom in q.atoms:
+        relation = schema.relation(atom.relation)
+        if atom.arity != relation.arity:
+            raise QueryError(
+                f"atom {atom} has arity {atom.arity} but relation "
+                f"{relation} has arity {relation.arity}"
+            )
+
+
+def extract_inline_constants(q: CQ) -> CQ:
+    """Replace constants inside relation atoms by fresh constrained variables.
+
+    ``R(x, 1)`` becomes ``R(x, c_1) ∧ c_1 = 1``.  Idempotent on queries
+    already in normal form.
+    """
+    if all(not atom.constants() for atom in q.atoms):
+        return q
+    fresh = FreshNames(v.name for v in q.variables())
+    new_atoms: list[Atom] = []
+    new_equalities = list(q.equalities)
+    for atom in q.atoms:
+        terms = []
+        for term in atom.terms:
+            if is_const(term):
+                var = Var(fresh.fresh("c"))
+                new_equalities.append(Equality(var, term))
+                terms.append(var)
+            else:
+                terms.append(term)
+        new_atoms.append(Atom(atom.relation, terms))
+    return CQ(q.name, q.head, new_atoms, new_equalities)
+
+
+def check_safety(q: CQ) -> None:
+    """Enforce the paper's safety assumption.
+
+    Every variable's eq-class (closure of variable-variable equalities)
+    must contain a variable occurring in a relation atom, or be pinned to
+    a constant.  Raises :class:`UnsafeQueryError` otherwise.
+    """
+    eq = UnionFind(q.variables())
+    for equality in q.equalities:
+        if equality.is_var_var:
+            eq.union(equality.left, equality.right)
+    atom_vars = q.atom_variables()
+    pinned_roots = set()
+    for equality in q.equalities:
+        if equality.is_var_const:
+            pinned_roots.add(eq.find(equality.left))
+    atom_roots = {eq.find(v) for v in atom_vars}
+    for var in q.variables():
+        root = eq.find(var)
+        if root not in atom_roots and root not in pinned_roots:
+            raise UnsafeQueryError(
+                f"variable {var} of {q.name} is neither joined to a "
+                "relation atom nor equated with a constant"
+            )
+
+
+def normalize_cq(q: CQ, schema: Schema) -> CQ:
+    """Full normalization pipeline for a CQ.
+
+    Validates arities, extracts inline constants, and checks safety.
+    Returns a CQ in the paper's normal form; raises on malformed input.
+    """
+    validate_arities(q, schema)
+    normalized = extract_inline_constants(q)
+    check_safety(normalized)
+    return normalized
+
+
+def normalize_ucq(q: UCQ, schema: Schema) -> UCQ:
+    """Normalize every disjunct of a UCQ."""
+    return UCQ(q.name, [normalize_cq(d, schema) for d in q.disjuncts])
+
+
+def rename_apart(q: CQ, taken: Iterable[str], keep_head: bool = True) -> CQ:
+    """Alpha-rename the bound variables of ``q`` away from ``taken``.
+
+    With ``keep_head=False`` head variables are renamed too (useful when
+    embedding a CQ as a sub-structure of another query); the default
+    keeps the head stable.
+    """
+    fresh = FreshNames(set(taken) | {v.name for v in q.head})
+    mapping: dict[Var, Var] = {}
+    protected = set(q.head) if keep_head else set()
+    for var in sorted(q.variables(), key=lambda v: v.name):
+        if var in protected:
+            continue
+        if var.name in taken or not keep_head:
+            mapping[var] = Var(fresh.fresh(var.name))
+    if not mapping:
+        return q
+    return q.substitute(mapping)
+
+
+# ---------------------------------------------------------------------------
+# ∃FO+ → UCQ conversion (DNF expansion).
+# ---------------------------------------------------------------------------
+
+def _dnf(formula: Formula) -> list[list[Formula]]:
+    """Disjunctive normal form of a positive formula.
+
+    Returns a list of conjunctions, each a list of FAtom/FEq leaves.
+    EXISTS nodes are dissolved: in the flat CQ representation every
+    non-head variable is implicitly quantified, so explicit quantifiers
+    only matter for variable scoping, which the parser has already made
+    unique.
+    """
+    if isinstance(formula, (FAtom, FEq)):
+        return [[formula]]
+    if isinstance(formula, FExists):
+        return _dnf(formula.child)
+    if isinstance(formula, FOr):
+        clauses: list[list[Formula]] = []
+        for child in formula.children:
+            clauses.extend(_dnf(child))
+        return clauses
+    if isinstance(formula, FAnd):
+        clauses = [[]]
+        for child in formula.children:
+            child_clauses = _dnf(child)
+            clauses = [c1 + c2 for c1 in clauses for c2 in child_clauses]
+        return clauses
+    raise QueryError(
+        f"formula node {type(formula).__name__} is not positive; "
+        "cannot convert to UCQ"
+    )
+
+
+def _uniquify_quantifiers(formula: Formula, fresh: FreshNames) -> Formula:
+    """Rename quantified variables so every EXISTS binds distinct names.
+
+    This makes the DNF's implicit-quantification reading sound: after
+    renaming, dissolving EXISTS cannot capture variables across branches
+    of an OR.
+    """
+    if isinstance(formula, (FAtom, FEq)):
+        return formula
+    if isinstance(formula, FAnd):
+        return FAnd([_uniquify_quantifiers(c, fresh) for c in formula.children])
+    if isinstance(formula, FOr):
+        return FOr([_uniquify_quantifiers(c, fresh) for c in formula.children])
+    if isinstance(formula, FExists):
+        mapping = {v: Var(fresh.fresh(v.name)) for v in formula.variables}
+        renamed_child = _substitute_formula(formula.child, mapping)
+        return FExists(tuple(mapping.values()),
+                       _uniquify_quantifiers(renamed_child, fresh))
+    raise QueryError(f"unexpected node {type(formula).__name__} in positive formula")
+
+
+def _substitute_formula(formula: Formula, mapping: dict[Var, Var]) -> Formula:
+    if isinstance(formula, FAtom):
+        return FAtom(formula.atom.substitute(mapping))
+    if isinstance(formula, FEq):
+        return FEq(formula.equality.substitute(mapping))
+    if isinstance(formula, FAnd):
+        return FAnd([_substitute_formula(c, mapping) for c in formula.children])
+    if isinstance(formula, FOr):
+        return FOr([_substitute_formula(c, mapping) for c in formula.children])
+    if isinstance(formula, FExists):
+        inner = {v: t for v, t in mapping.items() if v not in formula.variables}
+        return FExists(formula.variables, _substitute_formula(formula.child, inner))
+    raise QueryError(f"unexpected node {type(formula).__name__} in positive formula")
+
+
+def positive_to_ucq(q: PositiveQuery, schema: Schema | None = None) -> UCQ:
+    """Convert an ∃FO+ query to an equivalent UCQ.
+
+    The result's disjuncts are the paper's "CQ sub-queries of Q"
+    (Section 2: "a CQ sub-query of Q is a CQ sub-query in the UCQ
+    equivalence of Q").  When a schema is given, each disjunct is also
+    normalized.
+    """
+    fresh = FreshNames(v.name for v in q.body.all_variables() | set(q.head))
+    body = _uniquify_quantifiers(q.body, fresh)
+    disjuncts: list[CQ] = []
+    for index, clause in enumerate(_dnf(body), start=1):
+        atoms = [leaf.atom for leaf in clause if isinstance(leaf, FAtom)]
+        equalities = [leaf.equality for leaf in clause if isinstance(leaf, FEq)]
+        cq = CQ(f"{q.name}_{index}", q.head, atoms, equalities)
+        if schema is not None:
+            cq = normalize_cq(cq, schema)
+        disjuncts.append(cq)
+    return UCQ(q.name, disjuncts)
+
+
+def as_ucq(query, schema: Schema | None = None) -> UCQ:
+    """Coerce a CQ, UCQ or PositiveQuery to a UCQ (normalizing if a
+    schema is supplied)."""
+    if isinstance(query, CQ):
+        q = normalize_cq(query, schema) if schema is not None else query
+        return UCQ(query.name, [q])
+    if isinstance(query, UCQ):
+        return normalize_ucq(query, schema) if schema is not None else query
+    if isinstance(query, PositiveQuery):
+        return positive_to_ucq(query, schema)
+    raise QueryError(f"cannot convert {type(query).__name__} to UCQ")

@@ -1,0 +1,65 @@
+"""Terms: variables and constants.
+
+Both are immutable and hashable so they can key dictionaries, live in
+sets and act as union-find elements.  Constants wrap arbitrary hashable
+Python values (strings, ints, dates-as-strings, ...), matching the
+paper's countably infinite domain ``D``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Union
+
+
+@dataclass(frozen=True)
+class Var:
+    """A query variable.
+
+    >>> Var("x") == Var("x")
+    True
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant from the data domain.
+
+    >>> Const(1) == Const(1)
+    True
+    >>> Const("1") == Const(1)
+    False
+    """
+
+    value: Hashable
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return repr(self.value)
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+Term = Union[Var, Const]
+
+
+def is_var(term: Term) -> bool:
+    return isinstance(term, Var)
+
+
+def is_const(term: Term) -> bool:
+    return isinstance(term, Const)
+
+
+def term_str(term: Term) -> str:
+    return str(term)

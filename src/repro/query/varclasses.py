@@ -1,0 +1,164 @@
+"""Variable classification for conjunctive queries (paper, Section 3.2).
+
+For a normalized CQ ``Q`` this module computes, per variable ``x``:
+
+* ``eq(x, Q)`` — the set of variables equal to ``x`` via variable-to-
+  variable equality atoms and transitivity;
+* ``eq+(x, Q)`` — the extension of ``eq`` where two classes are merged
+  when they are pinned to the *same* constant (``x = c`` and ``y = c``
+  imply ``x = y``);
+* *constant variables* — ``eq(x, Q)`` contains some ``y`` with ``y = c``
+  in ``Q``;
+* *data-dependent* vs. *data-independent* variables — ``eq(x, Q)``
+  contains a relation-atom variable or not (Example 3.8 shows the two
+  notions genuinely differ: ``u`` can be in ``eq+(x)`` yet be
+  data-independent).
+
+The analysis also records classical satisfiability: a query equating two
+distinct constants (directly or transitively) has an empty answer on
+every instance, which Example 3.12 exploits (``Q'2(x) = (x=1 ∧ x=2)`` is
+covered *because* it is trivially empty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .._util import UnionFind
+from .ast import CQ
+from .terms import Const, Var
+
+
+@dataclass
+class VariableAnalysis:
+    """The result of analysing one CQ; obtain via :func:`analyze_variables`."""
+
+    query: CQ
+    #: eq-classes: union-find over variables using var-var equalities only.
+    eq: UnionFind = field(repr=False, default=None)
+    #: eq+-classes: eq plus merging classes pinned to the same constant.
+    eqplus: UnionFind = field(repr=False, default=None)
+    #: For each eq-class root, the set of constants the class is pinned to.
+    class_constants: dict[Var, set[Const]] = field(default_factory=dict)
+    #: Variables whose eq-class is pinned to at least one constant.
+    constant_vars: set[Var] = field(default_factory=set)
+    #: Variables whose eq-class contains a relation-atom variable.
+    data_dependent: set[Var] = field(default_factory=set)
+    #: False when some class is pinned to two distinct constants.
+    classically_satisfiable: bool = True
+
+    # -- class queries -------------------------------------------------------
+
+    def eq_class(self, var: Var) -> set[Var]:
+        """``eq(x, Q)`` as a set (contains ``x`` itself)."""
+        return self.eq.class_of(var)
+
+    def eqplus_class(self, var: Var) -> set[Var]:
+        """``eq+(x, Q)`` as a set."""
+        return self.eqplus.class_of(var)
+
+    def is_constant_var(self, var: Var) -> bool:
+        return var in self.constant_vars
+
+    def is_data_dependent(self, var: Var) -> bool:
+        return var in self.data_dependent
+
+    def is_data_independent(self, var: Var) -> bool:
+        return var not in self.data_dependent
+
+    def constant_of(self, var: Var) -> Const | None:
+        """The constant pinning ``var``'s eq-class, if any.
+
+        When the query is classically unsatisfiable a class may have
+        several constants; an arbitrary-but-deterministic one is
+        returned.
+        """
+        constants = self.class_constants.get(self.eq.find(var))
+        if not constants:
+            return None
+        return min(constants, key=lambda c: repr(c.value))
+
+    def pinned_value(self, var: Var):
+        const = self.constant_of(var)
+        return None if const is None else const.value
+
+    def data_independent_vars(self) -> set[Var]:
+        return {v for v in self.query.variables() if v not in self.data_dependent}
+
+    def same_eq(self, a: Var, b: Var) -> bool:
+        return self.eq.same(a, b)
+
+    def same_eqplus(self, a: Var, b: Var) -> bool:
+        return self.eqplus.same(a, b)
+
+
+def analyze_variables(q: CQ) -> VariableAnalysis:
+    """Compute the full variable classification of a normalized CQ.
+
+    >>> from .ast import Atom, Equality
+    >>> q = CQ("Q", (Var("x"), Var("u")),
+    ...        (Atom("R", (Var("x"), Var("y"))),),
+    ...        (Equality(Var("x"), Const(1)), Equality(Var("x"), Var("y")),
+    ...         Equality(Var("u"), Const(1)), Equality(Var("u"), Var("v"))))
+    >>> analysis = analyze_variables(q)
+    >>> sorted(v.name for v in analysis.eq_class(Var("x")))
+    ['x', 'y']
+    >>> sorted(v.name for v in analysis.eqplus_class(Var("x")))
+    ['u', 'v', 'x', 'y']
+    >>> analysis.is_data_dependent(Var("u"))
+    False
+    """
+    variables = q.variables()
+    eq = UnionFind(variables)
+    for equality in q.equalities:
+        if equality.is_var_var:
+            eq.union(equality.left, equality.right)
+
+    # Constants pinned to each eq-class.
+    class_constants: dict[Var, set[Const]] = {}
+    for equality in q.equalities:
+        if equality.is_var_const:
+            root = eq.find(equality.left)
+            class_constants.setdefault(root, set()).add(equality.right)
+    # Re-key by the current roots (unions above may have changed them).
+    class_constants = _rekey_by_root(eq, class_constants)
+
+    classically_satisfiable = all(
+        len(constants) <= 1 for constants in class_constants.values()
+    )
+
+    constant_vars = {
+        v for v in variables if class_constants.get(eq.find(v))
+    }
+
+    atom_vars = q.atom_variables()
+    dependent_roots = {eq.find(v) for v in atom_vars}
+    data_dependent = {v for v in variables if eq.find(v) in dependent_roots}
+
+    # eq+ merges classes pinned to a shared constant.
+    eqplus = eq.copy()
+    pinning: dict[Const, Var] = {}
+    for root, constants in class_constants.items():
+        for constant in constants:
+            if constant in pinning:
+                eqplus.union(pinning[constant], root)
+            else:
+                pinning[constant] = root
+
+    return VariableAnalysis(
+        query=q,
+        eq=eq,
+        eqplus=eqplus,
+        class_constants=class_constants,
+        constant_vars=constant_vars,
+        data_dependent=data_dependent,
+        classically_satisfiable=classically_satisfiable,
+    )
+
+
+def _rekey_by_root(eq: UnionFind, mapping: Mapping[Var, set[Const]]) -> dict[Var, set[Const]]:
+    rekeyed: dict[Var, set[Const]] = {}
+    for key, constants in mapping.items():
+        rekeyed.setdefault(eq.find(key), set()).update(constants)
+    return rekeyed

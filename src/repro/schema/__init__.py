@@ -1,0 +1,13 @@
+"""Relational schemas and access schemas (paper, Section 2)."""
+
+from .access import (AccessConstraint, AccessSchema, CardinalityFunction,
+                     ConstantCardinality, LogCardinality, PowerCardinality,
+                     as_cardinality)
+from .relation import RelationSchema, Schema
+
+__all__ = [
+    "RelationSchema", "Schema",
+    "AccessConstraint", "AccessSchema",
+    "CardinalityFunction", "ConstantCardinality", "LogCardinality",
+    "PowerCardinality", "as_cardinality",
+]

@@ -1,0 +1,124 @@
+"""Discovering access constraints from data.
+
+Example 1.1: "These constraints are discovered by simple aggregate
+queries on D0."  Given an instance, :func:`discover_access_schema`
+proposes an access schema by scanning candidate ``(X, Y)`` attribute
+pairs and recording the observed maximum group cardinality, with an
+optional slack factor so the constraints survive mild data growth
+("possibly with cardinality bounds mildly adjusted", Example 1.1).
+
+The candidate space is controlled to stay practical:
+
+* ``X`` ranges over the empty set (when the whole column is tiny),
+  single attributes and, optionally, attribute pairs;
+* ``Y`` is either a single attribute or all remaining attributes
+  (producing key-like constraints such as ψ3/ψ4);
+* candidates whose bound exceeds ``max_bound`` are discarded — an
+  access constraint with a huge N is useless for bounded evaluation.
+
+Every returned constraint is *sound by construction* for the instance it
+was discovered on (property-tested in ``tests/schema/test_discovery.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..storage.database import Database
+from ..storage.statistics import max_group_cardinality
+from .access import AccessConstraint, AccessSchema
+from .relation import RelationSchema
+
+
+@dataclass
+class DiscoveryOptions:
+    """Tuning knobs for constraint discovery."""
+
+    #: Discard candidates whose observed bound exceeds this.
+    max_bound: int = 1024
+    #: Multiply observed bounds by this slack (rounded up) so that the
+    #: constraints keep holding under mild data growth.
+    slack: float = 1.0
+    #: Also try two-attribute X sets.
+    pair_lhs: bool = False
+    #: Emit R(∅ -> A, N) constraints for small-domain columns.
+    empty_lhs: bool = True
+    #: Emit key-style constraints X -> (all other attributes).
+    keys: bool = True
+    #: Limit on constraints per relation (most selective first).
+    per_relation_limit: int | None = None
+
+
+def _adjusted(bound: int, slack: float) -> int:
+    return max(1, math.ceil(bound * slack))
+
+
+def _candidate_lhs(relation: RelationSchema,
+                   options: DiscoveryOptions) -> list[tuple[str, ...]]:
+    singles = [(a,) for a in relation.attributes]
+    candidates: list[tuple[str, ...]] = []
+    if options.empty_lhs:
+        candidates.append(())
+    candidates.extend(singles)
+    if options.pair_lhs:
+        candidates.extend(itertools.combinations(relation.attributes, 2))
+    return candidates
+
+
+def discover_for_relation(db: Database, relation_name: str,
+                          options: DiscoveryOptions | None = None
+                          ) -> list[AccessConstraint]:
+    """Discover constraints for one relation, most selective first."""
+    options = options or DiscoveryOptions()
+    relation = db.schema.relation(relation_name)
+    found: list[AccessConstraint] = []
+    seen: set[tuple[frozenset, frozenset]] = set()
+
+    def consider(x: Sequence[str], y: Sequence[str]) -> None:
+        key = (frozenset(x), frozenset(y))
+        if key in seen or not y:
+            return
+        seen.add(key)
+        observed = max_group_cardinality(db, relation_name, x, y)
+        if observed == 0:
+            return  # Empty relation: nothing learnable.
+        bound = _adjusted(observed, options.slack)
+        if bound > options.max_bound:
+            return
+        found.append(AccessConstraint(relation_name, x, y, bound))
+
+    for x in _candidate_lhs(relation, options):
+        rest = [a for a in relation.attributes if a not in x]
+        if options.keys and rest:
+            consider(x, rest)
+        for attribute in rest:
+            consider(x, (attribute,))
+
+    found.sort(key=lambda c: (c.cardinality.value, len(c.x), str(c)))
+    if options.per_relation_limit is not None:
+        found = found[:options.per_relation_limit]
+    return found
+
+
+def discover_access_schema(db: Database,
+                           options: DiscoveryOptions | None = None
+                           ) -> AccessSchema:
+    """Discover an access schema for every relation of ``db``.
+
+    >>> from ..schema.relation import Schema
+    >>> schema = Schema.from_dict({"R": ("A", "B")})
+    >>> db = Database(schema)
+    >>> db.insert_many("R", [(1, "x"), (1, "y"), (2, "x")])
+    >>> aschema = discover_access_schema(db)
+    >>> any(str(c) == "R(A -> B, 2)" for c in aschema)
+    True
+    """
+    options = options or DiscoveryOptions()
+    access_schema = AccessSchema(db.schema)
+    for relation_name in db.schema.relation_names():
+        for constraint in discover_for_relation(db, relation_name, options):
+            access_schema.add(constraint)
+    return access_schema

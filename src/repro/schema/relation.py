@@ -1,0 +1,139 @@
+"""Relational schemas.
+
+A :class:`RelationSchema` is a named relation with a fixed, ordered tuple
+of attribute names (paper, Section 2: "each relation schema Ri has a
+fixed set of attributes").  A :class:`Schema` is a collection of relation
+schemas, the object written ``R`` in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..errors import SchemaError
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A relation schema ``R(A1, ..., An)``.
+
+    Attributes are ordered; atom arguments and stored tuples correspond
+    to attributes positionally.
+
+    >>> accident = RelationSchema("Accident", ("aid", "district", "date"))
+    >>> accident.arity
+    3
+    >>> accident.position("date")
+    2
+    """
+
+    name: str
+    attributes: tuple[str, ...]
+
+    def __init__(self, name: str, attributes: Sequence[str]):
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError(f"relation {name!r} must have at least one attribute")
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(f"relation {name!r} has duplicate attributes: {attrs}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", attrs)
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def position(self, attribute: str) -> int:
+        """Index of ``attribute`` in the schema; raises on unknown names."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}; "
+                f"attributes are {self.attributes}"
+            ) from None
+
+    def positions(self, attributes: Iterable[str]) -> tuple[int, ...]:
+        """Positions of several attributes, in the order given."""
+        return tuple(self.position(a) for a in attributes)
+
+    def has_attribute(self, attribute: str) -> bool:
+        return attribute in self.attributes
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+@dataclass
+class Schema:
+    """A relational schema ``R = (R1, ..., Rn)``.
+
+    >>> schema = Schema([RelationSchema("R", ("A", "B"))])
+    >>> schema.relation("R").arity
+    2
+    """
+
+    _relations: dict[str, RelationSchema] = field(default_factory=dict)
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()):
+        self._relations = {}
+        for relation in relations:
+            self.add(relation)
+
+    def add(self, relation: RelationSchema) -> None:
+        if relation.name in self._relations:
+            raise SchemaError(f"duplicate relation {relation.name!r} in schema")
+        self._relations[relation.name] = relation
+
+    def relation(self, name: str) -> RelationSchema:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"schema has no relation {name!r}; relations are "
+                f"{sorted(self._relations)}"
+            ) from None
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    @property
+    def relations(self) -> list[RelationSchema]:
+        return list(self._relations.values())
+
+    def relation_names(self) -> list[str]:
+        return list(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def size(self) -> int:
+        """``|R|``: total number of attributes across all relations.
+
+        Used by the paper as the schema-size parameter in complexity
+        statements (e.g. plan length exponential in ``|R|``, ``|A|``,
+        ``|Q|``).
+        """
+        return sum(r.arity for r in self._relations.values())
+
+    def __str__(self) -> str:
+        return "; ".join(str(r) for r in self._relations.values())
+
+    @staticmethod
+    def from_dict(spec: Mapping[str, Sequence[str]]) -> "Schema":
+        """Convenience constructor.
+
+        >>> schema = Schema.from_dict({"R": ("A", "B"), "S": ("C",)})
+        >>> len(schema)
+        2
+        """
+        return Schema(RelationSchema(name, attrs) for name, attrs in spec.items())

@@ -1,0 +1,12 @@
+"""In-memory storage: instances, indexes and statistics."""
+
+from .database import Database
+from .indexes import AccessIndex
+from .statistics import (distinct_count, is_key, max_group_cardinality,
+                         selectivity_profile)
+
+__all__ = [
+    "Database", "AccessIndex",
+    "max_group_cardinality", "distinct_count", "is_key",
+    "selectivity_profile",
+]

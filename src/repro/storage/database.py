@@ -1,0 +1,177 @@
+"""In-memory database instances with access-constraint indexes.
+
+:class:`Database` stores one instance ``D`` of a relational schema:
+per-relation tuple sets plus the :class:`~repro.storage.indexes.AccessIndex`
+for every access constraint that has been attached.  It exposes
+
+* bulk loading (``insert`` / ``insert_many``),
+* the active domain ``adom(D)``,
+* access-schema validation (``satisfies`` / ``check``), and
+* the ``fetch`` primitive used by bounded query plans, which *only*
+  touches indexes — the executor's access accounting hangs off it.
+
+Scans (``relation_tuples``) are deliberately separate so benchmarks can
+distinguish index-only bounded plans from scanning baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+from ..errors import ConstraintViolation, ExecutionError, SchemaError
+from ..schema.access import AccessConstraint, AccessSchema
+from ..schema.relation import RelationSchema, Schema
+from .indexes import AccessIndex
+
+Row = tuple
+
+
+class Database:
+    """One instance ``D`` of a relational schema.
+
+    >>> schema = Schema.from_dict({"R": ("A", "B")})
+    >>> db = Database(schema)
+    >>> db.insert("R", (1, "x"))
+    >>> db.size()
+    1
+    """
+
+    def __init__(self, schema: Schema,
+                 access_schema: AccessSchema | None = None):
+        self.schema = schema
+        self._relations: dict[str, dict[Row, None]] = {
+            name: {} for name in schema.relation_names()
+        }
+        self._indexes: dict[int, AccessIndex] = {}
+        self.access_schema: AccessSchema | None = None
+        if access_schema is not None:
+            self.attach_access_schema(access_schema)
+
+    # -- loading ---------------------------------------------------------------
+
+    def insert(self, relation_name: str, row: Sequence[Hashable]) -> None:
+        relation = self.schema.relation(relation_name)
+        row = tuple(row)
+        if len(row) != relation.arity:
+            raise SchemaError(
+                f"row {row!r} has arity {len(row)} but {relation} expects "
+                f"{relation.arity}"
+            )
+        store = self._relations[relation_name]
+        if row in store:
+            return
+        store[row] = None
+        for index in self._indexes_for(relation_name):
+            index.add(row)
+
+    def insert_many(self, relation_name: str,
+                    rows: Iterable[Sequence[Hashable]]) -> None:
+        for row in rows:
+            self.insert(relation_name, row)
+
+    def clear(self) -> None:
+        for store in self._relations.values():
+            store.clear()
+        for index in self._indexes.values():
+            index.remove_all()
+
+    # -- access schema -----------------------------------------------------------
+
+    def attach_access_schema(self, access_schema: AccessSchema) -> None:
+        """Attach constraints and (re)build one index per constraint."""
+        self.access_schema = access_schema
+        self._indexes = {}
+        for constraint in access_schema:
+            relation = constraint.validate_against(self.schema)
+            index = AccessIndex(constraint, relation)
+            for row in self._relations[constraint.relation_name]:
+                index.add(row)
+            self._indexes[id(constraint)] = index
+
+    def _indexes_for(self, relation_name: str) -> list[AccessIndex]:
+        return [idx for idx in self._indexes.values()
+                if idx.constraint.relation_name == relation_name]
+
+    def index_for(self, constraint: AccessConstraint) -> AccessIndex:
+        index = self._indexes.get(id(constraint))
+        if index is not None:
+            return index
+        # Fall back to structural matching (constraints may be re-created
+        # by analysis code rather than shared by identity).
+        for candidate in self._indexes.values():
+            existing = candidate.constraint
+            if (existing.relation_name == constraint.relation_name
+                    and existing.x_set == constraint.x_set
+                    and constraint.y_set <= existing.xy_set):
+                return candidate
+        raise ExecutionError(
+            f"no index available for constraint {constraint}; attach an "
+            "access schema containing it before executing bounded plans"
+        )
+
+    def satisfies(self, access_schema: AccessSchema | None = None) -> bool:
+        """``D |= A``: every constraint's cardinality bound holds."""
+        try:
+            self.check(access_schema)
+        except ConstraintViolation:
+            return False
+        return True
+
+    def check(self, access_schema: AccessSchema | None = None) -> None:
+        """Like :meth:`satisfies` but raises the first violation found."""
+        target = access_schema or self.access_schema
+        if target is None:
+            return
+        db_size = self.size()
+        for constraint in target:
+            index = self._index_or_adhoc(constraint)
+            index.validate(db_size)
+
+    def _index_or_adhoc(self, constraint: AccessConstraint) -> AccessIndex:
+        try:
+            return self.index_for(constraint)
+        except ExecutionError:
+            relation = constraint.validate_against(self.schema)
+            index = AccessIndex(constraint, relation)
+            for row in self._relations[constraint.relation_name]:
+                index.add(row)
+            return index
+
+    # -- reading -------------------------------------------------------------------
+
+    def relation_tuples(self, relation_name: str) -> list[Row]:
+        """Full scan of one relation (the costly path bounded plans avoid)."""
+        return list(self._relations[relation_name])
+
+    def relation_size(self, relation_name: str) -> int:
+        return len(self._relations[relation_name])
+
+    def size(self) -> int:
+        """``|D|``: total number of tuples."""
+        return sum(len(store) for store in self._relations.values())
+
+    def active_domain(self, extra: Iterable[Hashable] = ()) -> set:
+        """``adom(D)`` (optionally extended with a query's constants)."""
+        domain: set = set(extra)
+        for store in self._relations.values():
+            for row in store:
+                domain.update(row)
+        return domain
+
+    def fetch(self, constraint: AccessConstraint, x_value: Row) -> list[Row]:
+        """Index lookup for one X-value: distinct ``X∪Y`` projections.
+
+        This is the only data-access primitive bounded plans use.
+        """
+        return self.index_for(constraint).lookup(tuple(x_value))
+
+    def __contains__(self, pair) -> bool:
+        relation_name, row = pair
+        return tuple(row) in self._relations[relation_name]
+
+    def summary(self) -> dict[str, int]:
+        return {name: len(store) for name, store in self._relations.items()}
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{name}: {size}" for name, size in self.summary().items())
+        return f"Database({parts})"

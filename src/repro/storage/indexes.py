@@ -1,0 +1,87 @@
+"""Hash indexes backing access constraints.
+
+An access constraint ``R(X -> Y, N)`` promises an index on ``X`` for
+``Y``: given an ``X``-value ``a``, retrieve ``D_Y(X = a)`` without
+scanning ``R`` (paper, Section 2).  :class:`AccessIndex` is that index:
+a hash map from ``X``-projections to the set of distinct ``Y``-
+projections (plus the combined ``X∪Y`` rows the ``fetch`` plan operator
+returns).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import ConstraintViolation, SchemaError
+from ..schema.access import AccessConstraint
+from ..schema.relation import RelationSchema
+
+Tuple = tuple
+
+
+class AccessIndex:
+    """The index for one access constraint over one relation instance.
+
+    ``lookup`` implements the paper's ``fetch`` primitive: for an
+    X-value, return the distinct ``X∪Y`` projections, in deterministic
+    insertion order.  The number of distinct Y-values per X-value is the
+    quantity the cardinality bound constrains; ``max_group_size`` exposes
+    the observed maximum so instances can be validated.
+    """
+
+    def __init__(self, constraint: AccessConstraint, relation: RelationSchema):
+        self.constraint = constraint
+        self.relation = relation
+        self.x_positions = constraint.x_positions(relation)
+        self.y_positions = constraint.y_positions(relation)
+        # x-projection -> ordered dict of distinct y-projections.
+        self._groups: dict[Tuple, dict[Tuple, None]] = {}
+
+    def add(self, row: Sequence) -> None:
+        x_value = tuple(row[i] for i in self.x_positions)
+        y_value = tuple(row[i] for i in self.y_positions)
+        self._groups.setdefault(x_value, {})[y_value] = None
+
+    def remove_all(self) -> None:
+        self._groups.clear()
+
+    def lookup(self, x_value: Tuple) -> list[Tuple]:
+        """Distinct ``X∪Y`` projections for one X-value (possibly empty).
+
+        The returned rows concatenate the X-value with each distinct
+        Y-value, matching the ``fetch(X ∈ T, R, Y)`` operator that
+        returns ``D_XY(X = a)``.
+        """
+        group = self._groups.get(tuple(x_value))
+        if group is None:
+            return []
+        return [x_value + y_value for y_value in group]
+
+    def lookup_y(self, x_value: Tuple) -> list[Tuple]:
+        """Distinct Y-projections only."""
+        group = self._groups.get(tuple(x_value))
+        if group is None:
+            return []
+        return list(group)
+
+    def group_size(self, x_value: Tuple) -> int:
+        group = self._groups.get(tuple(x_value))
+        return 0 if group is None else len(group)
+
+    def max_group_size(self) -> int:
+        if not self._groups:
+            return 0
+        return max(len(group) for group in self._groups.values())
+
+    def x_values(self) -> Iterator[Tuple]:
+        return iter(self._groups)
+
+    def validate(self, db_size: int) -> None:
+        """Raise :class:`ConstraintViolation` if some group exceeds the bound."""
+        limit = self.constraint.bound(db_size)
+        for x_value, group in self._groups.items():
+            if len(group) > limit:
+                raise ConstraintViolation(self.constraint, x_value, len(group))
+
+    def __len__(self) -> int:
+        return len(self._groups)

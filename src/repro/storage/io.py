@@ -1,0 +1,129 @@
+"""CSV import/export for database instances.
+
+Real deployments load the accident data from CSV dumps; this module
+provides the same path for our instances, including round-tripping an
+access schema as a sidecar JSON file so a saved database can be reopened
+with its indexes rebuilt.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Iterable
+
+from ..errors import SchemaError
+from ..schema.access import (AccessConstraint, AccessSchema,
+                             ConstantCardinality, LogCardinality,
+                             PowerCardinality)
+from ..schema.relation import RelationSchema, Schema
+from .database import Database
+
+
+def save_relation_csv(db: Database, relation_name: str, path) -> int:
+    """Write one relation to CSV (header = attribute names); returns the
+    row count."""
+    relation = db.schema.relation(relation_name)
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.attributes)
+        count = 0
+        for row in db.relation_tuples(relation_name):
+            writer.writerow(row)
+            count += 1
+    return count
+
+
+def load_relation_csv(db: Database, relation_name: str, path) -> int:
+    """Load one relation from CSV; header must match the schema.
+
+    Values are read as strings except that integer- and float-shaped
+    fields are narrowed (CSV is untyped; cardinality constraints only
+    need equality, so narrowing is cosmetic but keeps round-trips
+    stable for numeric columns).
+    """
+    relation = db.schema.relation(relation_name)
+    path = pathlib.Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = tuple(next(reader))
+        if header != relation.attributes:
+            raise SchemaError(
+                f"CSV header {header} does not match {relation}")
+        count = 0
+        for raw in reader:
+            db.insert(relation_name, tuple(_narrow(v) for v in raw))
+            count += 1
+    return count
+
+
+def _narrow(value: str):
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value
+
+
+def save_database(db: Database, directory) -> None:
+    """Write every relation as ``<name>.csv`` plus ``schema.json``."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for name in db.schema.relation_names():
+        save_relation_csv(db, name, directory / f"{name}.csv")
+    spec = {
+        "relations": {r.name: list(r.attributes) for r in db.schema},
+        "constraints": [
+            _constraint_to_json(c) for c in (db.access_schema or [])
+        ],
+    }
+    (directory / "schema.json").write_text(json.dumps(spec, indent=2))
+
+
+def load_database(directory) -> Database:
+    """Reopen a directory written by :func:`save_database`."""
+    directory = pathlib.Path(directory)
+    spec = json.loads((directory / "schema.json").read_text())
+    schema = Schema(RelationSchema(name, attrs)
+                    for name, attrs in spec["relations"].items())
+    access = AccessSchema(schema, [
+        _constraint_from_json(c) for c in spec.get("constraints", ())])
+    db = Database(schema, access if len(access) else None)
+    for name in schema.relation_names():
+        load_relation_csv(db, name, directory / f"{name}.csv")
+    return db
+
+
+def _constraint_to_json(constraint: AccessConstraint) -> dict:
+    cardinality = constraint.cardinality
+    if isinstance(cardinality, ConstantCardinality):
+        card = {"kind": "constant", "value": cardinality.value}
+    elif isinstance(cardinality, LogCardinality):
+        card = {"kind": "log", "scale": cardinality.scale}
+    elif isinstance(cardinality, PowerCardinality):
+        card = {"kind": "power", "exponent": cardinality.exponent,
+                "scale": cardinality.scale}
+    else:
+        raise SchemaError(f"cannot serialize cardinality {cardinality}")
+    return {"relation": constraint.relation_name,
+            "x": list(constraint.x), "y": list(constraint.y),
+            "cardinality": card}
+
+
+def _constraint_from_json(spec: dict) -> AccessConstraint:
+    card = spec["cardinality"]
+    if card["kind"] == "constant":
+        cardinality = ConstantCardinality(card["value"])
+    elif card["kind"] == "log":
+        cardinality = LogCardinality(card["scale"])
+    elif card["kind"] == "power":
+        cardinality = PowerCardinality(card["exponent"], card["scale"])
+    else:
+        raise SchemaError(f"unknown cardinality kind {card['kind']!r}")
+    return AccessConstraint(spec["relation"], spec["x"], spec["y"],
+                            cardinality)

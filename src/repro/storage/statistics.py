@@ -1,0 +1,64 @@
+"""Cardinality statistics over database instances.
+
+The paper's access constraints "are discovered by simple aggregate
+queries on D0" (Example 1.1).  This module implements those aggregates:
+for a relation and an ``(X, Y)`` attribute pair it computes the maximum
+number of distinct ``Y``-projections per ``X``-projection — exactly the
+``N`` of a candidate constraint ``R(X -> Y, N)`` — plus distinct counts
+used by the discovery heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..schema.relation import RelationSchema
+from .database import Database
+
+
+def max_group_cardinality(db: Database, relation_name: str,
+                          x: Sequence[str], y: Sequence[str]) -> int:
+    """``max_a |D_Y(X = a)|`` over the instance; 0 for an empty relation.
+
+    With ``X`` empty this is simply the number of distinct Y-projections.
+    """
+    relation = db.schema.relation(relation_name)
+    x_positions = relation.positions(x)
+    y_positions = relation.positions(y)
+    groups: dict[tuple, set] = {}
+    for row in db.relation_tuples(relation_name):
+        x_value = tuple(row[i] for i in x_positions)
+        y_value = tuple(row[i] for i in y_positions)
+        groups.setdefault(x_value, set()).add(y_value)
+    if not groups:
+        return 0
+    return max(len(values) for values in groups.values())
+
+
+def distinct_count(db: Database, relation_name: str,
+                   attributes: Sequence[str]) -> int:
+    """Number of distinct projections on ``attributes``."""
+    relation = db.schema.relation(relation_name)
+    positions = relation.positions(attributes)
+    return len({
+        tuple(row[i] for i in positions)
+        for row in db.relation_tuples(relation_name)
+    })
+
+
+def is_key(db: Database, relation_name: str, attributes: Sequence[str]) -> bool:
+    """True when ``attributes`` functionally determine the whole tuple."""
+    relation = db.schema.relation(relation_name)
+    rest = [a for a in relation.attributes if a not in attributes]
+    if not rest:
+        return True
+    return max_group_cardinality(db, relation_name, attributes, rest) <= 1
+
+
+def selectivity_profile(db: Database, relation_name: str) -> dict[str, int]:
+    """Distinct-value count per single attribute; a discovery heuristic input."""
+    relation = db.schema.relation(relation_name)
+    return {
+        attribute: distinct_count(db, relation_name, (attribute,))
+        for attribute in relation.attributes
+    }

@@ -1,0 +1,19 @@
+"""Workload and data generators standing in for the paper's datasets."""
+
+from .accidents import (AccidentScale, canonical_access_schema,
+                        extended_access_schema, extended_accidents,
+                        extended_schema, simple_accidents, simple_schema)
+from .qgen import (JoinEdge, WorkloadConfig, accident_workload_config,
+                   generate_workload, random_cq)
+from .social import (SocialScale, generate_patterns, graph_search_pattern,
+                     random_pattern, social_access_schema, social_graph)
+
+__all__ = [
+    "AccidentScale", "simple_schema", "simple_accidents",
+    "extended_schema", "extended_accidents", "canonical_access_schema",
+    "extended_access_schema",
+    "JoinEdge", "WorkloadConfig", "accident_workload_config",
+    "random_cq", "generate_workload",
+    "SocialScale", "social_graph", "social_access_schema",
+    "graph_search_pattern", "random_pattern", "generate_patterns",
+]

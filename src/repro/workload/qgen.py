@@ -1,0 +1,167 @@
+"""Random conjunctive-query workloads.
+
+Used to reproduce the paper's workload-level claim (Section 1):
+"77% of conjunctive queries are actually boundedly evaluable under a
+set of 84 simple access constraints".  The generator emits FK-join-
+shaped CQs — the dominant shape of user queries on the accident data:
+pick a connected join path along declared foreign-key edges, add
+equality selections on a random subset of selectable attributes, and
+project a few variables.
+
+Whether a particular query is covered depends on which selections it
+happens to include (e.g. a ``date`` selection unlocks ψ1), so a
+workload yields a *coverage rate*; EXP-2 measures it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from ..query.ast import CQ, Atom, Equality
+from ..query.terms import Const, Var
+from ..schema.relation import Schema
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """A foreign-key style join: ``left.left_attr = right.right_attr``."""
+
+    left: str
+    left_attr: str
+    right: str
+    right_attr: str
+
+
+@dataclass
+class WorkloadConfig:
+    """Shape parameters for the random workload."""
+
+    schema: Schema
+    join_edges: Sequence[JoinEdge]
+    #: Attribute -> pool of constants a selection may use.
+    selectable: dict[tuple[str, str], Sequence[Hashable]] = field(
+        default_factory=dict)
+    #: Probability that any given selectable attribute of a chosen
+    #: relation receives an equality selection.
+    p_select: float = 0.25
+    #: Per-attribute overrides of ``p_select`` (e.g. date selections are
+    #: far more common in accident analytics than weather selections).
+    p_select_override: dict[tuple[str, str], float] = field(
+        default_factory=dict)
+    #: Maximum relations joined in one query.
+    max_atoms: int = 3
+    #: Maximum head variables.
+    max_head: int = 2
+
+    def selection_probability(self, relation: str, attribute: str) -> float:
+        return self.p_select_override.get((relation, attribute),
+                                          self.p_select)
+
+
+def accident_workload_config(schema: Schema) -> WorkloadConfig:
+    """The configuration used by EXP-2 over the extended accident schema."""
+    from .accidents import (AGE_BANDS, CASUALTY_CLASSES, DISTRICTS, MAKES,
+                            ROAD_TYPES, SEVERITIES, WEATHER, _dates)
+    dates = _dates(60)
+    return WorkloadConfig(
+        schema=schema,
+        join_edges=[
+            JoinEdge("Accident", "aid", "Casualty", "aid"),
+            JoinEdge("Casualty", "vid", "Vehicle", "vid"),
+        ],
+        selectable={
+            ("Accident", "date"): dates,
+            ("Accident", "district"): DISTRICTS,
+            ("Accident", "severity"): SEVERITIES,
+            ("Accident", "weather"): WEATHER,
+            ("Accident", "road_type"): ROAD_TYPES,
+            ("Casualty", "class"): CASUALTY_CLASSES,
+            ("Casualty", "age_band"): AGE_BANDS,
+            ("Vehicle", "make"): MAKES,
+            ("Vehicle", "age"): list(range(17, 91)),
+            # Entity lookups: personalized searches pin a concrete
+            # accident/vehicle id (the "me" of Graph Search).
+            ("Accident", "aid"): [f"a{i}" for i in range(1, 400)],
+            ("Casualty", "aid"): [f"a{i}" for i in range(1, 400)],
+            ("Vehicle", "vid"): [f"v{i}" for i in range(1, 800)],
+        },
+        p_select_override={
+            # Personalized accident analytics almost always pin a day
+            # (the paper's Q0 and the Graph Search analogy) or a
+            # concrete entity; secondary dimensions occasionally.
+            ("Accident", "date"): 0.8,
+            ("Accident", "district"): 0.4,
+            ("Accident", "aid"): 0.15,
+            ("Casualty", "class"): 0.3,
+            ("Casualty", "aid"): 0.35,
+            ("Vehicle", "vid"): 0.55,
+        },
+    )
+
+
+def _join_path(rng: random.Random, config: WorkloadConfig) -> list[str]:
+    """A connected relation path along the join edges."""
+    relations = config.schema.relation_names()
+    start = rng.choice(relations)
+    path = [start]
+    while len(path) < config.max_atoms:
+        frontier = [e for e in config.join_edges
+                    if (e.left in path) != (e.right in path)]
+        if not frontier or rng.random() < 0.35:
+            break
+        edge = rng.choice(frontier)
+        path.append(edge.right if edge.left in path else edge.left)
+    return path
+
+
+def random_cq(rng: random.Random, config: WorkloadConfig,
+              name: str = "W") -> CQ:
+    """One random FK-join CQ with equality selections and a small head."""
+    path = _join_path(rng, config)
+    var_of: dict[tuple[str, str], Var] = {}
+
+    def variable(relation: str, attribute: str) -> Var:
+        key = (relation, attribute)
+        if key not in var_of:
+            var_of[key] = Var(f"{attribute}_{relation[:2].lower()}")
+        return var_of[key]
+
+    atoms = []
+    for relation_name in path:
+        relation = config.schema.relation(relation_name)
+        atoms.append(Atom(relation_name, tuple(
+            variable(relation_name, a) for a in relation.attributes)))
+
+    equalities: list[Equality] = []
+    # Join conditions along the chosen path.
+    for edge in config.join_edges:
+        if edge.left in path and edge.right in path:
+            left = variable(edge.left, edge.left_attr)
+            right = variable(edge.right, edge.right_attr)
+            if left != right:
+                equalities.append(Equality(left, right))
+
+    # Random selections.
+    for (relation_name, attribute), pool in config.selectable.items():
+        probability = config.selection_probability(relation_name, attribute)
+        if relation_name in path and rng.random() < probability:
+            equalities.append(Equality(
+                variable(relation_name, attribute),
+                Const(rng.choice(list(pool)))))
+
+    # Head: up to max_head variables not already pinned by selections.
+    pinned = {eq.left for eq in equalities if eq.is_var_const}
+    candidates = [v for v in var_of.values() if v not in pinned]
+    rng.shuffle(candidates)
+    head = candidates[:rng.randint(1, config.max_head)] or \
+        [next(iter(var_of.values()))]
+    return CQ(name, head, atoms, equalities)
+
+
+def generate_workload(n: int, config: WorkloadConfig,
+                      seed: int = 7) -> list[CQ]:
+    """A reproducible workload of ``n`` random CQs."""
+    rng = random.Random(seed)
+    return [random_cq(rng, config, name=f"W{i}") for i in range(n)]

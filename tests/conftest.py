@@ -1,0 +1,111 @@
+"""Shared fixtures: the paper's running examples as reusable objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AccessConstraint, AccessSchema, Database, Schema
+from repro.query import parse_cq
+
+
+@pytest.fixture
+def accident_schema() -> Schema:
+    """The (simplified) UK road-accident schema of Example 1.1."""
+    return Schema.from_dict({
+        "Accident": ("aid", "district", "date"),
+        "Casualty": ("cid", "aid", "class", "vid"),
+        "Vehicle": ("vid", "driver", "age"),
+    })
+
+
+@pytest.fixture
+def accident_access(accident_schema) -> AccessSchema:
+    """ψ1–ψ4 of Example 1.1."""
+    return AccessSchema(accident_schema, [
+        AccessConstraint("Accident", ("date",), ("aid",), 610),
+        AccessConstraint("Casualty", ("aid",), ("vid",), 192),
+        AccessConstraint("Accident", ("aid",), ("district", "date"), 1),
+        AccessConstraint("Vehicle", ("vid",), ("driver", "age"), 1),
+    ])
+
+
+@pytest.fixture
+def accident_db(accident_schema, accident_access) -> Database:
+    """A small instance satisfying ψ1–ψ4."""
+    db = Database(accident_schema, accident_access)
+    db.insert_many("Accident", [
+        ("a1", "Queens Park", "1/5/2005"),
+        ("a2", "Soho", "1/5/2005"),
+        ("a3", "Queens Park", "2/5/2005"),
+        ("a4", "Camden", "3/5/2005"),
+    ])
+    db.insert_many("Casualty", [
+        ("c1", "a1", "driver", "v1"),
+        ("c2", "a1", "passenger", "v2"),
+        ("c3", "a2", "driver", "v3"),
+        ("c4", "a3", "driver", "v4"),
+        ("c5", "a4", "pedestrian", "v5"),
+    ])
+    db.insert_many("Vehicle", [
+        ("v1", "alice", 34),
+        ("v2", "bob", 51),
+        ("v3", "carol", 28),
+        ("v4", "dan", 61),
+        ("v5", "eve", 45),
+    ])
+    db.check()
+    return db
+
+
+@pytest.fixture
+def q0(accident_schema) -> "CQ":
+    """Q0 of Example 1.1: driver ages for Queen's Park on 1/5/2005."""
+    return parse_cq(
+        "Q0(xa) :- Accident(aid, 'Queens Park', '1/5/2005'), "
+        "Casualty(cid, aid, class, vid), Vehicle(vid, dri, xa)")
+
+
+@pytest.fixture
+def example31():
+    """The three (schema, access schema, query) triples of Example 3.1."""
+    r1 = Schema.from_dict({"R1": ("A", "B", "E", "F")})
+    a1 = AccessSchema(r1, [AccessConstraint("R1", ("A",), ("B",), 5),
+                           AccessConstraint("R1", ("E",), ("F",), 5)])
+    q1 = parse_cq("Q1(x, y) :- R1(x1, x, x2, y), x1 = 1, x2 = 1")
+
+    r2 = Schema.from_dict({"R2": ("A", "B")})
+    a2 = AccessSchema(r2, [AccessConstraint("R2", ("A",), ("B",), 1)])
+    q2 = parse_cq("Q2(x) :- R2(x, x1), R2(x, x2), x1 = 1, x2 = 2")
+
+    r3 = Schema.from_dict({"R3": ("A", "B", "C")})
+    a3 = AccessSchema(r3, [AccessConstraint("R3", (), ("C",), 1),
+                           AccessConstraint("R3", ("A", "B"), ("C",), 5)])
+    q3 = parse_cq("Q3(x, y) :- R3(x1, x2, x), R3(z1, z2, y), R3(x, y, z3), "
+                  "x1 = 1, x2 = 1")
+    return {
+        "1": (r1, a1, q1),
+        "2": (r2, a2, q2),
+        "3": (r3, a3, q3),
+    }
+
+
+@pytest.fixture
+def example41():
+    """Schema, access schema and the two queries of Example 4.1."""
+    schema = Schema.from_dict({"R": ("A", "B")})
+    access = AccessSchema(schema, [AccessConstraint("R", ("A",), ("B",), 3)])
+    q1 = parse_cq("Q1(x) :- R(w, x), R(y, w), R(x, z), w = 1")
+    q2 = parse_cq("Q2(x, y) :- R(w, x), R(y, w), w = 1")
+    return schema, access, q1, q2
+
+
+@pytest.fixture
+def example45():
+    """Schema, access schema and query of Example 4.5."""
+    schema = Schema.from_dict({"R": ("A", "B", "C")})
+    access = AccessSchema(schema, [
+        AccessConstraint("R", ("A",), ("B",), 4),
+        AccessConstraint("R", ("B",), ("C",), 1),
+    ])
+    q = parse_cq("Q(x, y) :- R(u, x, y), u = 1")
+    return schema, access, q

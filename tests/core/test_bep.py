@@ -1,0 +1,171 @@
+"""Unit tests for BEP and CQP (Sections 3.1–3.2, Lemma 3.6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AccessConstraint, AccessSchema, Database, Schema
+from repro.core import is_boundedly_evaluable, is_covered
+from repro.engine import evaluate, execute_plan
+from repro.query import parse_cq, parse_query, parse_ucq
+
+
+class TestBEPForCQ:
+    def test_q0(self, accident_access, q0):
+        decision = is_boundedly_evaluable(q0, accident_access)
+        assert decision
+        assert decision.details["method"] == "covered"
+
+    def test_example31_1_no(self, example31):
+        _, a1, q1 = example31["1"]
+        decision = is_boundedly_evaluable(q1, a1)
+        assert decision.is_no
+        assert decision.details.get("complete") is False
+
+    def test_example31_2_yes_via_unsat(self, example31):
+        r2, a2, q2 = example31["2"]
+        decision = is_boundedly_evaluable(q2, a2)
+        assert decision
+        assert decision.details["method"] == "unsatisfiable"
+        # The empty plan really answers Q2 on instances satisfying A2.
+        db = Database(r2, a2)
+        db.insert_many("R2", [(1, 1), (2, 2)])
+        plan = decision.witness["plan"]
+        assert execute_plan(plan, db).answers == evaluate(q2, db) == set()
+
+    def test_example31_3_yes(self, example31):
+        r3, a3, q3 = example31["3"]
+        decision = is_boundedly_evaluable(q3, a3)
+        assert decision
+        # Covered directly (Example 3.10) — and the plan is correct.
+        db = Database(r3, a3)
+        db.insert_many("R3", [(1, 1, 5), (5, 5, 5), (2, 3, 5)])
+        db.check()
+        plan = decision.witness["plan"]
+        assert execute_plan(plan, db).answers == evaluate(q3, db)
+
+    def test_rewriting_path(self):
+        """A query that is only bounded after the chase rewrites it."""
+        schema = Schema.from_dict({"R": ("A", "B"), "S": ("B", "C")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 1),
+            AccessConstraint("S", ("B",), ("C",), 3),
+        ])
+        # y2 is not covered as written; the chase equates y1 = y2 and the
+        # core folds the redundant atom.
+        q = parse_cq("Q(z) :- R(x, y1), R(x, y2), S(y2, z), x = 1")
+        decision = is_boundedly_evaluable(q, aschema)
+        assert decision
+        db = Database(schema, aschema)
+        db.insert_many("R", [(1, 10), (2, 20)])
+        db.insert_many("S", [(10, 100), (10, 101), (20, 200)])
+        db.check()
+        plan = decision.witness["plan"]
+        assert execute_plan(plan, db).answers == evaluate(q, db)
+
+    def test_plan_witness_always_executable(self, accident_access,
+                                            accident_db, q0):
+        decision = is_boundedly_evaluable(q0, accident_access)
+        result = execute_plan(decision.witness["plan"], accident_db)
+        assert result.answers == evaluate(q0, accident_db)
+
+
+class TestBEPForUCQ:
+    def test_example35_second_part(self):
+        """Q = Q1 ∪ Q2 bounded although Q2 alone is not (Example 3.5)."""
+        schema = Schema.from_dict({"Rp": ("A", "B", "C")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("Rp", ("A",), ("B",), 4)])
+        u = parse_ucq("Q(y) :- Rp(x, y, z), x = 1 ; "
+                      "Q(y) :- Rp(x, y, z), x = 1, z = y")
+        q2 = u.disjuncts[1]
+        assert is_boundedly_evaluable(q2, aschema).is_no
+        decision = is_boundedly_evaluable(u, aschema)
+        assert decision
+        # And the union plan is correct on a concrete instance.
+        db = Database(schema, aschema)
+        db.insert_many("Rp", [(1, 5, 5), (1, 6, 7), (2, 8, 8)])
+        db.check()
+        assert execute_plan(decision.witness["plan"], db).answers == \
+            evaluate(u, db)
+
+    def test_all_disjuncts_bounded(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 2)])
+        u = parse_ucq("Q(y) :- R(x, y), x = 1 ; Q(y) :- R(x, y), x = 2")
+        assert is_boundedly_evaluable(u, aschema)
+
+    def test_hopeless_union(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 2)])
+        u = parse_ucq("Q(y) :- R(x, y), x = 1 ; Q(y) :- R(x, y)")
+        assert is_boundedly_evaluable(u, aschema).is_no
+
+    def test_unsat_disjuncts_dropped(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 1)])
+        u = parse_ucq("Q(y) :- R(x, y), x = 1 ; "
+                      "Q(y) :- R(x, y1), R(x, y2), y1 = 1, y2 = 2, y = y1")
+        decision = is_boundedly_evaluable(u, aschema)
+        assert decision
+        assert any("dropped" in note for note in decision.details["notes"])
+
+
+class TestBEPForFormulas:
+    def test_positive_query(self):
+        schema = Schema.from_dict({"R": ("A", "B"), "S": ("A", "B")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 2),
+            AccessConstraint("S", ("A",), ("B",), 2)])
+        q = parse_query("Q(y) := EXISTS x. ((R(x, y) OR S(x, y)) AND x = 1)")
+        assert is_boundedly_evaluable(q, aschema)
+
+    def test_fo_with_negation_unknown(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 2)])
+        q = parse_query("Q(x) := R(x, y) AND NOT R(y, x) AND x = 1")
+        decision = is_boundedly_evaluable(q, aschema)
+        assert decision.is_unknown
+        assert "undecidable" in decision.reason
+
+    def test_fo_with_positive_body_decided(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 2)])
+        from repro.query.ast import FOQuery
+        positive = parse_query("Q(y) := EXISTS x. (R(x, y) AND x = 1)")
+        fo = FOQuery(positive.name, positive.head, positive.body)
+        assert is_boundedly_evaluable(fo, aschema)
+
+
+class TestCQP:
+    def test_cq_ptime_path(self, accident_access, q0):
+        assert is_covered(q0, accident_access)
+
+    def test_ucq_general_definition(self):
+        """A UCQ is covered although one disjunct is not (subsumption)."""
+        schema = Schema.from_dict({"Rp": ("A", "B", "C")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("Rp", ("A",), ("B",), 4)])
+        u = parse_ucq("Q(y) :- Rp(x, y, z), x = 1 ; "
+                      "Q(y) :- Rp(x, y, z), x = 1, z = y")
+        assert is_covered(u, aschema)
+
+    def test_ucq_not_covered(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 2)])
+        u = parse_ucq("Q(y) :- R(x, y), x = 1 ; Q(y) :- R(x, y)")
+        assert is_covered(u, aschema).is_no
+
+    def test_rejects_fo(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        aschema = AccessSchema(schema, [])
+        q = parse_query("Q(x) := NOT R(x, x)")
+        from repro.errors import QueryError
+        with pytest.raises(QueryError):
+            is_covered(q, aschema)

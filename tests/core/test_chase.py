@@ -1,0 +1,135 @@
+"""Unit tests for the FD-chase and core minimization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AccessConstraint, AccessSchema, Schema
+from repro.core import chase, chase_and_core, core_of
+from repro.query import classically_equivalent, parse_cq
+
+
+class TestChase:
+    def test_example31_2_contradiction(self, example31):
+        _, a2, q2 = example31["2"]
+        result = chase(q2, a2)
+        assert result.unsatisfiable
+
+    def test_example31_3_equates_via_empty_fd(self, example31):
+        _, a3, q3 = example31["3"]
+        result = chase(q3, a3)
+        assert not result.unsatisfiable
+        # ϕ4 = R3(∅ -> C, 1) forces x = y = z3; the three C-position
+        # variables collapse to one.
+        chased = result.query
+        head_names = {v.name for v in chased.head}
+        assert len(head_names) == 1
+
+    def test_no_fds_no_change(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 5)])
+        q = parse_cq("Q(x) :- R(x, y), R(x, z), x = 1")
+        result = chase(q, aschema)
+        assert not result.changed
+
+    def test_fd_merges_y_vars(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 1)])
+        q = parse_cq("Q(y, z) :- R(x, y), R(x, z)")
+        result = chase(q, aschema)
+        assert result.changed
+        assert len(result.query.atoms) == 1
+        assert result.query.head[0] == result.query.head[1]
+
+    def test_fd_propagates_constants(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 1)])
+        q = parse_cq("Q(z) :- R(x, y), R(x, z), x = 1, y = 5")
+        result = chase(q, aschema)
+        assert not result.unsatisfiable
+        from repro.query import analyze_variables, Var
+        analysis = analyze_variables(result.query)
+        assert analysis.pinned_value(result.query.head[0]) == 5
+
+    def test_transitive_chase(self):
+        schema = Schema.from_dict({"R": ("A", "B"), "S": ("B", "C")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 1),
+            AccessConstraint("S", ("B",), ("C",), 1),
+        ])
+        q = parse_cq("Q(c1, c2) :- R(x, y1), R(x, y2), S(y1, c1), S(y2, c2)")
+        result = chase(q, aschema)
+        # y1 = y2 forces c1 = c2.
+        assert result.query.head[0] == result.query.head[1]
+
+    def test_pigeonhole_unsat(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 2)])
+        q = parse_cq("Q() :- R(x, y1), R(x, y2), R(x, y3), "
+                     "y1 = 1, y2 = 2, y3 = 3, x = 0")
+        result = chase(q, aschema)
+        assert result.unsatisfiable
+        assert any("pigeonhole" in step for step in result.steps)
+
+    def test_pigeonhole_not_triggered_within_bound(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 2)])
+        q = parse_cq("Q() :- R(x, y1), R(x, y2), y1 = 1, y2 = 2, x = 0")
+        assert not chase(q, aschema).unsatisfiable
+
+    def test_eqplus_grouping(self):
+        """Two atoms whose X-sides are pinned to the same constant chase
+        together even without a shared variable."""
+        schema = Schema.from_dict({"R": ("A", "B")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 1)])
+        q = parse_cq("Q(y, z) :- R(x1, y), R(x2, z), x1 = 7, x2 = 7")
+        result = chase(q, aschema)
+        assert result.query.head[0] == result.query.head[1]
+
+    def test_chase_preserves_classical_containment_direction(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 1)])
+        q = parse_cq("Q(y, z) :- R(x, y), R(x, z)")
+        chased = chase(q, aschema).query
+        # The chased query is classically contained in the original
+        # (it only adds equalities).
+        from repro.query import classically_contained
+        assert classically_contained(chased, q)
+
+
+class TestCore:
+    def test_folds_implied_atom(self):
+        q = parse_cq("Q(x) :- R(x, y), R(x, z), z = 1")
+        minimized = core_of(q)
+        assert len(minimized.atoms) == 1
+        assert classically_equivalent(q, minimized)
+
+    def test_keeps_core_atoms(self):
+        q = parse_cq("Q(x) :- R(x, y), S(y, z)")
+        assert len(core_of(q).atoms) == 2
+
+    def test_unsat_query_untouched(self):
+        q = parse_cq("Q(x) :- R(x, y), x = 1, x = 2")
+        assert core_of(q) is q
+
+
+class TestChaseAndCore:
+    def test_example31_3_full_rewrite(self, example31):
+        """Chase + core turn Q3 into (a variant of) Q'3."""
+        _, a3, q3 = example31["3"]
+        result = chase_and_core(q3, a3)
+        assert not result.unsatisfiable
+        # R3(z1, z2, y) folds away after x = y = z3 is derived.
+        assert len(result.query.atoms) == 2
+
+    def test_steps_recorded(self, example31):
+        _, a3, q3 = example31["3"]
+        result = chase_and_core(q3, a3)
+        assert result.steps

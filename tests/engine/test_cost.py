@@ -1,0 +1,134 @@
+"""Tests for static cost bounds and certificates (Theorem 3.11's
+"determined by Q and A only" guarantee)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (AccessConstraint, AccessSchema, Database, LogCardinality,
+                   PlanError, Schema)
+from repro.core import analyze_coverage
+from repro.engine import (ConstOp, FetchOp, Plan, ProductOp,
+                          build_bounded_plan, execute_plan, static_bounds)
+from repro.engine.cost import CostCertificate
+from repro.query import parse_cq
+
+
+@pytest.fixture
+def world():
+    schema = Schema.from_dict({"R": ("A", "B"), "S": ("B", "C")})
+    access = AccessSchema(schema, [
+        AccessConstraint("R", ("A",), ("B",), 4),
+        AccessConstraint("S", ("B",), ("C",), 5),
+    ])
+    return schema, access
+
+
+class TestCertificates:
+    def test_chain_bounds_multiply(self, world):
+        _, access = world
+        q = parse_cq("Q(z) :- R(x, y), S(y, z), x = 1")
+        plan = build_bounded_plan(analyze_coverage(q, access))
+        cost = static_bounds(plan)
+        # Fetches: R-application (1*4), S-application (4*5); both atoms'
+        # verifications are subsumed by their applications.
+        assert cost.fetch_bound == 4 + 20
+        assert cost.output_bound == 20
+
+    def test_union_certificate_sums(self, world):
+        from repro.engine import build_union_plan
+        _, access = world
+        q1 = parse_cq("Q(y) :- R(x, y), x = 1")
+        q2 = parse_cq("Q(c) :- S(b, c), b = 2")
+        plan = build_union_plan([analyze_coverage(q1, access),
+                                 analyze_coverage(q2, access)])
+        cost = static_bounds(plan)
+        assert cost.output_bound == 4 + 5
+        assert cost.fetch_bound == 4 + 5
+
+    def test_empty_plan_zero(self, world):
+        from repro.engine import build_empty_plan
+        plan = build_empty_plan(2)
+        cost = static_bounds(plan)
+        assert cost.output_bound == 0
+        assert cost.fetch_bound == 0
+
+    def test_nonconstant_requires_db_size(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        access = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), LogCardinality())])
+        q = parse_cq("Q(y) :- R(x, y), x = 1")
+        plan = build_bounded_plan(analyze_coverage(q, access))
+        with pytest.raises(PlanError, match="db_size"):
+            static_bounds(plan)
+        assert static_bounds(plan, db_size=1024).fetch_bound == 10
+
+    def test_per_fetch_breakdown(self, world):
+        _, access = world
+        q = parse_cq("Q(z) :- R(x, y), S(y, z), x = 1")
+        plan = build_bounded_plan(analyze_coverage(q, access))
+        cost = static_bounds(plan)
+        assert len(cost.per_fetch) == len(plan.fetch_ops())
+        assert sum(f.tuples for f in cost.per_fetch) == cost.fetch_bound
+
+
+class TestGenericFallback:
+    """Plans without certificates get the (loose) abstract interpretation."""
+
+    def test_fetch_bound(self, world):
+        _, access = world
+        constraint = access.constraints[0]
+        plan = Plan()
+        c = plan.add(ConstOp("k", 1))
+        plan.add(FetchOp(c, ("k",), constraint, ("fa", "fb")))
+        cost = static_bounds(plan)
+        assert cost.fetch_bound == 4
+        assert cost.output_bound == 4
+
+    def test_product_multiplies(self, world):
+        _, access = world
+        plan = Plan()
+        a = plan.add(ConstOp("k", 1))
+        b = plan.add(ConstOp("j", 2))
+        plan.add(ProductOp(a, b))
+        assert static_bounds(plan).output_bound == 1
+
+
+class TestGuaranteeHolds:
+    """The certificate is an over-approximation on real executions."""
+
+    def test_random_instances(self, world):
+        import random
+        schema, access = world
+        q = parse_cq("Q(z) :- R(x, y), S(y, z), x = 1")
+        plan = build_bounded_plan(analyze_coverage(q, access))
+        cost = static_bounds(plan)
+        rng = random.Random(0)
+        for _ in range(10):
+            db = Database(schema, access)
+            for _ in range(40):
+                db.insert("R", (rng.randint(0, 3), rng.randint(0, 5)))
+                db.insert("S", (rng.randint(0, 5), rng.randint(0, 9)))
+                if not db.satisfies():
+                    break
+            db = _repair(db, schema, access)
+            result = execute_plan(plan, db)
+            assert result.stats.tuples_fetched <= cost.fetch_bound
+            assert len(result.answers) <= cost.output_bound
+
+
+def _repair(db, schema, access):
+    """Drop rows until the instance satisfies the access schema."""
+    fresh = Database(schema, access)
+    for name in schema.relation_names():
+        for row in db.relation_tuples(name):
+            fresh.insert(name, row)
+            if not fresh.satisfies():
+                rebuilt = Database(schema, access)
+                for other in schema.relation_names():
+                    keep = [t for t in fresh.relation_tuples(other)
+                            if not (other == name and t == row)]
+                    rebuilt.insert_many(other, keep)
+                fresh = rebuilt
+    assert fresh.satisfies()
+    return fresh

@@ -1,0 +1,116 @@
+"""Unit tests for the naive (scan-based) evaluator — the reference semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, Schema
+from repro.engine import ScanStats, evaluate, evaluate_cq, evaluate_fo
+from repro.query import parse_cq, parse_query, parse_ucq
+
+
+@pytest.fixture
+def db():
+    schema = Schema.from_dict({"R": ("A", "B"), "S": ("A",)})
+    database = Database(schema)
+    database.insert_many("R", [(1, 2), (2, 3), (3, 3), (1, 1)])
+    database.insert_many("S", [(2,), (3,)])
+    return database
+
+
+class TestCQEvaluation:
+    def test_single_atom(self, db):
+        q = parse_cq("Q(x, y) :- R(x, y)")
+        assert evaluate(q, db) == {(1, 2), (2, 3), (3, 3), (1, 1)}
+
+    def test_join(self, db):
+        q = parse_cq("Q(x, z) :- R(x, y), R(y, z)")
+        assert evaluate(q, db) == {(1, 3), (2, 3), (3, 3), (1, 2), (1, 1)}
+
+    def test_equality_filter(self, db):
+        q = parse_cq("Q(x) :- R(x, y), y = 3")
+        assert evaluate(q, db) == {(2,), (3,)}
+
+    def test_var_var_equality(self, db):
+        q = parse_cq("Q(x) :- R(x, y), x = y")
+        assert evaluate(q, db) == {(1,), (3,)}
+
+    def test_inline_constant(self, db):
+        q = parse_cq("Q(x) :- R(x, 3)")
+        assert evaluate(q, db) == {(2,), (3,)}
+
+    def test_repeated_var_in_atom(self, db):
+        q = parse_cq("Q(x) :- R(x, x)")
+        assert evaluate(q, db) == {(1,), (3,)}
+
+    def test_cross_relation_join(self, db):
+        q = parse_cq("Q(x) :- R(x, y), S(y)")
+        assert evaluate(q, db) == {(1,), (2,), (3,)}
+
+    def test_boolean_true(self, db):
+        q = parse_cq("Q() :- R(x, y), x = 1")
+        assert evaluate(q, db) == {()}
+
+    def test_boolean_false(self, db):
+        q = parse_cq("Q() :- R(x, y), x = 99")
+        assert evaluate(q, db) == set()
+
+    def test_classically_unsat_is_empty(self, db):
+        q = parse_cq("Q(x) :- R(x, y), y = 1, y = 2")
+        assert evaluate(q, db) == set()
+
+    def test_constant_head_var(self, db):
+        q = parse_cq("Q(u) :- R(x, y), u = 7")
+        assert evaluate(q, db) == {(7,)}
+
+    def test_constant_head_var_empty_when_body_fails(self, db):
+        q = parse_cq("Q(u) :- R(x, y), x = 99, u = 7")
+        assert evaluate(q, db) == set()
+
+    def test_repeated_head_var(self, db):
+        q = parse_cq("Q(x, x) :- S(x)")
+        assert evaluate(q, db) == {(2, 2), (3, 3)}
+
+    def test_scan_stats(self, db):
+        stats = ScanStats()
+        evaluate_cq(parse_cq("Q(x) :- R(x, y), S(y)"), db, stats)
+        assert stats.tuples_scanned == db.size()
+        assert stats.relations_scanned == 2
+
+
+class TestUCQEvaluation:
+    def test_union(self, db):
+        u = parse_ucq("Q(x) :- R(x, y), y = 1 ; Q(x) :- S(x)")
+        assert evaluate(u, db) == {(1,), (2,), (3,)}
+
+
+class TestPositiveEvaluation:
+    def test_or_in_formula(self, db):
+        q = parse_query("Q(x) := EXISTS y. (R(x, y) AND (y = 1 OR y = 2))")
+        assert evaluate(q, db) == {(1,)}
+
+
+class TestFOEvaluation:
+    def test_negation(self, db):
+        q = parse_query("Q(x) := S(x) AND NOT R(x, x)")
+        assert evaluate(q, db) == {(2,)}
+
+    def test_forall(self, db):
+        # x such that every R-successor of x is in S.
+        q = parse_query("Q(x) := S(x) AND FORALL y. (NOT R(x, y) OR S(y))")
+        assert evaluate(q, db) == {(2,), (3,)}
+
+    def test_fo_matches_cq_semantics(self, db):
+        cq = parse_cq("Q(x) :- R(x, y), S(y)")
+        fo = parse_query("Q(x) := EXISTS y. (R(x, y) AND S(y))")
+        assert evaluate_fo(fo, db) == evaluate(cq, db)
+
+    def test_exists_shortcircuit(self, db):
+        q = parse_query("Q() := EXISTS x. S(x)")
+        assert evaluate(q, db) == {()}
+
+    def test_active_domain_includes_query_constants(self):
+        schema = Schema.from_dict({"S": ("A",)})
+        empty = Database(schema)
+        q = parse_query("Q(x) := x = 5 AND NOT S(x)")
+        assert evaluate(q, empty) == {(5,)}

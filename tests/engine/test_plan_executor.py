@@ -1,0 +1,173 @@
+"""Unit tests for plan structures and the accounting executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (AccessConstraint, AccessSchema, Database, PlanError,
+                   Schema)
+from repro.engine import (ColEq, ConstEq, ConstOp, DiffOp, EmptyOp, FetchOp,
+                          Plan, ProductOp, ProjectOp, RenameOp, SelectOp,
+                          UnionOp, UnitOp, execute_plan)
+
+
+@pytest.fixture
+def setting():
+    schema = Schema.from_dict({"R": ("A", "B")})
+    constraint = AccessConstraint("R", ("A",), ("B",), 3)
+    aschema = AccessSchema(schema, [constraint])
+    db = Database(schema, aschema)
+    db.insert_many("R", [(1, "a"), (1, "b"), (2, "c")])
+    return schema, aschema, constraint, db
+
+
+class TestPlanConstruction:
+    def test_bad_source_index(self):
+        plan = Plan()
+        with pytest.raises(PlanError, match="references step"):
+            plan.add(ProjectOp(0, ()))
+
+    def test_fetch_column_validation(self, setting):
+        _, _, constraint, _ = setting
+        plan = Plan()
+        unit = plan.add(UnitOp())
+        with pytest.raises(PlanError, match="missing from source"):
+            plan.add(FetchOp(unit, ("nope",), constraint, ("a", "b")))
+
+    def test_fetch_arity_validation(self, setting):
+        _, _, constraint, _ = setting
+        plan = Plan()
+        c = plan.add(ConstOp("k", 1))
+        with pytest.raises(PlanError, match="must output"):
+            plan.add(FetchOp(c, ("k",), constraint, ("only-one",)))
+
+    def test_duplicate_columns_rejected_in_product(self):
+        plan = Plan()
+        a = plan.add(ConstOp("k", 1))
+        b = plan.add(ConstOp("k", 2))
+        with pytest.raises(PlanError, match="duplicate"):
+            plan.add(ProductOp(a, b))
+
+    def test_union_arity_check(self):
+        plan = Plan()
+        a = plan.add(ConstOp("k", 1))
+        u = plan.add(UnitOp())
+        with pytest.raises(PlanError, match="arity"):
+            plan.add(UnionOp((a, u)))
+
+    def test_language_class(self, setting):
+        _, _, constraint, _ = setting
+        plan = Plan()
+        a = plan.add(ConstOp("k", 1))
+        assert plan.language_class() == "CQ"
+        b = plan.add(ConstOp("j", 2))
+        plan.add(UnionOp((a, b)))
+        assert plan.language_class() == "UCQ"
+        plan.add(ConstOp("m", 3))
+        plan.add(UnionOp((0, 1)))
+        assert plan.language_class() == "EFO+"
+        plan.add(DiffOp(0, 1))
+        assert plan.language_class() == "FO"
+
+    def test_check_bounded_under(self, setting):
+        schema, aschema, constraint, _ = setting
+        plan = Plan()
+        c = plan.add(ConstOp("k", 1))
+        plan.add(FetchOp(c, ("k",), constraint, ("fa", "fb")))
+        plan.check_bounded_under(aschema)  # Does not raise.
+        foreign = AccessConstraint("R", ("B",), ("A",), 3)
+        plan2 = Plan()
+        c2 = plan2.add(ConstOp("k", "a"))
+        plan2.add(FetchOp(c2, ("k",), foreign, ("fb", "fa")))
+        with pytest.raises(PlanError, match="not backed"):
+            plan2.check_bounded_under(aschema)
+
+
+class TestExecutor:
+    def test_unit_and_const(self, setting):
+        *_, db = setting
+        plan = Plan()
+        plan.add(UnitOp())
+        assert execute_plan(plan, db).answers == {()}
+        plan2 = Plan()
+        plan2.add(ConstOp("k", 42))
+        assert execute_plan(plan2, db).answers == {(42,)}
+
+    def test_empty(self, setting):
+        *_, db = setting
+        plan = Plan()
+        plan.add(EmptyOp(("a", "b")))
+        result = execute_plan(plan, db)
+        assert result.answers == set()
+        assert not result.boolean
+
+    def test_fetch_counts_access(self, setting):
+        _, _, constraint, db = setting
+        plan = Plan()
+        c = plan.add(ConstOp("k", 1))
+        plan.add(FetchOp(c, ("k",), constraint, ("fa", "fb")))
+        result = execute_plan(plan, db)
+        assert result.answers == {(1, "a"), (1, "b")}
+        assert result.stats.fetch_calls == 1
+        assert result.stats.index_lookups == 1
+        assert result.stats.tuples_fetched == 2
+
+    def test_fetch_distinct_x_values(self, setting):
+        _, _, constraint, db = setting
+        plan = Plan()
+        a = plan.add(ConstOp("k", 1))
+        b = plan.add(ConstOp("k", 2))
+        u = plan.add(UnionOp((a, b)))
+        plan.add(FetchOp(u, ("k",), constraint, ("fa", "fb")))
+        result = execute_plan(plan, db)
+        assert result.stats.index_lookups == 2
+        assert result.stats.tuples_fetched == 3
+
+    def test_project_select_product(self, setting):
+        _, _, constraint, db = setting
+        plan = Plan()
+        c = plan.add(ConstOp("k", 1))
+        f = plan.add(FetchOp(c, ("k",), constraint, ("fa", "fb")))
+        j = plan.add(ProductOp(c, f))
+        s = plan.add(SelectOp(j, (ColEq("k", "fa"), ConstEq("fb", "a"))))
+        plan.add(ProjectOp(s, ("fb",), ("out",)))
+        result = execute_plan(plan, db)
+        assert result.answers == {("a",)}
+
+    def test_rename(self, setting):
+        *_, db = setting
+        plan = Plan()
+        c = plan.add(ConstOp("k", 1))
+        plan.add(RenameOp(c, (("k", "renamed"),)))
+        result = execute_plan(plan, db)
+        assert result.table.columns == ("renamed",)
+
+    def test_diff(self, setting):
+        *_, db = setting
+        plan = Plan()
+        a = plan.add(ConstOp("k", 1))
+        b = plan.add(ConstOp("k", 1))
+        plan.add(DiffOp(a, b))
+        assert execute_plan(plan, db).answers == set()
+
+    def test_projection_dedupes(self, setting):
+        _, _, constraint, db = setting
+        plan = Plan()
+        c = plan.add(ConstOp("k", 1))
+        f = plan.add(FetchOp(c, ("k",), constraint, ("fa", "fb")))
+        plan.add(ProjectOp(f, ("fa",)))
+        assert execute_plan(plan, db).answers == {(1,)}
+
+    def test_empty_plan_rejected(self, setting):
+        *_, db = setting
+        from repro.errors import ExecutionError
+        with pytest.raises(ExecutionError):
+            execute_plan(Plan(), db)
+
+    def test_max_intermediate_tracked(self, setting):
+        _, _, constraint, db = setting
+        plan = Plan()
+        c = plan.add(ConstOp("k", 1))
+        plan.add(FetchOp(c, ("k",), constraint, ("fa", "fb")))
+        result = execute_plan(plan, db)
+        assert result.stats.max_intermediate == 2

@@ -1,0 +1,112 @@
+"""Unit tests for the graph store and graph access constraints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.graph import (DegreeConstraint, Graph, GraphAccessSchema,
+                         LabelCountConstraint, discover_graph_access_schema)
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    g.add_node(1, "person")
+    g.add_node(2, "person")
+    g.add_node(3, "city")
+    g.add_edge(1, "friend", 2)
+    g.add_edge(1, "lives_in", 3)
+    g.add_edge(2, "lives_in", 3)
+    return g
+
+
+class TestGraph:
+    def test_counts(self, graph):
+        assert graph.num_nodes() == 3
+        assert graph.num_edges() == 3
+
+    def test_label_index(self, graph):
+        assert graph.nodes_by_label("person") == [1, 2]
+        assert graph.label_count("city") == 1
+        assert graph.nodes_by_label("ghost") == []
+
+    def test_adjacency(self, graph):
+        assert graph.out_neighbors(1, "friend") == [2]
+        assert graph.in_neighbors(3, "lives_in") == [1, 2]
+        assert graph.out_degree(1, "lives_in") == 1
+        assert graph.in_degree(2, "friend") == 1
+
+    def test_has_edge(self, graph):
+        assert graph.has_edge(1, "friend", 2)
+        assert not graph.has_edge(2, "friend", 1)
+
+    def test_duplicate_edge_ignored(self, graph):
+        graph.add_edge(1, "friend", 2)
+        assert graph.num_edges() == 3
+
+    def test_relabel_rejected(self, graph):
+        with pytest.raises(SchemaError, match="already has label"):
+            graph.add_node(1, "city")
+
+    def test_edge_to_unknown_node_rejected(self, graph):
+        with pytest.raises(SchemaError, match="unknown node"):
+            graph.add_edge(1, "friend", 99)
+
+    def test_label_sets(self, graph):
+        assert graph.node_labels() == {"person", "city"}
+        assert graph.edge_labels() == {"friend", "lives_in"}
+
+
+class TestConstraints:
+    def test_label_count(self, graph):
+        assert LabelCountConstraint("city", 1).satisfied_by(graph)
+        assert not LabelCountConstraint("person", 1).satisfied_by(graph)
+
+    def test_degree_out(self, graph):
+        assert DegreeConstraint("friend", 1, "out").satisfied_by(graph)
+        assert DegreeConstraint("lives_in", 1, "out",
+                                "person").satisfied_by(graph)
+
+    def test_degree_in(self, graph):
+        assert not DegreeConstraint("lives_in", 1, "in",
+                                    "city").satisfied_by(graph)
+        assert DegreeConstraint("lives_in", 2, "in",
+                                "city").satisfied_by(graph)
+
+    def test_bad_direction(self):
+        with pytest.raises(SchemaError):
+            DegreeConstraint("friend", 1, "sideways")
+
+    def test_schema_lookup(self, graph):
+        schema = GraphAccessSchema([
+            LabelCountConstraint("city", 4),
+            DegreeConstraint("friend", 5, "out", "person"),
+            DegreeConstraint("friend", 3, "out"),
+        ])
+        assert schema.label_bound("city") == 4
+        assert schema.label_bound("person") is None
+        # The generic constraint gives the tighter bound.
+        assert schema.degree_bound("person", "friend", "out") == 3
+        assert schema.degree_bound("city", "friend", "out") == 3
+        assert schema.degree_bound("person", "friend", "in") is None
+
+    def test_schema_satisfaction(self, graph):
+        good = GraphAccessSchema([
+            LabelCountConstraint("city", 1),
+            DegreeConstraint("friend", 1, "out"),
+        ])
+        assert good.satisfied_by(graph)
+        bad = GraphAccessSchema([LabelCountConstraint("person", 1)])
+        assert not bad.satisfied_by(graph)
+
+
+class TestDiscovery:
+    def test_discovered_schema_is_sound(self, graph):
+        schema = discover_graph_access_schema(graph)
+        assert schema.satisfied_by(graph)
+        assert len(schema) > 0
+
+    def test_caps_respected(self, graph):
+        schema = discover_graph_access_schema(graph, max_label_count=0)
+        assert not schema.label_counts

@@ -1,0 +1,189 @@
+"""Unit tests for query terms and ASTs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CQ, UCQ, Atom, Const, Equality, QueryError, Var
+from repro.query.ast import (FAnd, FAtom, FEq, FExists, FForAll, FNot,
+                             FOQuery, FOr, PositiveQuery, conjunction,
+                             cq_to_formula, disjunction)
+
+
+class TestTerms:
+    def test_var_equality(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+
+    def test_const_equality_respects_type(self):
+        assert Const(1) == Const(1)
+        assert Const("1") != Const(1)
+
+    def test_hashable(self):
+        assert len({Var("x"), Var("x"), Const(1)}) == 2
+
+    def test_str(self):
+        assert str(Var("x")) == "x"
+        assert str(Const("a")) == "'a'"
+        assert str(Const(3)) == "3"
+
+
+class TestAtom:
+    def test_variables_and_constants(self):
+        atom = Atom("R", (Var("x"), Const(1), Var("x")))
+        assert atom.variables() == [Var("x"), Var("x")]
+        assert atom.constants() == [Const(1)]
+        assert atom.arity == 3
+
+    def test_substitute(self):
+        atom = Atom("R", (Var("x"), Var("y")))
+        image = atom.substitute({Var("x"): Const(2)})
+        assert image == Atom("R", (Const(2), Var("y")))
+
+    def test_bad_term_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("R", ("not-a-term",))
+
+
+class TestEquality:
+    def test_normal_form_var_first(self):
+        eq = Equality(Const(1), Var("x"))
+        assert eq.left == Var("x")
+        assert eq.right == Const(1)
+        assert eq.is_var_const
+
+    def test_var_var(self):
+        eq = Equality(Var("x"), Var("y"))
+        assert eq.is_var_var
+        assert set(eq.variables()) == {Var("x"), Var("y")}
+
+    def test_substitute_on_both_sides(self):
+        eq = Equality(Var("x"), Var("y"))
+        image = eq.substitute({Var("y"): Const(3)})
+        assert image.is_var_const
+
+
+class TestCQ:
+    def make(self):
+        return CQ("Q", (Var("x"),),
+                  (Atom("R", (Var("x"), Var("y"))),
+                   Atom("S", (Var("y"),))),
+                  (Equality(Var("y"), Const(1)),))
+
+    def test_variable_sets(self):
+        q = self.make()
+        assert q.variables() == {Var("x"), Var("y")}
+        assert q.free_variables() == {Var("x")}
+        assert q.bound_variables() == {Var("y")}
+        assert q.atom_variables() == {Var("x"), Var("y")}
+
+    def test_constants(self):
+        assert self.make().constants() == {Const(1)}
+
+    def test_occurrence_count(self):
+        q = self.make()
+        # y occurs in R, in S and in the equality.
+        assert q.occurrence_count(Var("y")) == 3
+        assert q.occurrence_count(Var("x")) == 1
+
+    def test_head_must_be_vars(self):
+        with pytest.raises(QueryError):
+            CQ("Q", (Const(1),), ())
+
+    def test_const_const_equality_rejected(self):
+        with pytest.raises(QueryError):
+            CQ("Q", (), (), (Equality(Const(1), Const(2)),))
+
+    def test_specialize_adds_equalities(self):
+        q = self.make()
+        specialized = q.specialize({Var("x"): Const("c")})
+        assert len(specialized.equalities) == 2
+        assert specialized.head == q.head
+
+    def test_substitute_head_to_constant_rejected(self):
+        q = self.make()
+        with pytest.raises(QueryError):
+            q.substitute({Var("x"): Const(1)})
+
+    def test_substitute_drops_trivial_equalities(self):
+        q = CQ("Q", (Var("x"),), (Atom("R", (Var("x"), Var("y"))),),
+               (Equality(Var("x"), Var("y")),))
+        merged = q.substitute({Var("y"): Var("x")})
+        assert merged.equalities == ()
+
+    def test_str_roundtrip_shape(self):
+        assert str(self.make()) == "Q(x) :- R(x, y), S(y), y = 1"
+
+    def test_boolean_query(self):
+        q = CQ("Q", (), (Atom("R", (Var("x"),)),))
+        assert q.arity == 0
+
+    def test_size(self):
+        assert self.make().size() > 0
+
+
+class TestUCQ:
+    def test_arity_check(self):
+        q1 = CQ("Q", (Var("x"),), (Atom("R", (Var("x"),)),))
+        q2 = CQ("Q", (Var("x"), Var("y")),
+                (Atom("S", (Var("x"), Var("y"))),))
+        with pytest.raises(QueryError):
+            UCQ("Q", (q1, q2))
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            UCQ("Q", ())
+
+    def test_relation_names(self):
+        q1 = CQ("Q", (Var("x"),), (Atom("R", (Var("x"),)),))
+        q2 = CQ("Q", (Var("x"),), (Atom("S", (Var("x"),)),))
+        assert UCQ("Q", (q1, q2)).relation_names() == {"R", "S"}
+
+
+class TestFormulas:
+    def test_positivity(self):
+        atom = FAtom(Atom("R", (Var("x"),)))
+        assert atom.is_positive()
+        assert not FNot(atom).is_positive()
+        assert not FForAll((Var("x"),), atom).is_positive()
+        assert FExists((Var("x"),), atom).is_positive()
+        assert FAnd([atom, atom]).is_positive()
+
+    def test_free_variables_under_quantifier(self):
+        body = FExists((Var("y"),),
+                       FAtom(Atom("R", (Var("x"), Var("y")))))
+        assert body.free_variables() == {Var("x")}
+        assert body.all_variables() == {Var("x"), Var("y")}
+
+    def test_positive_query_rejects_negation(self):
+        body = FNot(FAtom(Atom("R", (Var("x"),))))
+        with pytest.raises(QueryError):
+            PositiveQuery("Q", (Var("x"),), body)
+
+    def test_fo_query_accepts_negation(self):
+        body = FNot(FAtom(Atom("R", (Var("x"),))))
+        q = FOQuery("Q", (Var("x"),), body)
+        assert not q.is_positive()
+
+    def test_conjunction_flattens(self):
+        a = FAtom(Atom("R", (Var("x"),)))
+        nested = conjunction([FAnd([a, a]), a])
+        assert isinstance(nested, FAnd)
+        assert len(nested.children) == 3
+
+    def test_disjunction_singleton(self):
+        a = FAtom(Atom("R", (Var("x"),)))
+        assert disjunction([a]) is a
+
+    def test_cq_to_formula_quantifies_bound_vars(self):
+        q = CQ("Q", (Var("x"),),
+               (Atom("R", (Var("x"), Var("y"))),))
+        formula = cq_to_formula(q)
+        assert isinstance(formula, FExists)
+        assert formula.variables == (Var("y"),)
+
+    def test_empty_and_or_rejected(self):
+        with pytest.raises(QueryError):
+            FAnd([])
+        with pytest.raises(QueryError):
+            FOr([])

@@ -1,0 +1,122 @@
+"""Unit tests for query normalization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QueryError, Schema, UnsafeQueryError
+from repro.query import (Const, Var, as_ucq, extract_inline_constants,
+                         normalize_cq, parse_cq, parse_query, positive_to_ucq,
+                         rename_apart)
+from repro.query.normalize import check_safety
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_dict({"R": ("A", "B"), "S": ("A",), "T": ("A",)})
+
+
+class TestExtractInlineConstants:
+    def test_pulls_constants_out(self, schema):
+        q = parse_cq("Q(x) :- R(x, 1)")
+        normalized = extract_inline_constants(q)
+        assert all(not atom.constants() for atom in normalized.atoms)
+        assert any(eq.is_var_const for eq in normalized.equalities)
+
+    def test_idempotent(self, schema):
+        q = parse_cq("Q(x) :- R(x, y), y = 1")
+        assert extract_inline_constants(q) is q
+
+    def test_repeated_constant_gets_fresh_vars(self):
+        q = parse_cq("Q(x) :- R(x, 1), R(x, 1)")
+        normalized = extract_inline_constants(q)
+        eqs = [e for e in normalized.equalities if e.right == Const(1)]
+        assert len(eqs) == 2
+        assert eqs[0].left != eqs[1].left
+
+
+class TestSafety:
+    def test_safe_via_atom(self):
+        check_safety(parse_cq("Q(x) :- R(x, y)"))
+
+    def test_safe_via_constant_chain(self):
+        check_safety(parse_cq("Q(x) :- S(y), x = z, z = 1"))
+
+    def test_unsafe_rejected(self):
+        with pytest.raises(UnsafeQueryError):
+            check_safety(parse_cq("Q(x) :- S(y)"))
+
+    def test_unsafe_var_var_only(self):
+        with pytest.raises(UnsafeQueryError):
+            check_safety(parse_cq("Q(x) :- S(y), x = z"))
+
+
+class TestNormalizeCQ:
+    def test_arity_mismatch(self, schema):
+        with pytest.raises(QueryError, match="arity"):
+            normalize_cq(parse_cq("Q(x) :- R(x)"), schema)
+
+    def test_unknown_relation(self, schema):
+        with pytest.raises(Exception):
+            normalize_cq(parse_cq("Q(x) :- Missing(x)"), schema)
+
+    def test_full_pipeline(self, schema):
+        q = normalize_cq(parse_cq("Q(x) :- R(x, 'v')"), schema)
+        assert all(not atom.constants() for atom in q.atoms)
+
+
+class TestRenameApart:
+    def test_bound_vars_renamed(self):
+        q = parse_cq("Q(x) :- R(x, y)")
+        renamed = rename_apart(q, {"y"})
+        assert Var("y") not in renamed.variables()
+        assert renamed.head == q.head
+
+    def test_no_clash_no_change(self):
+        q = parse_cq("Q(x) :- R(x, y)")
+        assert rename_apart(q, {"z"}) is q
+
+    def test_keep_head_false_renames_everything(self):
+        q = parse_cq("Q(x) :- R(x, y)")
+        renamed = rename_apart(q, {"x", "y"}, keep_head=False)
+        assert Var("x") not in renamed.variables()
+
+
+class TestPositiveToUCQ:
+    def test_or_splits(self, schema):
+        q = parse_query("Q(x) := S(x) OR T(x)")
+        u = positive_to_ucq(q, schema)
+        assert len(u.disjuncts) == 2
+        assert {d.atoms[0].relation for d in u.disjuncts} == {"S", "T"}
+
+    def test_and_distributes_over_or(self, schema):
+        q = parse_query("Q(x) := R(x, y) AND (S(x) OR T(x))")
+        u = positive_to_ucq(q, schema)
+        assert len(u.disjuncts) == 2
+        for disjunct in u.disjuncts:
+            assert len(disjunct.atoms) == 2
+
+    def test_nested_or(self, schema):
+        q = parse_query(
+            "Q(x) := (S(x) OR T(x)) AND (EXISTS y. R(x, y) OR S(x))")
+        u = positive_to_ucq(q, schema)
+        assert len(u.disjuncts) == 4
+
+    def test_quantifier_capture_avoided(self, schema):
+        # The same bound name y in both branches must not collide.
+        q = parse_query(
+            "Q(x) := (EXISTS y. R(x, y)) AND (EXISTS y. R(y, x))")
+        u = positive_to_ucq(q, schema)
+        disjunct = u.disjuncts[0]
+        names = {v.name for v in disjunct.bound_variables()}
+        assert len(names) == 2
+
+    def test_as_ucq_on_cq(self, schema):
+        q = parse_cq("Q(x) :- R(x, y)")
+        u = as_ucq(q, schema)
+        assert len(u.disjuncts) == 1
+
+    def test_as_ucq_rejects_fo(self, schema):
+        q = parse_query("Q(x) := NOT S(x)")
+        with pytest.raises(QueryError):
+            as_ucq(q, schema)

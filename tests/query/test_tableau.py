@@ -1,0 +1,129 @@
+"""Unit tests for tableaux, homomorphisms and classical containment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QueryError
+from repro.query import (Const, Var, classically_contained,
+                         classically_equivalent, core_tableau,
+                         find_homomorphism, parse_cq, resolved_tableau,
+                         tableau_to_cq)
+from repro.query.tableau import Row
+
+
+class TestResolvedTableau:
+    def test_pinned_vars_become_constants(self):
+        q = parse_cq("Q(x) :- R(x, y), y = 1")
+        t = resolved_tableau(q)
+        assert t.rows[0].terms[1] == Const(1)
+
+    def test_eq_classes_collapse(self):
+        q = parse_cq("Q(x) :- R(x, y), S(z), x = z")
+        t = resolved_tableau(q)
+        rep = t.rows[0].terms[0]
+        assert t.rows[1].terms[0] == rep
+
+    def test_summary_resolved(self):
+        q = parse_cq("Q(x) :- R(x, y), x = 5")
+        t = resolved_tableau(q)
+        assert t.summary == (Const(5),)
+
+    def test_unsat_rejected(self):
+        q = parse_cq("Q(x) :- R(x, y), x = 1, x = 2")
+        with pytest.raises(QueryError):
+            resolved_tableau(q)
+
+
+class TestTableauToCQ:
+    def test_roundtrip_is_classically_equivalent(self):
+        q = parse_cq("Q(x) :- R(x, y), S(y), y = 1, x = z, S(z)")
+        back = tableau_to_cq(resolved_tableau(q))
+        assert classically_equivalent(q, back)
+
+    def test_constant_summary_handled(self):
+        q = parse_cq("Q(x) :- R(x, y), x = 7")
+        back = tableau_to_cq(resolved_tableau(q))
+        assert classically_equivalent(q, back)
+
+
+class TestHomomorphism:
+    def test_finds_simple_fold(self):
+        src = [Row("R", (Var("a"), Var("b")))]
+        dst = [Row("R", (Const(1), Const(2)))]
+        hom = find_homomorphism(src, dst)
+        assert hom == {Var("a"): Const(1), Var("b"): Const(2)}
+
+    def test_respects_constants(self):
+        src = [Row("R", (Const(1),))]
+        dst = [Row("R", (Const(2),))]
+        assert find_homomorphism(src, dst) is None
+
+    def test_respects_fixed(self):
+        src = [Row("R", (Var("a"),))]
+        dst = [Row("R", (Const(1),))]
+        assert find_homomorphism(src, dst, {Var("a"): Const(2)}) is None
+        assert find_homomorphism(src, dst, {Var("a"): Const(1)}) is not None
+
+    def test_consistency_across_rows(self):
+        src = [Row("R", (Var("a"), Var("b"))), Row("S", (Var("b"),))]
+        dst = [Row("R", (Const(1), Const(2))), Row("S", (Const(3),))]
+        assert find_homomorphism(src, dst) is None
+        dst.append(Row("S", (Const(2),)))
+        assert find_homomorphism(src, dst) is not None
+
+
+class TestCore:
+    def test_folds_redundant_atom(self):
+        # R(x,y) ∧ R(x,z) folds to R(x,y) when z is free to map to y.
+        q = parse_cq("Q(x) :- R(x, y), R(x, z)")
+        core = core_tableau(resolved_tableau(q))
+        assert len(core.rows) == 1
+
+    def test_keeps_necessary_atoms(self):
+        q = parse_cq("Q(x, y) :- R(x, y), R(y, x)")
+        core = core_tableau(resolved_tableau(q))
+        assert len(core.rows) == 2
+
+    def test_constants_block_folding(self):
+        q = parse_cq("Q(x) :- R(x, y), R(x, z), z = 1")
+        core = core_tableau(resolved_tableau(q))
+        # R(x, 1) cannot absorb R(x, y)? It can: y maps to 1.  But
+        # R(x, y) cannot absorb R(x, 1).  Expect exactly one row left.
+        assert len(core.rows) == 1
+        assert core.rows[0].terms[1] == Const(1)
+
+
+class TestClassicalContainment:
+    def test_more_atoms_contained_in_fewer(self):
+        q_small = parse_cq("Q(x) :- R(x, y)")
+        q_big = parse_cq("Q(x) :- R(x, y), S(y)")
+        assert classically_contained(q_big, q_small)
+        assert not classically_contained(q_small, q_big)
+
+    def test_constant_specializes(self):
+        generic = parse_cq("Q(x) :- R(x, y)")
+        specific = parse_cq("Q(x) :- R(x, y), y = 1")
+        assert classically_contained(specific, generic)
+        assert not classically_contained(generic, specific)
+
+    def test_unsat_contained_in_everything(self):
+        unsat = parse_cq("Q(x) :- R(x, y), x = 1, x = 2")
+        other = parse_cq("Q(x) :- S(x)")
+        assert classically_contained(unsat, other)
+        assert not classically_contained(other, unsat)
+
+    def test_equivalence_up_to_renaming(self):
+        q1 = parse_cq("Q(x) :- R(x, y), S(y)")
+        q2 = parse_cq("Q(a) :- R(a, b), S(b)")
+        assert classically_equivalent(q1, q2)
+
+    def test_head_constants(self):
+        q1 = parse_cq("Q(x) :- R(x, y), x = 1")
+        q2 = parse_cq("Q(x) :- R(x, y)")
+        assert classically_contained(q1, q2)
+
+    def test_arity_mismatch_not_contained(self):
+        q1 = parse_cq("Q(x) :- R(x, y)")
+        q2 = parse_cq("Q(x, y) :- R(x, y)")
+        assert not classically_contained(q1, q2)

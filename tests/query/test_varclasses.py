@@ -1,0 +1,76 @@
+"""Unit tests for variable classification (paper, Section 3.2 / Example 3.8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import Const, Var, analyze_variables, parse_cq
+
+
+class TestExample38:
+    """Q(x, y, u, v) = R(x, y) ∧ x=1 ∧ x=y ∧ u=1 ∧ u=v (Example 3.8)."""
+
+    @pytest.fixture
+    def analysis(self):
+        q = parse_cq("Q(x, y, u, v) :- R(x, y), x = 1, x = y, u = 1, u = v")
+        return analyze_variables(q)
+
+    def test_eq_class(self, analysis):
+        assert analysis.eq_class(Var("x")) == {Var("x"), Var("y")}
+
+    def test_eqplus_class_merges_same_constant(self, analysis):
+        assert analysis.eqplus_class(Var("x")) == {
+            Var("x"), Var("y"), Var("u"), Var("v")}
+
+    def test_x_and_y_data_dependent(self, analysis):
+        assert analysis.is_data_dependent(Var("x"))
+        assert analysis.is_data_dependent(Var("y"))
+
+    def test_u_data_independent_despite_eqplus(self, analysis):
+        # The paper's point: u ∈ eq+(x, Q), yet u is data-independent.
+        assert analysis.is_data_independent(Var("u"))
+        assert analysis.is_data_independent(Var("v"))
+
+    def test_constant_vars(self, analysis):
+        for name in ("x", "y", "u", "v"):
+            assert analysis.is_constant_var(Var(name))
+
+    def test_constant_of(self, analysis):
+        assert analysis.constant_of(Var("y")) == Const(1)
+        assert analysis.pinned_value(Var("v")) == 1
+
+
+class TestClassicalSatisfiability:
+    def test_two_constants_one_class(self):
+        q = parse_cq("Q(x) :- R(x), x = 1, x = 2")
+        assert not analyze_variables(q).classically_satisfiable
+
+    def test_transitive_conflict(self):
+        q = parse_cq("Q(x) :- R(x), x = y, y = 1, x = 2")
+        assert not analyze_variables(q).classically_satisfiable
+
+    def test_same_constant_twice_fine(self):
+        q = parse_cq("Q(x) :- R(x), x = 1, y = 1, R(y)")
+        analysis = analyze_variables(q)
+        assert analysis.classically_satisfiable
+        assert analysis.same_eqplus(Var("x"), Var("y"))
+        assert not analysis.same_eq(Var("x"), Var("y"))
+
+
+class TestMisc:
+    def test_no_equalities(self):
+        q = parse_cq("Q(x) :- R(x, y)")
+        analysis = analyze_variables(q)
+        assert analysis.constant_of(Var("x")) is None
+        assert not analysis.constant_vars
+        assert analysis.is_data_dependent(Var("y"))
+
+    def test_var_joined_to_atom_var_is_dependent(self):
+        q = parse_cq("Q(z) :- R(x, y), z = x")
+        analysis = analyze_variables(q)
+        assert analysis.is_data_dependent(Var("z"))
+
+    def test_data_independent_vars_listing(self):
+        q = parse_cq("Q(u) :- R(x, y), u = 1")
+        analysis = analyze_variables(q)
+        assert analysis.data_independent_vars() == {Var("u")}

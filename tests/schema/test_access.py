@@ -1,0 +1,153 @@
+"""Unit tests for access constraints and access schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (AccessConstraint, AccessSchema, ConstantCardinality,
+                   LogCardinality, PowerCardinality, Schema, SchemaError)
+from repro.schema.access import as_cardinality
+
+
+class TestCardinalityFunctions:
+    def test_constant(self):
+        c = ConstantCardinality(5)
+        assert c.bound(10) == 5
+        assert c.bound(10**9) == 5
+        assert c.is_constant
+
+    def test_constant_must_be_positive(self):
+        with pytest.raises(SchemaError):
+            ConstantCardinality(0)
+
+    def test_log(self):
+        c = LogCardinality()
+        assert c.bound(2) == 1
+        assert c.bound(1024) == 10
+        assert not c.is_constant
+
+    def test_log_grows_slowly(self):
+        c = LogCardinality()
+        assert c.bound(10**6) < 21
+
+    def test_power(self):
+        c = PowerCardinality(0.5)
+        assert c.bound(100) == 10
+        assert not c.is_constant
+
+    def test_power_rejects_superlinear(self):
+        with pytest.raises(SchemaError):
+            PowerCardinality(1.0)
+        with pytest.raises(SchemaError):
+            PowerCardinality(0.0)
+
+    def test_as_cardinality(self):
+        assert isinstance(as_cardinality(3), ConstantCardinality)
+        log = LogCardinality()
+        assert as_cardinality(log) is log
+        with pytest.raises(SchemaError):
+            as_cardinality("nope")
+
+
+class TestAccessConstraint:
+    def test_basic(self):
+        c = AccessConstraint("R", ("A",), ("B",), 610)
+        assert c.x_set == {"A"}
+        assert c.y_set == {"B"}
+        assert c.bound(10**9) == 610
+        assert str(c) == "R(A -> B, 610)"
+
+    def test_empty_x(self):
+        c = AccessConstraint("R", (), ("C",), 1)
+        assert c.x == ()
+        assert c.is_functional
+        assert str(c) == "R(() -> C, 1)"
+
+    def test_multi_y_str(self):
+        c = AccessConstraint("R", ("A",), ("B", "C"), 1)
+        assert str(c) == "R(A -> (B, C), 1)"
+
+    def test_functional_detection(self):
+        assert AccessConstraint("R", ("A",), ("B",), 1).is_functional
+        assert not AccessConstraint("R", ("A",), ("B",), 2).is_functional
+        assert not AccessConstraint("R", ("A",), ("B",),
+                                    LogCardinality()).is_functional
+
+    def test_empty_y_rejected(self):
+        with pytest.raises(SchemaError):
+            AccessConstraint("R", ("A",), (), 1)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SchemaError):
+            AccessConstraint("R", ("A", "A"), ("B",), 1)
+        with pytest.raises(SchemaError):
+            AccessConstraint("R", ("A",), ("B", "B"), 1)
+
+    def test_validate_against_schema(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        AccessConstraint("R", ("A",), ("B",), 1).validate_against(schema)
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            AccessConstraint("R", ("A",), ("Z",), 1).validate_against(schema)
+        with pytest.raises(SchemaError, match="no relation"):
+            AccessConstraint("T", ("A",), ("B",), 1).validate_against(schema)
+
+    def test_positions(self):
+        schema = Schema.from_dict({"R": ("A", "B", "C")})
+        relation = schema.relation("R")
+        c = AccessConstraint("R", ("C",), ("A", "B"), 2)
+        assert c.x_positions(relation) == (2,)
+        assert c.y_positions(relation) == (0, 1)
+
+
+class TestAccessSchema:
+    def test_add_validates(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        aschema = AccessSchema(schema)
+        with pytest.raises(SchemaError):
+            aschema.add(AccessConstraint("R", ("Z",), ("B",), 1))
+
+    def test_for_relation(self):
+        schema = Schema.from_dict({"R": ("A", "B"), "S": ("C", "D")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 1),
+            AccessConstraint("S", ("C",), ("D",), 2),
+        ])
+        assert len(aschema.for_relation("R")) == 1
+        assert len(aschema.for_relation("S")) == 1
+        assert aschema.functional_constraints()[0].relation_name == "R"
+
+    def test_all_constant(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 2)])
+        assert aschema.all_constant
+        aschema.add(AccessConstraint("R", ("B",), ("A",), LogCardinality()))
+        assert not aschema.all_constant
+
+    def test_covers_relation_prop54(self):
+        schema = Schema.from_dict({"R": ("A", "B", "C")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 1)])
+        assert not aschema.covers_relation("R")
+        aschema.add(AccessConstraint("R", ("A",), ("B", "C"), 1))
+        assert aschema.covers_relation("R")
+        assert aschema.covers_schema()
+
+    def test_covers_schema_needs_every_relation(self):
+        schema = Schema.from_dict({"R": ("A",), "S": ("B",)})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", (), ("A",), 5)])
+        assert aschema.covers_relation("R")
+        assert not aschema.covers_schema()
+
+    def test_size(self):
+        schema = Schema.from_dict({"R": ("A", "B", "C")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B", "C"), 1)])
+        assert aschema.size() == 3
+
+    def test_max_constant_bound(self):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 7)])
+        assert aschema.max_constant_bound() == 7

@@ -1,0 +1,92 @@
+"""Unit and property tests for access-constraint discovery."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Database, DiscoveryOptions, Schema, discover_access_schema
+from repro.schema.discovery import discover_for_relation
+
+
+@pytest.fixture
+def db():
+    schema = Schema.from_dict({"R": ("A", "B")})
+    database = Database(schema)
+    database.insert_many("R", [(1, "a"), (1, "b"), (2, "a"), (3, "c")])
+    return database
+
+
+class TestDiscovery:
+    def test_finds_expected_bound(self, db):
+        constraints = discover_for_relation(db, "R")
+        as_text = {str(c) for c in constraints}
+        assert "R(A -> B, 2)" in as_text
+        assert "R(B -> A, 2)" in as_text
+
+    def test_empty_lhs_constraints(self, db):
+        constraints = discover_for_relation(db, "R")
+        as_text = {str(c) for c in constraints}
+        assert "R(() -> A, 3)" in as_text
+
+    def test_max_bound_filters(self, db):
+        options = DiscoveryOptions(max_bound=1)
+        constraints = discover_for_relation(db, "R", options)
+        assert all(c.cardinality.value <= 1 for c in constraints)
+
+    def test_slack_inflates_bounds(self, db):
+        options = DiscoveryOptions(slack=2.0)
+        constraints = discover_for_relation(db, "R", options)
+        by_text = {(c.x, c.y): c for c in constraints}
+        assert by_text[(("A",), ("B",))].cardinality.value == 4
+
+    def test_per_relation_limit(self, db):
+        options = DiscoveryOptions(per_relation_limit=2)
+        assert len(discover_for_relation(db, "R", options)) == 2
+
+    def test_empty_relation_learns_nothing(self):
+        schema = Schema.from_dict({"R": ("A",)})
+        db = Database(schema)
+        assert discover_for_relation(db, "R") == []
+
+    def test_pair_lhs(self):
+        schema = Schema.from_dict({"R": ("A", "B", "C")})
+        db = Database(schema)
+        db.insert_many("R", [(1, 2, 3), (1, 2, 4)])
+        options = DiscoveryOptions(pair_lhs=True)
+        constraints = discover_for_relation(db, "R", options)
+        assert any(set(c.x) == {"A", "B"} for c in constraints)
+
+    def test_whole_schema(self, db):
+        aschema = discover_access_schema(db)
+        assert len(aschema) > 0
+        assert aschema.schema is db.schema
+
+
+# -- property: every discovered constraint holds on its source instance ----
+
+rows = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 3)),
+    min_size=0, max_size=30)
+
+
+@given(rows=rows)
+@settings(max_examples=60, deadline=None)
+def test_discovered_constraints_are_sound(rows):
+    schema = Schema.from_dict({"R": ("A", "B", "C")})
+    db = Database(schema)
+    db.insert_many("R", rows)
+    aschema = discover_access_schema(
+        db, DiscoveryOptions(pair_lhs=True, max_bound=10**6))
+    assert db.satisfies(aschema)
+
+
+@given(rows=rows, slack=st.floats(1.0, 3.0))
+@settings(max_examples=30, deadline=None)
+def test_slack_preserves_soundness(rows, slack):
+    schema = Schema.from_dict({"R": ("A", "B", "C")})
+    db = Database(schema)
+    db.insert_many("R", rows)
+    aschema = discover_access_schema(
+        db, DiscoveryOptions(slack=slack, max_bound=10**6))
+    assert db.satisfies(aschema)

@@ -1,0 +1,66 @@
+"""Unit tests for relational schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RelationSchema, Schema, SchemaError
+
+
+class TestRelationSchema:
+    def test_basic(self):
+        r = RelationSchema("R", ("A", "B"))
+        assert r.arity == 2
+        assert r.position("B") == 1
+        assert r.has_attribute("A")
+        assert not r.has_attribute("Z")
+
+    def test_positions(self):
+        r = RelationSchema("R", ("A", "B", "C"))
+        assert r.positions(("C", "A")) == (2, 0)
+
+    def test_unknown_attribute(self):
+        r = RelationSchema("R", ("A",))
+        with pytest.raises(SchemaError, match="no attribute"):
+            r.position("B")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            RelationSchema("R", ("A", "A"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ("A",))
+
+    def test_no_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ())
+
+    def test_str(self):
+        assert str(RelationSchema("R", ("A", "B"))) == "R(A, B)"
+
+
+class TestSchema:
+    def test_from_dict(self):
+        schema = Schema.from_dict({"R": ("A",), "S": ("B", "C")})
+        assert len(schema) == 2
+        assert schema.relation("S").arity == 2
+        assert "R" in schema
+
+    def test_duplicate_relation_rejected(self):
+        schema = Schema([RelationSchema("R", ("A",))])
+        with pytest.raises(SchemaError, match="duplicate"):
+            schema.add(RelationSchema("R", ("B",)))
+
+    def test_unknown_relation(self):
+        schema = Schema()
+        with pytest.raises(SchemaError, match="no relation"):
+            schema.relation("R")
+
+    def test_size_counts_attributes(self):
+        schema = Schema.from_dict({"R": ("A", "B"), "S": ("C",)})
+        assert schema.size() == 3
+
+    def test_iteration(self):
+        schema = Schema.from_dict({"R": ("A",), "S": ("B",)})
+        assert [r.name for r in schema] == ["R", "S"]

@@ -1,0 +1,162 @@
+"""Unit tests for the in-memory database and its indexes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (AccessConstraint, AccessSchema, ConstraintViolation,
+                   Database, ExecutionError, LogCardinality, Schema,
+                   SchemaError)
+from repro.storage.indexes import AccessIndex
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_dict({"R": ("A", "B"), "S": ("C",)})
+
+
+@pytest.fixture
+def aschema(schema):
+    return AccessSchema(schema, [
+        AccessConstraint("R", ("A",), ("B",), 2),
+        AccessConstraint("S", (), ("C",), 3),
+    ])
+
+
+class TestDatabaseBasics:
+    def test_insert_and_size(self, schema):
+        db = Database(schema)
+        db.insert("R", (1, "x"))
+        db.insert("R", (1, "x"))  # Set semantics: duplicate ignored.
+        db.insert("S", ("c",))
+        assert db.size() == 2
+        assert db.relation_size("R") == 1
+
+    def test_arity_check(self, schema):
+        db = Database(schema)
+        with pytest.raises(SchemaError, match="arity"):
+            db.insert("R", (1,))
+
+    def test_unknown_relation(self, schema):
+        db = Database(schema)
+        with pytest.raises(SchemaError):
+            db.insert("T", (1,))
+
+    def test_contains(self, schema):
+        db = Database(schema)
+        db.insert("R", (1, 2))
+        assert ("R", (1, 2)) in db
+        assert ("R", (9, 9)) not in db
+
+    def test_active_domain(self, schema):
+        db = Database(schema)
+        db.insert("R", (1, "x"))
+        assert db.active_domain() == {1, "x"}
+        assert db.active_domain(extra=["q"]) == {1, "x", "q"}
+
+    def test_clear(self, schema, aschema):
+        db = Database(schema, aschema)
+        db.insert("R", (1, 2))
+        db.clear()
+        assert db.size() == 0
+        assert db.fetch(aschema.constraints[0], (1,)) == []
+
+
+class TestAccessSchemaValidation:
+    def test_satisfies_within_bound(self, schema, aschema):
+        db = Database(schema, aschema)
+        db.insert_many("R", [(1, "a"), (1, "b"), (2, "a")])
+        assert db.satisfies()
+
+    def test_violation_detected(self, schema, aschema):
+        db = Database(schema, aschema)
+        db.insert_many("R", [(1, "a"), (1, "b"), (1, "c")])
+        assert not db.satisfies()
+        with pytest.raises(ConstraintViolation) as excinfo:
+            db.check()
+        assert excinfo.value.count == 3
+
+    def test_empty_x_constraint(self, schema, aschema):
+        db = Database(schema, aschema)
+        db.insert_many("S", [("a",), ("b",), ("c",)])
+        assert db.satisfies()
+        db.insert("S", ("d",))
+        assert not db.satisfies()
+
+    def test_check_against_unattached_schema(self, schema):
+        db = Database(schema)
+        db.insert_many("R", [(1, "a"), (1, "b")])
+        strict = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), 1)])
+        assert not db.satisfies(strict)
+
+    def test_nonconstant_bound_uses_db_size(self, schema):
+        db = Database(schema)
+        aschema = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",), LogCardinality())])
+        db.attach_access_schema(aschema)
+        # 8 tuples => bound ceil(log2(8)) = 3; each key has <= 3 B-values.
+        db.insert_many("R", [(1, i) for i in range(3)])
+        db.insert_many("R", [(9, 100 + i) for i in range(3)])
+        db.insert_many("R", [(7, 0), (8, 0)])
+        assert db.satisfies()
+        # Pile 8 values under one key: bound grows only to ceil(log2(16)),
+        # so the constraint now fails.
+        db.insert_many("R", [(1, 50 + i) for i in range(8)])
+        assert not db.satisfies()
+
+
+class TestFetch:
+    def test_fetch_returns_xy_projections(self, schema, aschema):
+        db = Database(schema, aschema)
+        db.insert_many("R", [(1, "a"), (1, "b"), (2, "c")])
+        rows = db.fetch(aschema.constraints[0], (1,))
+        assert sorted(rows) == [(1, "a"), (1, "b")]
+
+    def test_fetch_missing_key(self, schema, aschema):
+        db = Database(schema, aschema)
+        assert db.fetch(aschema.constraints[0], (77,)) == []
+
+    def test_fetch_empty_x(self, schema, aschema):
+        db = Database(schema, aschema)
+        db.insert_many("S", [("a",), ("b",)])
+        rows = db.fetch(aschema.constraints[1], ())
+        assert sorted(rows) == [("a",), ("b",)]
+
+    def test_fetch_without_index_fails(self, schema):
+        db = Database(schema)
+        constraint = AccessConstraint("R", ("A",), ("B",), 2)
+        with pytest.raises(ExecutionError, match="no index"):
+            db.fetch(constraint, (1,))
+
+    def test_structural_index_matching(self, schema, aschema):
+        """A structurally equal (but distinct) constraint finds the index."""
+        db = Database(schema, aschema)
+        db.insert("R", (1, "a"))
+        clone = AccessConstraint("R", ("A",), ("B",), 2)
+        assert db.fetch(clone, (1,)) == [(1, "a")]
+
+    def test_index_updates_on_insert_after_attach(self, schema, aschema):
+        db = Database(schema, aschema)
+        db.insert("R", (5, "z"))
+        assert db.fetch(aschema.constraints[0], (5,)) == [(5, "z")]
+
+
+class TestAccessIndex:
+    def test_distinct_y_counting(self, schema):
+        constraint = AccessConstraint("R", ("A",), ("B",), 2)
+        index = AccessIndex(constraint, schema.relation("R"))
+        index.add((1, "a"))
+        index.add((1, "a"))
+        index.add((1, "b"))
+        assert index.group_size((1,)) == 2
+        assert index.max_group_size() == 2
+        assert len(index) == 1
+
+    def test_validate_raises(self, schema):
+        constraint = AccessConstraint("R", ("A",), ("B",), 1)
+        index = AccessIndex(constraint, schema.relation("R"))
+        index.add((1, "a"))
+        index.add((1, "b"))
+        with pytest.raises(ConstraintViolation):
+            index.validate(db_size=2)

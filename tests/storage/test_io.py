@@ -1,0 +1,110 @@
+"""Tests for CSV import/export and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AccessConstraint, AccessSchema, Database, LogCardinality, \
+    PowerCardinality, Schema, SchemaError
+from repro.cli import main as cli_main
+from repro.storage.io import (load_database, load_relation_csv,
+                              save_database, save_relation_csv)
+
+
+@pytest.fixture
+def db():
+    schema = Schema.from_dict({"R": ("A", "B"), "S": ("C",)})
+    access = AccessSchema(schema, [
+        AccessConstraint("R", ("A",), ("B",), 3),
+        AccessConstraint("S", (), ("C",), LogCardinality(2.0)),
+    ])
+    database = Database(schema, access)
+    database.insert_many("R", [(1, "x"), (2, "y"), (1, "z")])
+    database.insert_many("S", [("c1",), ("c2",)])
+    return database
+
+
+class TestCSVRoundTrip:
+    def test_relation_roundtrip(self, db, tmp_path):
+        path = tmp_path / "r.csv"
+        assert save_relation_csv(db, "R", path) == 3
+        fresh = Database(db.schema)
+        assert load_relation_csv(fresh, "R", path) == 3
+        assert sorted(fresh.relation_tuples("R")) == \
+            sorted(db.relation_tuples("R"))
+
+    def test_header_mismatch_rejected(self, db, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("X,Y\n1,2\n")
+        with pytest.raises(SchemaError, match="header"):
+            load_relation_csv(Database(db.schema), "R", path)
+
+    def test_database_roundtrip(self, db, tmp_path):
+        save_database(db, tmp_path / "dump")
+        restored = load_database(tmp_path / "dump")
+        assert restored.size() == db.size()
+        assert restored.satisfies()
+        # Constraints survived, including the non-constant one.
+        kinds = {type(c.cardinality).__name__
+                 for c in restored.access_schema}
+        assert kinds == {"ConstantCardinality", "LogCardinality"}
+
+    def test_power_cardinality_roundtrip(self, tmp_path):
+        schema = Schema.from_dict({"R": ("A", "B")})
+        access = AccessSchema(schema, [
+            AccessConstraint("R", ("A",), ("B",),
+                             PowerCardinality(0.5, 2.0))])
+        database = Database(schema, access)
+        database.insert("R", (1, 2))
+        save_database(database, tmp_path / "d")
+        restored = load_database(tmp_path / "d")
+        constraint = restored.access_schema.constraints[0]
+        assert constraint.cardinality.exponent == 0.5
+
+    def test_numeric_narrowing(self, db, tmp_path):
+        save_database(db, tmp_path / "dump")
+        restored = load_database(tmp_path / "dump")
+        values = {row[0] for row in restored.relation_tuples("R")}
+        assert values == {1, 2}  # ints, not "1"/"2".
+
+
+class TestCLI:
+    @pytest.fixture
+    def dump(self, db, tmp_path):
+        save_database(db, tmp_path / "dump")
+        return str(tmp_path / "dump")
+
+    def test_analyze_covered(self, dump, capsys):
+        code = cli_main(["analyze", "--db", dump,
+                         "Q(y) :- R(x, y), x = 1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "BEP: yes" in out
+        assert "fetch bound" in out
+
+    def test_analyze_uncovered_gives_advice(self, dump, capsys):
+        code = cli_main(["analyze", "--db", dump, "Q(x, y) :- R(x, y)"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "BEP: no" in out
+        assert "specialization" in out
+
+    def test_run_bounded(self, dump, capsys):
+        code = cli_main(["run", "--db", dump, "Q(y) :- R(x, y), x = 1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bounded plan" in out
+        assert "2 answer(s)" in out
+
+    def test_run_fallback(self, dump, capsys):
+        code = cli_main(["run", "--db", dump, "Q(x, y) :- R(x, y)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "full scan" in out
+        assert "3 answer(s)" in out
+
+    def test_discover(self, dump, capsys):
+        code = cli_main(["discover", "--db", dump, "--max-bound", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "R(A -> B," in out

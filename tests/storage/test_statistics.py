@@ -1,0 +1,61 @@
+"""Unit tests for cardinality statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, Schema
+from repro.storage import (distinct_count, is_key, max_group_cardinality,
+                           selectivity_profile)
+
+
+@pytest.fixture
+def db():
+    schema = Schema.from_dict({"R": ("A", "B", "C")})
+    database = Database(schema)
+    database.insert_many("R", [
+        (1, "x", 10),
+        (1, "y", 10),
+        (2, "x", 20),
+        (3, "z", 30),
+    ])
+    return database
+
+
+class TestMaxGroupCardinality:
+    def test_basic(self, db):
+        assert max_group_cardinality(db, "R", ("A",), ("B",)) == 2
+        assert max_group_cardinality(db, "R", ("B",), ("A",)) == 2
+        assert max_group_cardinality(db, "R", ("C",), ("A",)) == 1
+
+    def test_empty_x_counts_distinct(self, db):
+        assert max_group_cardinality(db, "R", (), ("A",)) == 3
+        assert max_group_cardinality(db, "R", (), ("A", "B")) == 4
+
+    def test_empty_relation(self):
+        schema = Schema.from_dict({"R": ("A",)})
+        db = Database(schema)
+        assert max_group_cardinality(db, "R", (), ("A",)) == 0
+
+    def test_composite_lhs(self, db):
+        assert max_group_cardinality(db, "R", ("A", "B"), ("C",)) == 1
+
+
+class TestDistinctAndKeys:
+    def test_distinct_count(self, db):
+        assert distinct_count(db, "R", ("A",)) == 3
+        assert distinct_count(db, "R", ("C",)) == 3
+
+    def test_is_key(self, db):
+        assert not is_key(db, "R", ("A",))
+        assert is_key(db, "R", ("A", "B"))
+        # C = 10 appears with two different B values, so C is not a key.
+        assert not is_key(db, "R", ("C",))
+        assert is_key(db, "R", ("B", "C"))
+
+    def test_all_attributes_always_key(self, db):
+        assert is_key(db, "R", ("A", "B", "C"))
+
+    def test_selectivity_profile(self, db):
+        profile = selectivity_profile(db, "R")
+        assert profile == {"A": 3, "B": 3, "C": 3}

@@ -1,0 +1,41 @@
+"""Run the doctest examples embedded in the library's docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro._util
+import repro.query.ast
+import repro.query.parser
+import repro.query.terms
+import repro.query.varclasses
+import repro.schema.access
+import repro.schema.discovery
+import repro.schema.relation
+import repro.storage.database
+import repro.graph.graph
+import repro.graph.pattern
+
+MODULES = [
+    repro._util,
+    repro.query.ast,
+    repro.query.parser,
+    repro.query.terms,
+    repro.query.varclasses,
+    repro.schema.access,
+    repro.schema.discovery,
+    repro.schema.relation,
+    repro.storage.database,
+    repro.graph.graph,
+    repro.graph.pattern,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failure(s)"
+    assert result.attempted > 0, f"{module.__name__} has no doctests"

@@ -1,0 +1,151 @@
+"""Unit tests for repro._util."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util import (FreshNames, UnionFind, constrained_partitions,
+                         cross_product, powerset, set_partitions,
+                         stable_unique)
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind([1, 2, 3])
+        assert uf.find(1) == 1
+        assert not uf.same(1, 2)
+
+    def test_union_and_find(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.same("a", "c")
+        assert not uf.same("a", "d")
+
+    def test_classes(self):
+        uf = UnionFind([1, 2, 3, 4])
+        uf.union(1, 2)
+        uf.union(3, 4)
+        classes = sorted(sorted(c) for c in uf.classes())
+        assert classes == [[1, 2], [3, 4]]
+
+    def test_class_of(self):
+        uf = UnionFind()
+        uf.union("x", "y")
+        assert uf.class_of("x") == {"x", "y"}
+
+    def test_copy_is_independent(self):
+        uf = UnionFind([1, 2])
+        clone = uf.copy()
+        clone.union(1, 2)
+        assert clone.same(1, 2)
+        assert not uf.same(1, 2)
+
+    def test_lazy_add(self):
+        uf = UnionFind()
+        assert uf.find("fresh") == "fresh"
+
+    @given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)),
+                    max_size=20))
+    def test_union_is_equivalence(self, pairs):
+        uf = UnionFind(range(9))
+        for a, b in pairs:
+            uf.union(a, b)
+        # Reflexive, symmetric, transitive by construction; check the
+        # classes partition the universe.
+        classes = uf.classes()
+        flattened = sorted(x for c in classes for x in c)
+        assert flattened == sorted(range(9))
+        for c in classes:
+            members = sorted(c)
+            for m in members:
+                assert uf.same(members[0], m)
+
+
+class TestFreshNames:
+    def test_avoids_taken(self):
+        gen = FreshNames({"x"})
+        assert gen.fresh("x") == "x_1"
+        assert gen.fresh("x") == "x_2"
+
+    def test_unseen_stem_is_returned_verbatim(self):
+        gen = FreshNames({"x"})
+        assert gen.fresh("z") == "z"
+
+    def test_reserve(self):
+        gen = FreshNames()
+        gen.reserve("v")
+        assert gen.fresh("v") == "v_1"
+
+    def test_no_collisions_ever(self):
+        gen = FreshNames({"a"})
+        names = {gen.fresh("a") for _ in range(50)}
+        assert len(names) == 50
+        assert "a" not in names
+
+
+class TestPowerset:
+    def test_order_by_size(self):
+        subsets = list(powerset([1, 2, 3]))
+        sizes = [len(s) for s in subsets]
+        assert sizes == sorted(sizes)
+        assert len(subsets) == 8
+
+    def test_max_size(self):
+        subsets = list(powerset([1, 2, 3], max_size=1))
+        assert subsets == [(), (1,), (2,), (3,)]
+
+    def test_min_size(self):
+        subsets = list(powerset([1, 2], min_size=1))
+        assert () not in subsets
+
+
+class TestSetPartitions:
+    def test_empty(self):
+        assert list(set_partitions([])) == [[]]
+
+    def test_bell_numbers(self):
+        # Bell numbers: 1, 1, 2, 5, 15, 52.
+        for n, bell in [(1, 1), (2, 2), (3, 5), (4, 15), (5, 52)]:
+            assert len(list(set_partitions(range(n)))) == bell
+
+    def test_blocks_partition_universe(self):
+        for partition in set_partitions([1, 2, 3, 4]):
+            flat = sorted(x for block in partition for x in block)
+            assert flat == [1, 2, 3, 4]
+
+
+class TestConstrainedPartitions:
+    def test_must_merge(self):
+        for partition in constrained_partitions([1, 2, 3],
+                                                must_merge=[(1, 2)]):
+            block_of = {x: i for i, b in enumerate(partition) for x in b}
+            assert block_of[1] == block_of[2]
+
+    def test_must_differ(self):
+        for partition in constrained_partitions([1, 2, 3],
+                                                must_differ=[(1, 2)]):
+            block_of = {x: i for i, b in enumerate(partition) for x in b}
+            assert block_of[1] != block_of[2]
+
+    def test_contradiction_yields_nothing(self):
+        result = list(constrained_partitions(
+            [1, 2], must_merge=[(1, 2)], must_differ=[(1, 2)]))
+        assert result == []
+
+    def test_counts(self):
+        # 3 elements with one merge: partitions of 2 super-elements = 2.
+        assert len(list(constrained_partitions([1, 2, 3],
+                                               must_merge=[(1, 2)]))) == 2
+
+
+class TestMisc:
+    def test_stable_unique(self):
+        assert stable_unique([3, 1, 3, 2, 1]) == [3, 1, 2]
+
+    def test_cross_product_empty_pool(self):
+        assert list(cross_product([[1, 2], []])) == []
+
+    def test_cross_product(self):
+        assert sorted(cross_product([[1, 2], [3]])) == [(1, 3), (2, 3)]
