@@ -10,7 +10,8 @@ paper's experimental claims.  See README.md and DESIGN.md.
 
 from .errors import (BudgetExceeded, ConstraintViolation, ExecutionError,
                      ParseError, PlanError, QueryError, ReproError,
-                     SchemaError, UndecidableForFO, UnsafeQueryError)
+                     SchemaError, ServiceError, StorageError,
+                     UndecidableForFO, UnsafeQueryError)
 from .schema import (AccessConstraint, AccessSchema, CardinalityFunction,
                      ConstantCardinality, LogCardinality, PowerCardinality,
                      RelationSchema, Schema)
@@ -24,8 +25,10 @@ from .core import (Budget, Decision, Verdict, a_contained, a_equivalent,
                    is_covered, lower_envelope, specialize_minimally,
                    upper_envelope)
 from .schema.discovery import DiscoveryOptions, discover_access_schema
+from .service import (BatchRequest, BoundedQueryService, ServiceResult,
+                      ServiceStats)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -33,6 +36,7 @@ __all__ = [
     "ReproError", "SchemaError", "QueryError", "ParseError",
     "UnsafeQueryError", "PlanError", "ExecutionError",
     "ConstraintViolation", "BudgetExceeded", "UndecidableForFO",
+    "StorageError", "ServiceError",
     # schema
     "RelationSchema", "Schema", "AccessConstraint", "AccessSchema",
     "CardinalityFunction", "ConstantCardinality", "LogCardinality",
@@ -48,4 +52,6 @@ __all__ = [
     "a_satisfiable", "a_contained", "a_equivalent",
     "upper_envelope", "lower_envelope", "specialize_minimally",
     "Budget", "Decision", "Verdict",
+    # service
+    "BoundedQueryService", "ServiceResult", "ServiceStats", "BatchRequest",
 ]

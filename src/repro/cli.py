@@ -1,29 +1,49 @@
 """Command-line front end: analyze queries against an access schema.
 
-Usage (after installing the package)::
+Usage (after ``pip install -e .`` the ``repro`` entry point is on PATH;
+``python -m repro.cli`` always works)::
 
-    python -m repro.cli analyze --db DIR "Q(x) :- R(x, y), y = 1"
-    python -m repro.cli run     --db DIR "Q(x) :- R(x, y), y = 1"
-    python -m repro.cli discover --db DIR [--max-bound N]
+    repro analyze  --db DIR "Q(x) :- R(x, y), y = 1"
+    repro run      --db DIR "Q(x) :- R(x, y), y = 1"
+    repro discover --db DIR [--max-bound N]
+    repro batch    --db DIR [--workers K] requests.json
+    repro bench-service --db DIR [--requests N] "Q(x) :- ..."
 
 ``--db DIR`` points at a directory written by
 ``repro.storage.io.save_database`` (CSV files plus ``schema.json``).
 ``analyze`` reports coverage / bounded evaluability / envelopes /
 specialization advice; ``run`` additionally executes the bounded plan
 (or the baseline when none exists) and prints access accounting;
-``discover`` mines an access schema from the data and prints it.
+``discover`` mines an access schema from the data and prints it;
+``batch`` serves a JSON file of requests through a persistent
+:class:`~repro.service.BoundedQueryService`; ``bench-service`` measures
+cold vs. warm service latency for one query.
+
+The batch file format::
+
+    {
+      "templates": {"by_day": "Q(d) :- Accident(a, d, t), t = $date"},
+      "requests": [
+        {"template": "by_day", "params": {"date": "1/5/2005"}},
+        {"query": "Q(x) :- Accident(x, d, t), d = 'Soho'"}
+      ]
+    }
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 
 from .core import (analyze_coverage, is_boundedly_evaluable, lower_envelope,
                    specialize_minimally, upper_envelope)
 from .engine import ScanStats, evaluate, execute_plan, static_bounds
+from .errors import ReproError, StorageError
 from .query import CQ, parse_query
 from .schema.discovery import DiscoveryOptions, discover_access_schema
+from .service import BatchRequest, BoundedQueryService
 from .storage.io import load_database
 
 
@@ -90,6 +110,85 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _load_requests(path) -> tuple[dict[str, str], list[BatchRequest]]:
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise StorageError(f"no such request file: {path}")
+    try:
+        spec = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise StorageError(f"request file {path} is not valid JSON: "
+                           f"{error}") from error
+    templates = spec.get("templates", {})
+    requests = []
+    for index, raw in enumerate(spec.get("requests", ())):
+        try:
+            requests.append(BatchRequest(
+                query=raw.get("query"), template=raw.get("template"),
+                params=raw.get("params"), label=raw.get("label")))
+        except (AttributeError, ValueError) as error:
+            raise StorageError(
+                f"request #{index} in {path} is malformed ({error}); "
+                'each request needs exactly one of "query" or '
+                '"template"') from error
+    return templates, requests
+
+
+def cmd_batch(args) -> int:
+    db = _load(args)
+    service = BoundedQueryService(
+        db, plan_cache_size=args.plan_cache, fetch_cache_size=args.fetch_cache)
+    templates, requests = _load_requests(args.requests)
+    for name, text in templates.items():
+        template = service.register_template(name, text)
+        if not template.bounded and args.verbose:
+            print(f"note: {name} falls back to scanning "
+                  f"({template.compiled.reason})", file=sys.stderr)
+    if not requests:
+        print("no requests in file", file=sys.stderr)
+        return 1
+    report = service.execute_batch(requests, max_workers=args.workers)
+    for outcome in report.outcomes:
+        name = outcome.request.describe()
+        if not outcome.ok:
+            print(f"  {name}: ERROR {outcome.error}")
+            continue
+        result = outcome.result
+        mode = "bounded" if result.bounded else "scan"
+        print(f"  {name}: {len(result.answers)} answer(s) [{mode}, "
+              f"{result.latency_ms:.2f}ms]")
+    print(report.summary())
+    print(service.stats())
+    return 1 if report.errors else 0
+
+
+def cmd_bench_service(args) -> int:
+    db = _load(args)
+    query = args.query
+
+    cold_service = BoundedQueryService(db)
+    cold = cold_service.execute(query)
+    cold_ms = cold.latency_ms
+
+    service = BoundedQueryService(db)
+    service.execute(query)  # prime the caches
+    warm_ms = []
+    for _ in range(max(1, args.requests)):
+        warm_ms.append(service.execute(query).latency_ms)
+    warm_ms.sort()
+    p50 = warm_ms[len(warm_ms) // 2]
+    p95 = warm_ms[min(len(warm_ms) - 1, int(len(warm_ms) * 0.95))]
+    mode = "bounded" if cold.bounded else "scan fallback"
+    print(f"query: {query}")
+    print(f"mode: {mode}; {len(cold.answers)} answer(s)")
+    print(f"cold (parse + analyze + plan + execute): {cold_ms:.2f}ms")
+    print(f"warm x{len(warm_ms)} (plan cache + fetch cache): "
+          f"p50 {p50:.3f}ms  p95 {p95:.3f}ms  "
+          f"speedup {cold_ms / max(p50, 1e-6):.0f}x")
+    print(service.stats())
+    return 0
+
+
 def cmd_discover(args) -> int:
     db = _load(args)
     options = DiscoveryOptions(max_bound=args.max_bound)
@@ -124,12 +223,34 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--db", required=True)
     discover.add_argument("--max-bound", type=int, default=1024)
     discover.set_defaults(func=cmd_discover)
+
+    batch = sub.add_parser(
+        "batch", help="serve a JSON file of requests through the service")
+    batch.add_argument("--db", required=True)
+    batch.add_argument("--workers", type=int, default=4)
+    batch.add_argument("--plan-cache", type=int, default=256)
+    batch.add_argument("--fetch-cache", type=int, default=4096)
+    batch.add_argument("--verbose", action="store_true")
+    batch.add_argument("requests", help="JSON file of templates + requests")
+    batch.set_defaults(func=cmd_batch)
+
+    bench = sub.add_parser(
+        "bench-service", help="cold vs warm service latency for one query")
+    bench.add_argument("--db", required=True)
+    bench.add_argument("--requests", type=int, default=100,
+                       help="warm repetitions to measure")
+    bench.add_argument("query")
+    bench.set_defaults(func=cmd_bench_service)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -45,14 +45,35 @@ class AccessStats:
     fetch_calls: int = 0
     #: Distinct index lookups (one per distinct X-value per fetch op).
     index_lookups: int = 0
-    #: Tuples returned across all index lookups — the data accessed.
+    #: Tuples returned by *cold* index lookups — the data genuinely
+    #: accessed in storage; this is the honest ``|D_Q|`` number even
+    #: when a fetch cache is in front of the index.
     tuples_fetched: int = 0
+    #: Lookups answered by a fetch cache without touching storage
+    #: (always 0 under the plain executor).
+    fetch_cache_hits: int = 0
+    #: Lookups that went through a fetch cache but missed.
+    fetch_cache_misses: int = 0
+    #: Tuples served from the fetch cache instead of storage.
+    tuples_from_cache: int = 0
     #: Largest intermediate table (plan-side work, not data access).
     max_intermediate: int = 0
     ops_executed: int = 0
 
     def observe_table(self, table: Table) -> None:
         self.max_intermediate = max(self.max_intermediate, len(table))
+
+    def merge(self, other: "AccessStats") -> None:
+        """Fold another request's accounting into this one (batch totals)."""
+        self.fetch_calls += other.fetch_calls
+        self.index_lookups += other.index_lookups
+        self.tuples_fetched += other.tuples_fetched
+        self.fetch_cache_hits += other.fetch_cache_hits
+        self.fetch_cache_misses += other.fetch_cache_misses
+        self.tuples_from_cache += other.tuples_from_cache
+        self.max_intermediate = max(self.max_intermediate,
+                                    other.max_intermediate)
+        self.ops_executed += other.ops_executed
 
 
 @dataclass
@@ -80,15 +101,96 @@ class Executor:
 
     def execute(self, plan: Plan) -> ExecutionResult:
         stats = AccessStats()
+        fusable = plan.fused_join_products()
         tables: list[Table] = []
-        for op in plan.steps:
-            table = self._run_op(op, tables, stats)
+        for index, op in enumerate(plan.steps):
+            if index in fusable:
+                # Materialized lazily by the select that consumes it.
+                stats.ops_executed += 1
+                tables.append(None)  # type: ignore[arg-type]
+                continue
+            if isinstance(op, SelectOp) and op.source in fusable:
+                table = self._run_join(plan.steps[op.source], op, tables)
+            else:
+                table = self._run_op(op, tables, stats)
             stats.ops_executed += 1
             stats.observe_table(table)
             tables.append(table)
         if not tables:
             raise ExecutionError("cannot execute an empty plan")
         return ExecutionResult(tables[-1], stats)
+
+    def _run_join(self, product: ProductOp, op: SelectOp,
+                  tables: list[Table]) -> Table:
+        """``σ_conds(left × right)`` as a filtered hash join."""
+        left, right = tables[product.left], tables[product.right]
+        columns = left.columns + right.columns
+        split = len(left.columns)
+
+        def index_of(name: str) -> int:
+            try:
+                return columns.index(name)
+            except ValueError:
+                raise ExecutionError(
+                    f"no column {name!r}; columns are {columns}") from None
+
+        left_checks: list = []   # (position, const) or (pos, pos) in left
+        right_checks: list = []
+        join_pairs: list[tuple[int, int]] = []  # (left pos, right pos)
+        for condition in op.conditions:
+            if isinstance(condition, ConstEq):
+                position = index_of(condition.column)
+                if position < split:
+                    left_checks.append((position, condition.value))
+                else:
+                    right_checks.append((position - split, condition.value))
+            elif isinstance(condition, ColEq):
+                a, b = index_of(condition.left), index_of(condition.right)
+                if a < split and b < split:
+                    left_checks.append((a, b, None))
+                elif a >= split and b >= split:
+                    right_checks.append((a - split, b - split, None))
+                else:
+                    if a >= split:
+                        a, b = b, a
+                    join_pairs.append((a, b - split))
+            else:
+                raise ExecutionError(f"unknown condition {condition!r}")
+
+        def filtered(rows, checks):
+            if not checks:
+                return rows
+            kept = []
+            for row in rows:
+                for check in checks:
+                    if len(check) == 3:
+                        if row[check[0]] != row[check[1]]:
+                            break
+                    elif row[check[0]] != check[1]:
+                        break
+                else:
+                    kept.append(row)
+            return kept
+
+        left_rows = filtered(left.rows, left_checks)
+        right_rows = filtered(right.rows, right_checks)
+        rows: set[tuple] = set()
+        if join_pairs:
+            left_key = [p for p, _ in join_pairs]
+            right_key = [p for _, p in join_pairs]
+            buckets: dict[tuple, list[tuple]] = {}
+            for row in right_rows:
+                buckets.setdefault(
+                    tuple(row[p] for p in right_key), []).append(row)
+            for row in left_rows:
+                for match in buckets.get(
+                        tuple(row[p] for p in left_key), ()):
+                    rows.add(row + match)
+        else:
+            for lrow in left_rows:
+                for rrow in right_rows:
+                    rows.add(lrow + rrow)
+        return Table(columns, rows)
 
     # -- op dispatch ------------------------------------------------------------
 
@@ -133,11 +235,17 @@ class Executor:
         stats.fetch_calls += 1
         rows: set[tuple] = set()
         for x_value in x_values:
-            fetched = self.db.fetch(op.constraint, x_value)
-            stats.index_lookups += 1
-            stats.tuples_fetched += len(fetched)
-            rows.update(fetched)
+            rows.update(self._fetch_rows(op.constraint, x_value, stats))
         return Table(op.out_columns, rows)
+
+    def _fetch_rows(self, constraint, x_value: tuple,
+                    stats: AccessStats) -> Sequence[tuple]:
+        """One index lookup.  Subclasses may interpose a cache here
+        (see ``repro.service.fetchcache.CachingExecutor``)."""
+        fetched = self.db.fetch(constraint, x_value)
+        stats.index_lookups += 1
+        stats.tuples_fetched += len(fetched)
+        return fetched
 
     @staticmethod
     def _run_project(op: ProjectOp, source: Table) -> Table:

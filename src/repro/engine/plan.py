@@ -319,6 +319,77 @@ class Plan:
     def fetch_ops(self) -> list[FetchOp]:
         return [op for op in self.steps if isinstance(op, FetchOp)]
 
+    def fused_join_products(self) -> frozenset[int]:
+        """Steps ``T_i = A × B`` whose only consumer is a later
+        ``σ(T_i)`` — the builder's join idiom.  The executor runs the
+        pair as one hash join instead of materializing the quadratic
+        product; σ distributes over ×, so results are identical.
+        Memoized per step count (plans are append-only).
+        """
+        cached = getattr(self, "_fused_cache", None)
+        if cached is not None and cached[0] == len(self.steps):
+            return cached[1]
+        consumers: dict[int, list[Op]] = {}
+        for op in self.steps:
+            for source in op.inputs():
+                consumers.setdefault(source, []).append(op)
+        fusable = set()
+        for index, op in enumerate(self.steps):
+            if (isinstance(op, ProductOp)
+                    and index != len(self.steps) - 1):
+                using = consumers.get(index, [])
+                if len(using) == 1 and isinstance(using[0], SelectOp):
+                    fusable.add(index)
+        result = frozenset(fusable)
+        self._fused_cache = (len(self.steps), result)
+        return result
+
+    def constant_values(self) -> list[Hashable]:
+        """Every constant the plan mentions (``ConstOp`` values and
+        ``ConstEq`` selection values), in step order with repeats."""
+        values: list[Hashable] = []
+        for op in self.steps:
+            if isinstance(op, ConstOp):
+                values.append(op.value)
+            elif isinstance(op, SelectOp):
+                values.extend(c.value for c in op.conditions
+                              if isinstance(c, ConstEq))
+        return values
+
+    def map_constants(self, fn) -> "Plan":
+        """A structurally shared copy with ``fn`` applied to every
+        constant (``ConstOp`` values and ``ConstEq`` condition values).
+
+        Column layout, fetch structure and the cost certificate are
+        unchanged — the paper's bounds depend on Q and A only, never on
+        constant values — so no re-validation or rebuild is needed.
+        This is the hot-path primitive behind parameterized templates
+        (``repro.service.templates``): binding a template is one pass
+        over the op list, not a parse + coverage fixpoint + build.
+        """
+        clone = Plan(self.name)
+        clone.certificate = self.certificate
+        for op in self.steps:
+            if isinstance(op, ConstOp):
+                value = fn(op.value)
+                if value is not op.value:
+                    op = ConstOp(op.column, value)
+            elif isinstance(op, SelectOp):
+                conditions = tuple(
+                    ConstEq(c.column, fn(c.value))
+                    if isinstance(c, ConstEq) else c
+                    for c in op.conditions)
+                if conditions != op.conditions:
+                    op = SelectOp(op.source, conditions)
+            clone.steps.append(op)
+        clone._columns = list(self._columns)
+        # Constant substitution never changes op structure, so the
+        # join-fusion analysis carries over.
+        fused = getattr(self, "_fused_cache", None)
+        if fused is not None:
+            clone._fused_cache = fused
+        return clone
+
     def __len__(self) -> int:
         return len(self.steps)
 

@@ -62,6 +62,22 @@ class ExecutionError(ReproError):
     """A plan failed during execution against a database instance."""
 
 
+class StorageError(ReproError):
+    """A database directory or CSV file could not be read or written.
+
+    Raised with actionable context (file, line, offending row) by
+    ``repro.storage.io`` — the CLI's front door for on-disk instances.
+    """
+
+
+class ServiceError(ReproError):
+    """A request to :class:`repro.service.BoundedQueryService` is invalid.
+
+    Examples: binding an unknown template, leaving a ``$param``
+    unbound, supplying parameters a template does not declare.
+    """
+
+
 class ConstraintViolation(ReproError):
     """A database instance violates its access schema.
 

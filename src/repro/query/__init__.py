@@ -4,25 +4,26 @@ from .ast import (CQ, UCQ, Atom, Equality, FAnd, FAtom, FEq, FExists,
                   FForAll, FNot, FOQuery, FOr, Formula, PositiveQuery,
                   conjunction, cq_to_formula, disjunction)
 from .normalize import (as_ucq, extract_inline_constants, normalize_cq,
-                        normalize_ucq, positive_to_ucq, rename_apart,
-                        validate_arities)
+                        normalize_ucq, positive_to_ucq, query_fingerprint,
+                        rename_apart, validate_arities)
 from .parser import parse_cq, parse_query, parse_ucq
 from .tableau import (Row, Tableau, classically_contained,
                       classically_equivalent, core_tableau,
                       find_homomorphism, resolved_tableau, tableau_to_cq)
-from .terms import Const, Term, Var, is_const, is_var
+from .terms import Const, Param, Term, Var, is_const, is_param, is_var
 from .varclasses import VariableAnalysis, analyze_variables
 
 __all__ = [
-    "CQ", "UCQ", "Atom", "Equality", "Const", "Term", "Var",
+    "CQ", "UCQ", "Atom", "Equality", "Const", "Param", "Term", "Var",
     "FAnd", "FAtom", "FEq", "FExists", "FForAll", "FNot", "FOr",
     "FOQuery", "Formula", "PositiveQuery",
     "conjunction", "disjunction", "cq_to_formula",
     "parse_cq", "parse_query", "parse_ucq",
     "normalize_cq", "normalize_ucq", "positive_to_ucq", "as_ucq",
     "extract_inline_constants", "rename_apart", "validate_arities",
+    "query_fingerprint",
     "VariableAnalysis", "analyze_variables",
     "Row", "Tableau", "resolved_tableau", "tableau_to_cq", "core_tableau",
     "find_homomorphism", "classically_contained", "classically_equivalent",
-    "is_var", "is_const",
+    "is_var", "is_const", "is_param",
 ]

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..errors import QueryError
-from .terms import Const, Term, Var, is_const, is_var
+from .terms import Const, Param, Term, Var, is_const, is_var
 
 
 @dataclass(frozen=True)
@@ -175,6 +175,17 @@ class CQ:
                 result.add(eq.left)
         return result
 
+    def parameters(self) -> set[str]:
+        """Names of unbound ``$param`` placeholders in the body.
+
+        >>> q = CQ("Q", (Var("x"),), (Atom("R", (Var("x"), Var("y"))),),
+        ...        (Equality(Var("y"), Const(Param("p"))),))
+        >>> q.parameters()
+        {'p'}
+        """
+        return {c.value.name for c in self.constants()
+                if isinstance(c.value, Param)}
+
     def occurrence_count(self, var: Var) -> int:
         """Total occurrences of ``var`` in relation and equality atoms.
 
@@ -285,6 +296,13 @@ class UCQ:
 
     def size(self) -> int:
         return sum(q.size() for q in self.disjuncts)
+
+    def parameters(self) -> set[str]:
+        """Union of the disjuncts' unbound ``$param`` names."""
+        names: set[str] = set()
+        for q in self.disjuncts:
+            names.update(q.parameters())
+        return names
 
     def __iter__(self) -> Iterator[CQ]:
         return iter(self.disjuncts)
@@ -448,6 +466,25 @@ class FForAll(Formula):
         return f"FORALL {names}. {self.child}"
 
 
+def formula_parameters(formula: Formula) -> set[str]:
+    """Names of unbound ``$param`` placeholders in a formula tree."""
+    if isinstance(formula, FAtom):
+        return {c.value.name for c in formula.atom.constants()
+                if isinstance(c.value, Param)}
+    if isinstance(formula, FEq):
+        return {t.value.name
+                for t in (formula.equality.left, formula.equality.right)
+                if is_const(t) and isinstance(t.value, Param)}
+    if isinstance(formula, (FAnd, FOr)):
+        names: set[str] = set()
+        for child in formula.children:
+            names.update(formula_parameters(child))
+        return names
+    if isinstance(formula, (FExists, FForAll, FNot)):
+        return formula_parameters(formula.child)
+    raise QueryError(f"unknown formula node {type(formula).__name__}")
+
+
 class PositiveQuery:
     """An ∃FO+ query: a head over a positive formula.
 
@@ -470,6 +507,10 @@ class PositiveQuery:
     @property
     def arity(self) -> int:
         return len(self.head)
+
+    def parameters(self) -> set[str]:
+        """Names of unbound ``$param`` placeholders in the body."""
+        return formula_parameters(self.body)
 
     def __str__(self) -> str:
         head = f"{self.name}({', '.join(str(v) for v in self.head)})"
@@ -495,6 +536,10 @@ class FOQuery:
 
     def is_positive(self) -> bool:
         return self.body.is_positive()
+
+    def parameters(self) -> set[str]:
+        """Names of unbound ``$param`` placeholders in the body."""
+        return formula_parameters(self.body)
 
     def __str__(self) -> str:
         head = f"{self.name}({', '.join(str(v) for v in self.head)})"

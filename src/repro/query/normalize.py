@@ -14,6 +14,8 @@ enforces those assumptions:
   over.
 * :func:`rename_apart` — alpha-renames a CQ away from a set of taken
   names, for building unions and expansions with disjoint variables.
+* :func:`query_fingerprint` — an alpha-invariant canonical string for a
+  query; the plan-cache key ingredient of ``repro.service``.
 """
 
 from __future__ import annotations
@@ -124,6 +126,66 @@ def rename_apart(q: CQ, taken: Iterable[str], keep_head: bool = True) -> CQ:
     if not mapping:
         return q
     return q.substitute(mapping)
+
+
+# ---------------------------------------------------------------------------
+# Canonical fingerprints (plan-cache keys).
+# ---------------------------------------------------------------------------
+
+def _cq_fingerprint(q: CQ, schema: Schema | None) -> str:
+    """Canonical string of one CQ: normalized, variables renamed by
+    first occurrence (head, then atoms, then equalities), name dropped."""
+    if schema is not None:
+        q = normalize_cq(q, schema)
+    order: dict[Var, str] = {}
+
+    def canon(term):
+        if is_var(term):
+            if term not in order:
+                order[term] = f"v{len(order)}"
+            return order[term]
+        return f"c:{term.value!r}"
+
+    head = ",".join(canon(v) for v in q.head)
+    atoms = ";".join(
+        f"{a.relation}({','.join(canon(t) for t in a.terms)})"
+        for a in q.atoms)
+    eqs = ";".join(sorted(f"{canon(e.left)}={canon(e.right)}"
+                          for e in q.equalities))
+    return f"({head}):-{atoms}|{eqs}"
+
+
+def query_fingerprint(query, schema: Schema | None = None) -> str:
+    """A canonical fingerprint determining a query up to renaming.
+
+    Two queries with equal fingerprints are syntactically identical
+    modulo variable names and the head predicate's name, so they share
+    coverage verdicts, bounded plans and cost certificates — the
+    fingerprint is the query half of the ``repro.service`` plan-cache
+    key.  (The converse does not hold: semantically equivalent queries
+    may fingerprint differently; they just cache separately.)
+
+    When a ``schema`` is supplied, CQ/UCQ queries are normalized first,
+    so e.g. ``R(x, 1)`` and ``R(x, y), y = 1`` coincide.  UCQ disjunct
+    fingerprints are sorted, making unions order-insensitive.
+
+    >>> from .parser import parse_query
+    >>> a = query_fingerprint(parse_query("Q(x) :- R(x, y), y = 1"))
+    >>> b = query_fingerprint(parse_query("P(u) :- R(u, w), w = 1"))
+    >>> a == b
+    True
+    """
+    if isinstance(query, CQ):
+        return "cq:" + _cq_fingerprint(query, schema)
+    if isinstance(query, UCQ):
+        parts = sorted(_cq_fingerprint(d, schema) for d in query.disjuncts)
+        return "ucq:" + "||".join(parts)
+    if isinstance(query, PositiveQuery):
+        return query_fingerprint(positive_to_ucq(query, schema))
+    # Full FO: no normal form is attempted; the printed body (head name
+    # stripped) is still a sound cache key, merely a conservative one.
+    head = ",".join(str(v) for v in query.head)
+    return f"fo:({head}):={query.body}"
 
 
 # ---------------------------------------------------------------------------

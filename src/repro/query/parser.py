@@ -14,8 +14,10 @@ Two rule forms are supported:
 
 Lexical rules: identifiers are variables; an identifier followed by
 ``(`` is a relation (or head) name; numbers and single-quoted strings
-are constants.  Inline constants in relation atoms are legal and are
-normalized away later (``repro.query.normalize``).
+are constants; ``$name`` is a parameter placeholder (a constant whose
+value is bound per request — see ``repro.service.templates``).  Inline
+constants in relation atoms are legal and are normalized away later
+(``repro.query.normalize``).
 
 The parser is deliberately simple — a hand-rolled tokenizer plus
 recursive descent — and reports offsets in :class:`ParseError`.
@@ -29,7 +31,7 @@ from typing import Sequence
 from ..errors import ParseError
 from .ast import (CQ, UCQ, Atom, Equality, FAnd, FAtom, FEq, FExists, FForAll,
                   FNot, FOQuery, FOr, Formula, PositiveQuery)
-from .terms import Const, Term, Var
+from .terms import Const, Param, Term, Var
 
 _TOKEN_RE = re.compile(
     r"""
@@ -37,6 +39,7 @@ _TOKEN_RE = re.compile(
   | (?P<ARROW>:-|:=)
   | (?P<STRING>'(?:[^'\\]|\\.)*')
   | (?P<NUMBER>-?\d+(?:\.\d+)?)
+  | (?P<PARAM>\$[A-Za-z_][A-Za-z_0-9]*)
   | (?P<IDENT>[A-Za-z_][A-Za-z_0-9]*)
   | (?P<LPAREN>\()
   | (?P<RPAREN>\))
@@ -222,6 +225,9 @@ class _Parser:
             self.next()
             raw = token.text[1:-1]
             return Const(raw.replace("\\'", "'").replace("\\\\", "\\"))
+        if token.kind == "PARAM":
+            self.next()
+            return Const(Param(token.text[1:]))
         raise ParseError("expected a term", self.text, token.pos)
 
     # -- formula grammar (for := rules) ---------------------------------------

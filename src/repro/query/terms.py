@@ -50,6 +50,33 @@ class Const:
         return f"Const({self.value!r})"
 
 
+@dataclass(frozen=True)
+class Param:
+    """A named parameter placeholder ``$name`` awaiting a constant.
+
+    Parameters are *values*, not terms: a template query carries them
+    wrapped in :class:`Const` (``Const(Param("p"))``), so every static
+    analysis — coverage, plan construction, cost certificates — treats
+    them exactly like the constant they will become.  That is sound
+    because the paper's guarantees are determined by Q and A only, never
+    by the constant's value; ``repro.service.templates`` substitutes the
+    bound value into the compiled plan at request time.
+
+    >>> Param("p") == Param("p")
+    True
+    >>> str(Const(Param("p")))
+    '$p'
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+    def __repr__(self) -> str:
+        return f"Param({self.name!r})"
+
+
 Term = Union[Var, Const]
 
 
@@ -59,6 +86,11 @@ def is_var(term: Term) -> bool:
 
 def is_const(term: Term) -> bool:
     return isinstance(term, Const)
+
+
+def is_param(term) -> bool:
+    """True for a :class:`Const` wrapping an unbound :class:`Param`."""
+    return isinstance(term, Const) and isinstance(term.value, Param)
 
 
 def term_str(term: Term) -> str:

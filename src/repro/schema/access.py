@@ -264,6 +264,16 @@ class AccessSchema:
         """``|A|``: total number of attributes mentioned across constraints."""
         return sum(len(c.x) + len(c.y) for c in self._constraints)
 
+    def fingerprint(self) -> str:
+        """A canonical string determining ``A`` up to constraint order.
+
+        Since a query's coverage verdict, bounded plan and cost
+        certificate are functions of Q and A only (paper, Section 2),
+        this is the access-schema half of the ``repro.service``
+        plan-cache key.
+        """
+        return "&".join(sorted(str(c) for c in self._constraints))
+
     def __len__(self) -> int:
         return len(self._constraints)
 

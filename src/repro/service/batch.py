@@ -1,0 +1,182 @@
+"""Concurrent batch execution and service-level metrics.
+
+A batch is a list of :class:`BatchRequest`s — raw query texts or
+``(template, params)`` bindings — executed across a
+``ThreadPoolExecutor``.  Requests are independent reads: plans are
+immutable once compiled, the executor materializes its own tables, and
+both caches take their own locks, so requests parallelize without
+coordination.
+
+Per-request :class:`~repro.engine.executor.AccessStats` are aggregated
+into a :class:`BatchReport` with the numbers a service operator watches:
+p50/p95/mean latency, throughput, fetch counts (cold vs cache-served)
+and cache hit rates.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping, Sequence
+
+from ..engine.executor import AccessStats
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One unit of batch work: a raw query or a template binding."""
+
+    query: str | None = None
+    template: str | None = None
+    params: Mapping[str, Hashable] | None = None
+    label: str | None = None
+
+    def __post_init__(self):
+        if (self.query is None) == (self.template is None):
+            raise ValueError(
+                "a BatchRequest needs exactly one of query= or template=")
+
+    def describe(self) -> str:
+        if self.label:
+            return self.label
+        if self.template is not None:
+            bound = ", ".join(f"${k}={v!r}"
+                              for k, v in sorted((self.params or {}).items()))
+            return f"{self.template}({bound})"
+        return self.query or "?"
+
+
+@dataclass
+class RequestOutcome:
+    """What happened to one request."""
+
+    request: BatchRequest
+    result: "ServiceResult | None" = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def latency_s(self) -> float:
+        return self.result.latency_s if self.result is not None else 0.0
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 for empty input."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, min(len(ordered), math.ceil(q / 100.0 * len(ordered))))
+    return ordered[rank - 1]
+
+
+@dataclass
+class BatchReport:
+    """Aggregate view over one batch run."""
+
+    outcomes: list[RequestOutcome] = field(default_factory=list)
+    wall_s: float = 0.0
+    workers: int = 1
+
+    # -- derived metrics ---------------------------------------------------
+
+    @property
+    def requests(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for o in self.outcomes if not o.ok)
+
+    @property
+    def bounded_requests(self) -> int:
+        return sum(1 for o in self.outcomes
+                   if o.ok and o.result.bounded)
+
+    def latencies_s(self) -> list[float]:
+        return [o.latency_s for o in self.outcomes if o.ok]
+
+    @property
+    def p50_ms(self) -> float:
+        return _percentile(self.latencies_s(), 50) * 1e3
+
+    @property
+    def p95_ms(self) -> float:
+        return _percentile(self.latencies_s(), 95) * 1e3
+
+    @property
+    def mean_ms(self) -> float:
+        latencies = self.latencies_s()
+        return sum(latencies) / len(latencies) * 1e3 if latencies else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    def access_totals(self) -> AccessStats:
+        """Fold every bounded request's accounting into one total."""
+        totals = AccessStats()
+        for outcome in self.outcomes:
+            if outcome.ok and outcome.result.stats is not None:
+                totals.merge(outcome.result.stats)
+        return totals
+
+    @property
+    def fetch_cache_hit_rate(self) -> float:
+        totals = self.access_totals()
+        lookups = totals.fetch_cache_hits + totals.fetch_cache_misses
+        return totals.fetch_cache_hits / lookups if lookups else 0.0
+
+    def summary(self) -> str:
+        totals = self.access_totals()
+        lines = [
+            f"{self.requests} requests ({self.errors} errors, "
+            f"{self.bounded_requests} bounded) on {self.workers} workers "
+            f"in {self.wall_s * 1e3:.1f}ms "
+            f"({self.throughput_rps:.0f} req/s)",
+            f"latency p50 {self.p50_ms:.2f}ms  p95 {self.p95_ms:.2f}ms  "
+            f"mean {self.mean_ms:.2f}ms",
+            f"fetched {totals.tuples_fetched} tuples cold, "
+            f"{totals.tuples_from_cache} from cache "
+            f"(hit rate {self.fetch_cache_hit_rate:.1%})",
+        ]
+        return "\n".join(lines)
+
+
+def run_batch(service, requests: Sequence[BatchRequest],
+              max_workers: int = 4,
+              fail_fast: bool = False) -> BatchReport:
+    """Execute ``requests`` concurrently against ``service``.
+
+    Outcomes keep the input order.  Library errors
+    (:class:`~repro.errors.ReproError`) are captured per request;
+    with ``fail_fast=True`` the first one propagates instead.
+    """
+    def run_one(request: BatchRequest) -> RequestOutcome:
+        try:
+            if request.template is not None:
+                result = service.execute_template(request.template,
+                                                  request.params or {})
+            else:
+                result = service.execute(request.query,
+                                         request.params or None)
+            return RequestOutcome(request, result=result)
+        except ReproError as error:
+            if fail_fast:
+                raise
+            return RequestOutcome(request, error=str(error))
+
+    start = time.perf_counter()
+    if max_workers <= 1 or len(requests) <= 1:
+        outcomes = [run_one(request) for request in requests]
+    else:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            outcomes = list(pool.map(run_one, requests))
+    wall = time.perf_counter() - start
+    return BatchReport(outcomes=outcomes, wall_s=wall,
+                       workers=max(1, max_workers))

@@ -1,0 +1,106 @@
+"""A bounded LRU over ``Database.fetch`` results.
+
+``fetch(constraint, x_value)`` is the only primitive through which
+bounded plans touch data, and an access constraint ``R(X → Y, N)``
+certifies that any one result holds at most ``N`` distinct tuples — so
+a cache of ``capacity`` entries occupies at most ``capacity · N_max``
+tuples.  Memory is certifiably bounded by Q-and-A-style reasoning, the
+same guarantee the plans themselves enjoy.
+
+Freshness comes from the per-relation generation counters maintained by
+:class:`~repro.storage.database.Database`: the cache key includes the
+relation's write epoch, so any ``insert``/``insert_many`` naturally
+invalidates every cached fetch against that relation (stale entries age
+out of the LRU; they can never be served).
+
+:class:`CachingExecutor` interposes the cache on the executor's fetch
+hook and keeps the access accounting honest: cold lookups count toward
+``tuples_fetched`` (the empirical ``|D_Q|``), cache hits are tallied
+separately as ``fetch_cache_hits`` / ``tuples_from_cache``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..engine.executor import AccessStats, Executor
+from ..schema.access import AccessConstraint
+from ..storage.database import Database
+from .lru import LruDict
+from .plancache import CacheInfo
+
+
+class FetchCache:
+    """Thread-safe LRU from ``(constraint, x_value, generation)`` to the
+    fetched ``X∪Y`` rows.
+
+    >>> cache = FetchCache(capacity=128)
+    >>> cache.info().size
+    0
+    """
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self._entries: LruDict = LruDict(capacity)
+        #: Largest cached entry seen, for the memory-bound report
+        #: (advisory: updated without a lock).
+        self.max_entry_rows = 0
+
+    def lookup(self, db: Database, constraint: AccessConstraint,
+               x_value: tuple) -> tuple[list[tuple], bool]:
+        """Return ``(rows, hit)`` for one index lookup.
+
+        A miss reads through ``db.fetch`` and populates the cache.  The
+        key carries ``db.generation(relation)``, so rows cached before a
+        write can never satisfy a lookup issued after it.
+        """
+        key = (constraint, x_value,
+               db.generation(constraint.relation_name))
+        cached = self._entries.get(key)
+        if cached is not None:
+            return cached, True
+        rows = db.fetch(constraint, x_value)
+        self._entries.put(key, rows)
+        self.max_entry_rows = max(self.max_entry_rows, len(rows))
+        return rows, False
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(hits=self._entries.hits,
+                         misses=self._entries.misses,
+                         evictions=self._entries.evictions,
+                         size=len(self._entries),
+                         capacity=self.capacity)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class CachingExecutor(Executor):
+    """An executor whose index lookups go through a :class:`FetchCache`.
+
+    With ``fetch_cache=None`` it behaves exactly like the base executor.
+    Results are identical either way — the cache only ever returns what
+    ``db.fetch`` returned for the same (constraint, X-value) at the same
+    write epoch.
+    """
+
+    def __init__(self, db: Database, fetch_cache: FetchCache | None = None):
+        super().__init__(db)
+        self.fetch_cache = fetch_cache
+
+    def _fetch_rows(self, constraint, x_value: tuple,
+                    stats: AccessStats) -> Sequence[tuple]:
+        if self.fetch_cache is None:
+            return super()._fetch_rows(constraint, x_value, stats)
+        rows, hit = self.fetch_cache.lookup(self.db, constraint, x_value)
+        stats.index_lookups += 1
+        if hit:
+            stats.fetch_cache_hits += 1
+            stats.tuples_from_cache += len(rows)
+        else:
+            stats.fetch_cache_misses += 1
+            stats.tuples_fetched += len(rows)
+        return rows

@@ -1,0 +1,72 @@
+"""One thread-safe bounded LRU map, shared by every service-layer cache.
+
+The plan cache, its source-text front, the fetch cache and the
+bound-plan memo all need the same thing: a lock-guarded
+``OrderedDict`` with move-to-end on access, eviction past a capacity,
+and hit/miss/eviction counters.  Keeping a single implementation keeps
+their eviction and accounting behaviour identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+
+class LruDict:
+    """A bounded, thread-safe LRU mapping.
+
+    ``None`` is reserved as the miss sentinel and may not be stored.
+
+    >>> lru = LruDict(capacity=2)
+    >>> lru.put("a", 1); lru.put("b", 2); lru.put("c", 3)
+    >>> lru.get("a") is None, lru.get("c"), lru.evictions
+    (True, 3, 1)
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"LRU capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key, count: bool = True):
+        """The stored value, or ``None``; refreshes recency on a hit.
+
+        ``count=False`` leaves the hit/miss counters alone (for
+        internal bookkeeping lookups that should not skew reported
+        rates).
+        """
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                if count:
+                    self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            if count:
+                self.hits += 1
+            return value
+
+    def put(self, key, value) -> None:
+        if value is None:
+            raise ValueError("LruDict cannot store None")
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)

@@ -1,0 +1,168 @@
+"""LRU cache for compiled queries: the static half of the service.
+
+The paper's central observation is that a covered query's plan and cost
+certificate are determined by ``Q`` and ``A`` *only* (Section 2) — not
+by the instance, not by request time.  So the expensive static pipeline
+(parse → normalize → coverage fixpoint → plan construction → cost
+certificate) is a pure function of the pair
+
+    (query fingerprint, access-schema fingerprint)
+
+and can be computed once and reused for every later request.  This
+module is that memo table: a bounded, thread-safe LRU from cache keys to
+:class:`CompiledQuery` entries, with hit/miss counters so benchmarks can
+report amortization honestly.
+
+Negative results are cached too: a query that is *not* boundedly
+evaluable still costs a coverage fixpoint to diagnose, and heavy
+repeated traffic repeats uncovered queries just as often as covered
+ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..core.bep import is_boundedly_evaluable
+from ..core.decision import Decision
+from ..engine.plan import Plan
+from ..query.normalize import query_fingerprint
+from ..schema.access import AccessSchema
+from .lru import LruDict
+
+
+@dataclass(frozen=True)
+class PlanCacheKey:
+    """``(fingerprint(Q), fingerprint(A))`` — what a compiled plan is a
+    function of."""
+
+    query_fp: str
+    access_fp: str
+
+
+@dataclass
+class CompiledQuery:
+    """Everything the static pipeline produced for one query.
+
+    ``plan`` is present exactly when the query is boundedly evaluable
+    (or A-unsatisfiable, in which case it is the empty plan); otherwise
+    the service falls back to scan-based evaluation and ``reason``
+    explains why.
+    """
+
+    query: object
+    decision: Decision
+    plan: Plan | None
+    parameters: frozenset[str]
+    #: Process-unique id, a safe key for downstream memo tables (ids of
+    #: garbage-collected entries are never reused, unlike ``id()``).
+    serial: int = field(default_factory=itertools.count().__next__)
+
+    @property
+    def bounded(self) -> bool:
+        return self.plan is not None
+
+    @property
+    def reason(self) -> str:
+        return self.decision.reason
+
+
+@dataclass
+class CacheInfo:
+    """A point-in-time snapshot of one cache's counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __str__(self) -> str:
+        return (f"{self.hits} hits / {self.misses} misses "
+                f"({self.hit_rate:.1%}), {self.size}/{self.capacity} "
+                f"entries, {self.evictions} evictions")
+
+
+class PlanCache:
+    """A bounded LRU over :class:`CompiledQuery` entries.
+
+    >>> cache = PlanCache(capacity=2)
+    >>> cache.info().capacity
+    2
+    """
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self._entries: LruDict = LruDict(capacity)
+        # Source-text front: (text, access fp) -> key, so a repeated
+        # *textual* query skips tokenizing and parsing as well.
+        self._text_keys: LruDict = LruDict(capacity)
+
+    def get(self, key: PlanCacheKey) -> CompiledQuery | None:
+        return self._entries.get(key)
+
+    def put(self, key: PlanCacheKey, entry: CompiledQuery) -> None:
+        self._entries.put(key, entry)
+
+    def compile(self, query,
+                access_schema: AccessSchema) -> tuple[CompiledQuery, bool]:
+        """Look up (or run and memoize) the static pipeline for ``query``.
+
+        Returns ``(entry, cached)``.  ``query`` may be any parsed query
+        object; parameter placeholders are compiled as opaque constants,
+        so one compilation serves every binding of a template.
+        """
+        key = PlanCacheKey(query_fingerprint(query, access_schema.schema),
+                           access_schema.fingerprint())
+        entry = self.get(key)
+        if entry is not None:
+            return entry, True
+        decision = is_boundedly_evaluable(query, access_schema)
+        plan = None
+        if decision.is_yes:
+            plan = decision.witness["plan"]
+        parameters = (frozenset(query.parameters())
+                      if hasattr(query, "parameters") else frozenset())
+        entry = CompiledQuery(query=query, decision=decision, plan=plan,
+                              parameters=parameters)
+        self.put(key, entry)
+        return entry, False
+
+    def compile_text(self, text: str, access_schema: AccessSchema,
+                     parse) -> tuple[CompiledQuery, bool]:
+        """Like :meth:`compile` for source text; repeated texts also skip
+        the parser.  ``parse`` maps text to a query object (injected so
+        this module stays parser-agnostic)."""
+        access_fp = access_schema.fingerprint()
+        text_key = (text, access_fp)
+        key = self._text_keys.get(text_key, count=False)
+        if key is not None:
+            entry = self.get(key)
+            if entry is not None:
+                return entry, True
+        query = parse(text)
+        key = PlanCacheKey(query_fingerprint(query, access_schema.schema),
+                           access_fp)
+        self._text_keys.put(text_key, key)
+        return self.compile(query, access_schema)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._text_keys.clear()
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(hits=self._entries.hits,
+                         misses=self._entries.misses,
+                         evictions=self._entries.evictions,
+                         size=len(self._entries),
+                         capacity=self.capacity)
+
+    def __len__(self) -> int:
+        return len(self._entries)

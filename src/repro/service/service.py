@@ -1,0 +1,275 @@
+"""The persistent bounded-evaluation service.
+
+:class:`BoundedQueryService` wraps one :class:`~repro.storage.database.
+Database` for serving heavy repeated query traffic.  Where the one-shot
+pipeline (``repro.cli analyze/run``) re-runs parse → coverage fixpoint →
+plan construction → fetch on every call, the service amortizes each
+stage across requests:
+
+* a :class:`~repro.service.plancache.PlanCache` memoizes the whole
+  static pipeline per (query, access-schema) fingerprint — sound
+  because plans and certificates are functions of Q and A only;
+* :mod:`~repro.service.templates` compile a parameterized query once
+  and bind constants per request with a single pass over the plan;
+* a :class:`~repro.service.fetchcache.FetchCache` memoizes the (small,
+  provably bounded) per-X-value fetch results, invalidated by the
+  database's per-relation write generations;
+* :mod:`~repro.service.batch` fans requests across a thread pool and
+  aggregates service-level metrics.
+
+Queries that are *not* boundedly evaluable still get answers: the
+service transparently falls back to the scan-based evaluator and
+reports the scan accounting instead, so callers can see exactly which
+traffic is certified-bounded and which is paying full price.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping, Sequence
+
+from ..engine.executor import AccessStats, ExecutionResult
+from ..engine.naive import ScanStats, evaluate
+from ..errors import ServiceError
+from ..query.ast import CQ, UCQ
+from ..query.parser import parse_query
+from ..schema.access import AccessSchema
+from ..storage.database import Database
+from .batch import BatchReport, BatchRequest, run_batch
+from .fetchcache import CachingExecutor, FetchCache
+from .lru import LruDict
+from .plancache import CacheInfo, CompiledQuery, PlanCache
+from .templates import (QueryTemplate, bind_plan, bind_query,
+                        check_template_query)
+
+
+@dataclass
+class ServiceResult:
+    """One answered request.
+
+    ``stats`` carries index-access accounting for bounded execution;
+    ``scan_stats`` carries scan accounting for fallback execution.
+    Exactly one of the two is set.
+    """
+
+    answers: set[tuple]
+    bounded: bool
+    plan_cached: bool
+    latency_s: float
+    reason: str = ""
+    stats: AccessStats | None = None
+    scan_stats: ScanStats | None = None
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+
+@dataclass
+class ServiceStats:
+    """A point-in-time snapshot of the service's counters."""
+
+    requests: int = 0
+    bounded_requests: int = 0
+    fallback_requests: int = 0
+    templates: int = 0
+    plan_cache: CacheInfo = field(default_factory=CacheInfo)
+    fetch_cache: CacheInfo = field(default_factory=CacheInfo)
+
+    def __str__(self) -> str:
+        return (f"requests: {self.requests} "
+                f"({self.bounded_requests} bounded, "
+                f"{self.fallback_requests} fallback); "
+                f"templates: {self.templates}; "
+                f"plan cache: {self.plan_cache}; "
+                f"fetch cache: {self.fetch_cache}")
+
+
+class BoundedQueryService:
+    """A long-lived query service over one database instance.
+
+    >>> from repro.workload.accidents import simple_accidents
+    >>> service = BoundedQueryService(simple_accidents())
+    >>> template = service.register_template(
+    ...     "by_date",
+    ...     "Q(d) :- Accident(aid, d, t), t = $date")
+    >>> sorted(template.parameters)
+    ['date']
+    """
+
+    def __init__(self, db: Database,
+                 access_schema: AccessSchema | None = None,
+                 plan_cache_size: int = 256,
+                 fetch_cache_size: int = 4096):
+        self.db = db
+        self.access_schema = access_schema or db.access_schema
+        if self.access_schema is None or not len(self.access_schema):
+            raise ServiceError(
+                "the database has no access schema; bounded evaluation "
+                "needs the constraints' indexes — attach one or run "
+                "`repro discover`")
+        if access_schema is not None and db.access_schema is not access_schema:
+            db.attach_access_schema(access_schema)
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.fetch_cache = FetchCache(fetch_cache_size)
+        self._templates: dict[str, QueryTemplate] = {}
+        # Bound-plan memo: repeated identical bindings of one compiled
+        # query skip even the constant-substitution pass.  Plans are
+        # value-independent, so entries never go stale.
+        self._bound_plans: LruDict = LruDict(max(64, plan_cache_size * 4))
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._bounded_requests = 0
+        self._fallback_requests = 0
+
+    # -- compilation -------------------------------------------------------
+
+    def compile(self, query) -> CompiledQuery:
+        """Compile (or fetch from the plan cache) a query or query text."""
+        if isinstance(query, str):
+            entry, _ = self.plan_cache.compile_text(
+                query, self.access_schema, parse_query)
+        else:
+            entry, _ = self.plan_cache.compile(query, self.access_schema)
+        return entry
+
+    def register_template(self, name: str, text: str,
+                          replace: bool = False) -> QueryTemplate:
+        """Register and compile a parameterized template once.
+
+        The full static pipeline runs here, at registration; later
+        bindings only substitute constants into the compiled plan.
+        """
+        query = parse_query(text)
+        check_template_query(query, name)
+        entry, _ = self.plan_cache.compile(query, self.access_schema)
+        if (entry.parameters and not entry.bounded
+                and not isinstance(query, (CQ, UCQ))):
+            # The scan fallback binds parameters into a CQ/UCQ AST only;
+            # fail at registration rather than on the first request.
+            raise ServiceError(
+                f"template {name!r} has parameters but no bounded plan "
+                f"({entry.reason}), and formula-style queries cannot be "
+                "bound for the scan fallback; rewrite it as a CQ/UCQ "
+                "(':-' rules)")
+        template = QueryTemplate(name=name, text=text, compiled=entry)
+        with self._lock:
+            if name in self._templates and not replace:
+                raise ServiceError(
+                    f"template {name!r} is already registered; pass "
+                    "replace=True to overwrite")
+            self._templates[name] = template
+        return template
+
+    def template(self, name: str) -> QueryTemplate:
+        with self._lock:
+            template = self._templates.get(name)
+        if template is None:
+            known = sorted(self._templates)
+            raise ServiceError(
+                f"unknown template {name!r}; registered: "
+                f"{', '.join(known) if known else '(none)'}")
+        return template
+
+    def templates(self) -> list[QueryTemplate]:
+        with self._lock:
+            return list(self._templates.values())
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, query,
+                params: Mapping[str, Hashable] | None = None
+                ) -> ServiceResult:
+        """Answer one query (text or parsed), binding ``params`` if the
+        query carries ``$name`` placeholders."""
+        start = time.perf_counter()
+        if isinstance(query, str):
+            entry, cached = self.plan_cache.compile_text(
+                query, self.access_schema, parse_query)
+        else:
+            entry, cached = self.plan_cache.compile(query,
+                                                    self.access_schema)
+        return self._run(entry, cached, params or {}, start,
+                         where="execute")
+
+    def execute_template(self, name: str,
+                         params: Mapping[str, Hashable]) -> ServiceResult:
+        """Answer one bound template request — the per-user hot path."""
+        start = time.perf_counter()
+        template = self.template(name)
+        return self._run(template.compiled, True, params, start,
+                         where=f"template {name!r}")
+
+    def _run(self, entry: CompiledQuery, plan_cached: bool,
+             params: Mapping[str, Hashable], start: float,
+             where: str) -> ServiceResult:
+        if entry.bounded:
+            plan = self._bound_plan(entry, params, where)
+            result = CachingExecutor(self.db, self.fetch_cache).execute(plan)
+            answers, stats, scan = result.answers, result.stats, None
+        else:
+            query = bind_query(entry.query, entry.parameters, params,
+                               where=where)
+            scan = ScanStats()
+            answers = evaluate(query, self.db, scan)
+            stats = None
+        latency = time.perf_counter() - start
+        with self._lock:
+            self._requests += 1
+            if entry.bounded:
+                self._bounded_requests += 1
+            else:
+                self._fallback_requests += 1
+        return ServiceResult(answers=answers, bounded=entry.bounded,
+                             plan_cached=plan_cached, latency_s=latency,
+                             reason=entry.reason, stats=stats,
+                             scan_stats=scan)
+
+    def _bound_plan(self, entry: CompiledQuery,
+                    params: Mapping[str, Hashable], where: str):
+        """The compiled plan with ``params`` substituted, memoized per
+        (compiled query, binding)."""
+        if not entry.parameters and not params:
+            return entry.plan
+        try:
+            key = (entry.serial, tuple(sorted(params.items())))
+            hash(key)
+        except TypeError:  # unhashable binding value: bind uncached
+            return bind_plan(entry.plan, entry.parameters, params,
+                             where=where)
+        plan = self._bound_plans.get(key, count=False)
+        if plan is not None:
+            return plan
+        plan = bind_plan(entry.plan, entry.parameters, params, where=where)
+        self._bound_plans.put(key, plan)
+        return plan
+
+    def execute_batch(self, requests: Sequence[BatchRequest],
+                      max_workers: int = 4,
+                      fail_fast: bool = False) -> BatchReport:
+        """Run many requests concurrently; see :mod:`repro.service.batch`."""
+        return run_batch(self, requests, max_workers=max_workers,
+                         fail_fast=fail_fast)
+
+    # -- maintenance -------------------------------------------------------
+
+    def clear_caches(self) -> None:
+        """Drop compiled plans and cached fetches (templates stay)."""
+        self.plan_cache.clear()
+        self.fetch_cache.clear()
+        self._bound_plans.clear()
+
+    def stats(self) -> ServiceStats:
+        with self._lock:
+            requests = self._requests
+            bounded = self._bounded_requests
+            fallback = self._fallback_requests
+            templates = len(self._templates)
+        return ServiceStats(requests=requests,
+                            bounded_requests=bounded,
+                            fallback_requests=fallback,
+                            templates=templates,
+                            plan_cache=self.plan_cache.info(),
+                            fetch_cache=self.fetch_cache.info())

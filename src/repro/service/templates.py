@@ -1,0 +1,202 @@
+"""Parameterized query templates: compile once, bind per request.
+
+A template is a query text with ``$name`` placeholders::
+
+    by_day = service.register_template(
+        "by_day", "Q(xa) :- Accident(aid, d, t), d = $district, t = $date")
+
+Registration runs the *whole* static pipeline once — parse, coverage
+fixpoint, bounded-plan construction, cost certificate — with the
+placeholders treated as opaque constants (:class:`repro.query.terms.Param`
+values inside ``Const``).  That is sound because coverage and plan shape
+are functions of Q and A only, never of a constant's value (paper,
+Section 2): every binding of the template shares one plan skeleton.
+
+Binding is then the per-request hot path: one pass over the compiled
+plan's op list substituting bound values into ``ConstOp``/``ConstEq``
+nodes (:meth:`repro.engine.plan.Plan.map_constants`) — no parsing, no
+fixpoint, no plan building.  For templates that are *not* boundedly
+evaluable, :func:`bind_query` substitutes into the AST instead so the
+scan-based fallback still answers correctly.
+
+One caveat is enforced at registration: two *distinct* placeholders (or
+a placeholder and a literal constant) must not be equated with the same
+variable class.  The static analysis would treat them as distinct
+constants and declare the query unsatisfiable, which becomes wrong the
+moment both are bound to the same value — so such templates are
+rejected up front with a :class:`~repro.errors.ServiceError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from .._util import UnionFind
+from ..engine.plan import Plan
+from ..errors import QueryError, ServiceError
+from ..query.ast import CQ, UCQ, Atom, Equality, PositiveQuery
+from ..query.normalize import positive_to_ucq
+from ..query.terms import Const, Param
+from .plancache import CompiledQuery
+
+
+def _resolver(values: Mapping[str, Hashable], where: str):
+    """A constant-mapping function that swaps Params for bound values."""
+
+    def resolve(value):
+        if isinstance(value, Param):
+            if value.name not in values:
+                raise ServiceError(
+                    f"{where}: parameter ${value.name} is unbound; "
+                    f"supplied {sorted(values) or '{}'}")
+            return values[value.name]
+        return value
+
+    return resolve
+
+
+def check_bindings(parameters: frozenset[str],
+                   values: Mapping[str, Hashable], where: str) -> None:
+    """Reject missing or undeclared parameter bindings up front."""
+    missing = parameters - set(values)
+    if missing:
+        raise ServiceError(
+            f"{where}: missing bindings for "
+            f"{', '.join('$' + n for n in sorted(missing))}")
+    extra = set(values) - parameters
+    if extra:
+        raise ServiceError(
+            f"{where}: unknown parameters "
+            f"{', '.join('$' + n for n in sorted(extra))}; declared "
+            f"{sorted(parameters) or '(none)'}")
+    for name, value in values.items():
+        try:
+            hash(value)
+        except TypeError:
+            raise ServiceError(
+                f"{where}: value for ${name} is unhashable "
+                f"({type(value).__name__}); parameters must be "
+                "constants") from None
+
+
+def bind_plan(plan: Plan, parameters: frozenset[str],
+              values: Mapping[str, Hashable],
+              where: str = "bind") -> Plan:
+    """Substitute bound constants into a compiled plan's const nodes.
+
+    Returns a structurally shared copy — the certificate, fetch
+    structure and column layout are untouched.  Raises
+    :class:`ServiceError` on missing or undeclared bindings.
+    """
+    check_bindings(parameters, values, where)
+    if not parameters:
+        return plan
+    return plan.map_constants(_resolver(values, where))
+
+
+def bind_query(query, parameters: frozenset[str],
+               values: Mapping[str, Hashable], where: str = "bind"):
+    """Substitute bound constants into a CQ/UCQ AST (fallback path)."""
+    check_bindings(parameters, values, where)
+    if not parameters:
+        return query
+    resolve = _resolver(values, where)
+
+    def bind_const(term):
+        if isinstance(term, Const):
+            value = resolve(term.value)
+            if value is not term.value:
+                return Const(value)
+        return term
+
+    def bind_cq(q: CQ) -> CQ:
+        atoms = [Atom(a.relation, [bind_const(t) for t in a.terms])
+                 for a in q.atoms]
+        equalities = [Equality(bind_const(e.left), bind_const(e.right))
+                      for e in q.equalities]
+        return CQ(q.name, q.head, atoms, equalities)
+
+    if isinstance(query, CQ):
+        return bind_cq(query)
+    if isinstance(query, UCQ):
+        return UCQ(query.name, [bind_cq(d) for d in query.disjuncts])
+    raise ServiceError(
+        f"{where}: cannot bind parameters of a "
+        f"{type(query).__name__}; only CQ/UCQ templates support the "
+        "scan fallback")
+
+
+def check_template_query(query, name: str) -> None:
+    """Reject templates whose parameters collide on one variable class.
+
+    For each disjunct, variables joined by variable-variable equalities
+    form classes; if a class is pinned to two distinct constants and at
+    least one is a parameter, the compile-time "unsatisfiable" verdict
+    could be contradicted by a binding — refuse the template.
+    (Two distinct *literal* constants really are unsatisfiable; the
+    analysis handles that case correctly already.)
+    """
+    if isinstance(query, PositiveQuery):
+        try:
+            query = positive_to_ucq(query)
+        except QueryError:
+            return  # malformed bodies surface during compilation
+    disjuncts = query.disjuncts if isinstance(query, UCQ) else [query]
+    for disjunct in disjuncts:
+        if not isinstance(disjunct, CQ):
+            continue
+        eq = UnionFind(disjunct.variables())
+        for equality in disjunct.equalities:
+            if equality.is_var_var:
+                eq.union(equality.left, equality.right)
+        pinned: dict = {}
+        for equality in disjunct.equalities:
+            if not equality.is_var_const:
+                continue
+            root = eq.find(equality.left)
+            seen = pinned.setdefault(root, set())
+            seen.add(equality.right.value)
+        for root, constants in pinned.items():
+            if len(constants) > 1 and any(isinstance(c, Param)
+                                          for c in constants):
+                raise ServiceError(
+                    f"template {name!r}: variable {root} is equated with "
+                    f"multiple constants "
+                    f"({', '.join(sorted(map(str, constants)))}); a "
+                    "parameter may not share a variable with another "
+                    "constant — bind one value through one placeholder")
+
+
+@dataclass
+class QueryTemplate:
+    """A registered template: name, source text and compiled entry."""
+
+    name: str
+    text: str
+    compiled: CompiledQuery
+
+    @property
+    def parameters(self) -> frozenset[str]:
+        return self.compiled.parameters
+
+    @property
+    def bounded(self) -> bool:
+        return self.compiled.bounded
+
+    def bind_plan(self, values: Mapping[str, Hashable]) -> Plan:
+        if self.compiled.plan is None:
+            raise ServiceError(
+                f"template {self.name!r} has no bounded plan "
+                f"({self.compiled.reason}); use the fallback path")
+        return bind_plan(self.compiled.plan, self.parameters, values,
+                         where=f"template {self.name!r}")
+
+    def bind_query(self, values: Mapping[str, Hashable]):
+        return bind_query(self.compiled.query, self.parameters, values,
+                          where=f"template {self.name!r}")
+
+    def __str__(self) -> str:
+        params = ", ".join("$" + n for n in sorted(self.parameters))
+        mode = "bounded" if self.bounded else "fallback"
+        return f"template {self.name}({params}) [{mode}]: {self.text}"

@@ -43,6 +43,12 @@ class Database:
             name: {} for name in schema.relation_names()
         }
         self._indexes: dict[int, AccessIndex] = {}
+        # Per-relation write epochs: bumped on every effective mutation,
+        # so read-side caches (repro.service.fetchcache) can key cached
+        # fetch results by generation and never serve stale rows.
+        self._generations: dict[str, int] = {
+            name: 0 for name in schema.relation_names()
+        }
         self.access_schema: AccessSchema | None = None
         if access_schema is not None:
             self.attach_access_schema(access_schema)
@@ -61,6 +67,7 @@ class Database:
         if row in store:
             return
         store[row] = None
+        self._generations[relation_name] += 1
         for index in self._indexes_for(relation_name):
             index.add(row)
 
@@ -70,8 +77,9 @@ class Database:
             self.insert(relation_name, row)
 
     def clear(self) -> None:
-        for store in self._relations.values():
+        for name, store in self._relations.items():
             store.clear()
+            self._generations[name] += 1
         for index in self._indexes.values():
             index.remove_all()
 
@@ -138,6 +146,18 @@ class Database:
             return index
 
     # -- reading -------------------------------------------------------------------
+
+    def generation(self, relation_name: str) -> int:
+        """The relation's write epoch: increases on every effective write.
+
+        Equal generations guarantee identical relation contents, which
+        is what lets fetch caches reuse results soundly.
+        """
+        return self._generations[relation_name]
+
+    def write_epoch(self) -> int:
+        """A database-wide epoch (sum of relation generations)."""
+        return sum(self._generations.values())
 
     def relation_tuples(self, relation_name: str) -> list[Row]:
         """Full scan of one relation (the costly path bounded plans avoid)."""

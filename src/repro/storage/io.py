@@ -4,6 +4,12 @@ Real deployments load the accident data from CSV dumps; this module
 provides the same path for our instances, including round-tripping an
 access schema as a sidecar JSON file so a saved database can be reopened
 with its indexes rebuilt.
+
+This is the CLI's front door, so failures are diagnosed, not leaked:
+missing directories and files, malformed ``schema.json`` and CSV rows
+that disagree with the schema all raise :class:`~repro.errors.
+StorageError`/:class:`~repro.errors.SchemaError` with the file, line
+and fix spelled out.
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ import json
 import pathlib
 from typing import Iterable
 
-from ..errors import SchemaError
+from ..errors import SchemaError, StorageError
 from ..schema.access import (AccessConstraint, AccessSchema,
                              ConstantCardinality, LogCardinality,
                              PowerCardinality)
@@ -43,17 +49,39 @@ def load_relation_csv(db: Database, relation_name: str, path) -> int:
     fields are narrowed (CSV is untyped; cardinality constraints only
     need equality, so narrowing is cosmetic but keeps round-trips
     stable for numeric columns).
+
+    Raises :class:`SchemaError` for an unknown relation or mismatched
+    header, :class:`StorageError` for a missing file or a row whose
+    shape disagrees with the schema (with the offending line number).
     """
+    if relation_name not in db.schema.relation_names():
+        raise SchemaError(
+            f"unknown relation {relation_name!r}; the schema defines "
+            f"{sorted(db.schema.relation_names())}")
     relation = db.schema.relation(relation_name)
     path = pathlib.Path(path)
+    if not path.is_file():
+        raise StorageError(
+            f"missing CSV file for relation {relation_name!r}: {path}")
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
-        header = tuple(next(reader))
+        header = tuple(next(reader, ()))
+        if not header:
+            raise StorageError(
+                f"{path} is empty; expected the header row "
+                f"{','.join(relation.attributes)}")
         if header != relation.attributes:
             raise SchemaError(
-                f"CSV header {header} does not match {relation}")
+                f"{path}: CSV header {header} does not match {relation}")
         count = 0
         for raw in reader:
+            if not raw:
+                continue  # blank line
+            if len(raw) != relation.arity:
+                raise StorageError(
+                    f"{path}, line {reader.line_num}: row has "
+                    f"{len(raw)} fields but {relation} expects "
+                    f"{relation.arity}: {raw!r}")
             db.insert(relation_name, tuple(_narrow(v) for v in raw))
             count += 1
     return count
@@ -86,13 +114,46 @@ def save_database(db: Database, directory) -> None:
 
 
 def load_database(directory) -> Database:
-    """Reopen a directory written by :func:`save_database`."""
+    """Reopen a directory written by :func:`save_database`.
+
+    Every failure mode of a hand-edited directory is reported with an
+    actionable message: missing directory or ``schema.json``, invalid
+    JSON, a malformed ``relations`` map, unknown constraint fields, a
+    missing per-relation CSV, or rows that do not fit the schema.
+    """
     directory = pathlib.Path(directory)
-    spec = json.loads((directory / "schema.json").read_text())
+    if not directory.is_dir():
+        raise StorageError(
+            f"no such database directory: {directory} (expected a "
+            "directory written by repro.storage.io.save_database)")
+    schema_path = directory / "schema.json"
+    if not schema_path.is_file():
+        raise SchemaError(
+            f"{directory} has no schema.json; a database directory "
+            "needs one mapping relation names to attribute lists "
+            "(plus optional access constraints)")
+    try:
+        spec = json.loads(schema_path.read_text())
+    except json.JSONDecodeError as error:
+        raise SchemaError(
+            f"{schema_path} is not valid JSON: {error}") from error
+    relations = spec.get("relations")
+    if not isinstance(relations, dict) or not relations:
+        raise SchemaError(
+            f"{schema_path} must contain a non-empty \"relations\" "
+            "object mapping relation names to attribute lists")
     schema = Schema(RelationSchema(name, attrs)
-                    for name, attrs in spec["relations"].items())
-    access = AccessSchema(schema, [
-        _constraint_from_json(c) for c in spec.get("constraints", ())])
+                    for name, attrs in relations.items())
+    constraints = []
+    for index, raw in enumerate(spec.get("constraints", ())):
+        try:
+            constraints.append(_constraint_from_json(raw))
+        except (KeyError, TypeError) as error:
+            raise SchemaError(
+                f"{schema_path}: constraint #{index} is malformed "
+                f"({error!r}); expected keys relation/x/y/cardinality"
+            ) from error
+    access = AccessSchema(schema, constraints)
     db = Database(schema, access if len(access) else None)
     for name in schema.relation_names():
         load_relation_csv(db, name, directory / f"{name}.csv")

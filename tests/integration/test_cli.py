@@ -1,0 +1,121 @@
+"""End-to-end CLI tests: analyze / run / discover / batch / bench-service
+against a database directory on disk, via ``repro.cli.main``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.storage.io import save_database
+
+
+@pytest.fixture
+def db_dir(accident_db, tmp_path):
+    directory = tmp_path / "db"
+    save_database(accident_db, directory)
+    return str(directory)
+
+
+Q0 = ("Q0(xa) :- Accident(aid, 'Queens Park', '1/5/2005'), "
+      "Casualty(cid, aid, class, vid), Vehicle(vid, dri, xa)")
+UNCOVERED = "Q(x) :- Casualty(cid, aid, cl, x)"
+
+
+def test_analyze_bounded(db_dir, capsys):
+    assert main(["analyze", "--db", db_dir, Q0]) == 0
+    out = capsys.readouterr().out
+    assert "BEP: yes" in out
+    assert "fetch bound" in out
+
+
+def test_analyze_uncovered_reports_envelopes(db_dir, capsys):
+    assert main(["analyze", "--db", db_dir, UNCOVERED]) == 1
+    out = capsys.readouterr().out
+    assert "upper envelope" in out
+    assert "lower envelope" in out
+
+
+def test_run_bounded_matches_expected_answers(db_dir, capsys):
+    assert main(["run", "--db", db_dir, Q0]) == 0
+    out = capsys.readouterr().out
+    assert "bounded plan" in out
+    # Queens Park on 1/5/2005 is accident a1 with drivers aged 34, 51.
+    assert "(34,)" in out and "(51,)" in out
+    assert "2 answer(s)" in out
+
+
+def test_run_falls_back_to_scan(db_dir, capsys):
+    assert main(["run", "--db", db_dir, UNCOVERED]) == 0
+    out = capsys.readouterr().out
+    assert "falling back to a full scan" in out
+    assert "5 answer(s)" in out
+
+
+def test_discover_prints_constraints(db_dir, capsys):
+    assert main(["discover", "--db", db_dir]) == 0
+    out = capsys.readouterr().out
+    assert "constraints (max bound" in out
+    assert "Accident(" in out
+
+
+def test_batch_end_to_end(db_dir, tmp_path, capsys):
+    requests = tmp_path / "requests.json"
+    requests.write_text(json.dumps({
+        "templates": {
+            "drivers": ("Q(xa) :- Accident(aid, d, t), "
+                        "Casualty(cid, aid, class, vid), "
+                        "Vehicle(vid, dri, xa), d = $district, t = $date"),
+        },
+        "requests": [
+            {"template": "drivers",
+             "params": {"district": "Queens Park", "date": "1/5/2005"}},
+            {"template": "drivers",
+             "params": {"district": "Soho", "date": "1/5/2005"}},
+            {"query": "Q(d) :- Accident(aid, d, t), aid = 'a4'"},
+        ],
+    }))
+    assert main(["batch", "--db", db_dir, str(requests)]) == 0
+    out = capsys.readouterr().out
+    assert "2 answer(s) [bounded" in out      # Queens Park drivers
+    assert "3 requests (0 errors, 3 bounded)" in out
+    assert "latency p50" in out
+    assert "hit rate" in out
+
+
+def test_batch_reports_per_request_errors(db_dir, tmp_path, capsys):
+    requests = tmp_path / "requests.json"
+    requests.write_text(json.dumps({
+        "templates": {"t": "Q(d) :- Accident(aid, d, x), aid = $aid"},
+        "requests": [
+            {"template": "t", "params": {"wrong_name": 1}},
+            {"template": "t", "params": {"aid": "a1"}},
+        ],
+    }))
+    assert main(["batch", "--db", db_dir, str(requests)]) == 1
+    out = capsys.readouterr().out
+    assert "ERROR" in out and "$wrong_name" in out
+    assert "2 requests (1 errors" in out
+
+
+def test_batch_rejects_malformed_request_file(db_dir, tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["batch", "--db", db_dir, str(bad)]) == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+
+def test_bench_service_reports_speedup(db_dir, capsys):
+    assert main(["bench-service", "--db", db_dir, "--requests", "5",
+                 Q0]) == 0
+    out = capsys.readouterr().out
+    assert "cold (parse + analyze + plan + execute)" in out
+    assert "speedup" in out
+
+
+def test_missing_database_directory_is_actionable(tmp_path, capsys):
+    missing = str(tmp_path / "nowhere")
+    assert main(["analyze", "--db", missing, "Q(x) :- R(x)"]) == 2
+    err = capsys.readouterr().err
+    assert "no such database directory" in err

@@ -1,0 +1,133 @@
+"""Fetch cache: hit/miss accounting, LRU bound, write invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AccessConstraint, AccessSchema, Database, Schema
+from repro.engine import Executor, execute_plan
+from repro.engine.naive import evaluate
+from repro.query import parse_query
+from repro.service import BoundedQueryService, CachingExecutor, FetchCache
+
+
+@pytest.fixture
+def db():
+    schema = Schema.from_dict({"R": ("A", "B")})
+    access = AccessSchema(schema, [AccessConstraint("R", ("A",), ("B",), 5)])
+    database = Database(schema, access)
+    database.insert_many("R", [(1, 10), (1, 11), (2, 20)])
+    return database
+
+
+@pytest.fixture
+def constraint(db):
+    return db.access_schema.constraints[0]
+
+
+def test_lookup_reads_through_and_then_hits(db, constraint):
+    cache = FetchCache(capacity=16)
+    rows, hit = cache.lookup(db, constraint, (1,))
+    assert not hit and sorted(rows) == [(1, 10), (1, 11)]
+    rows2, hit = cache.lookup(db, constraint, (1,))
+    assert hit and rows2 == rows
+    info = cache.info()
+    assert info.hits == 1 and info.misses == 1
+    assert cache.max_entry_rows == 2
+
+
+def test_insert_invalidates_exactly_via_generation(db, constraint):
+    cache = FetchCache(capacity=16)
+    cache.lookup(db, constraint, (1,))
+    db.insert("R", (1, 12))
+    rows, hit = cache.lookup(db, constraint, (1,))
+    assert not hit
+    assert sorted(rows) == [(1, 10), (1, 11), (1, 12)]
+
+
+def test_duplicate_insert_does_not_invalidate(db, constraint):
+    cache = FetchCache(capacity=16)
+    cache.lookup(db, constraint, (1,))
+    db.insert("R", (1, 10))  # already present: no effective write
+    _, hit = cache.lookup(db, constraint, (1,))
+    assert hit
+
+
+def test_lru_bound_holds(db, constraint):
+    db.insert_many("R", [(i, i * 100) for i in range(3, 50)])
+    cache = FetchCache(capacity=8)
+    for i in range(40):
+        cache.lookup(db, constraint, (i,))
+    info = cache.info()
+    assert info.size == 8
+    assert info.evictions == 32
+
+
+def test_caching_executor_matches_plain_executor(db):
+    from repro.core import is_boundedly_evaluable
+    decision = is_boundedly_evaluable(parse_query("Q(y) :- R(x, y), x = 1"),
+                                      db.access_schema)
+    plan = decision.witness["plan"]
+    plain = Executor(db).execute(plan)
+    cache = FetchCache(capacity=16)
+    cold = CachingExecutor(db, cache).execute(plan)
+    warm = CachingExecutor(db, cache).execute(plan)
+    assert plain.answers == cold.answers == warm.answers
+    assert cold.stats.tuples_fetched == plain.stats.tuples_fetched
+    assert cold.stats.fetch_cache_misses > 0
+    assert warm.stats.tuples_fetched == 0
+    assert warm.stats.tuples_from_cache == plain.stats.tuples_fetched
+    assert warm.stats.fetch_cache_hits == warm.stats.index_lookups
+
+
+def test_no_cache_means_plain_behaviour(db):
+    from repro.core import is_boundedly_evaluable
+    decision = is_boundedly_evaluable(parse_query("Q(y) :- R(x, y), x = 1"),
+                                      db.access_schema)
+    plan = decision.witness["plan"]
+    result = CachingExecutor(db, None).execute(plan)
+    assert result.stats.fetch_cache_hits == 0
+    assert result.stats.fetch_cache_misses == 0
+    assert result.answers == {(10,), (11,)}
+
+
+class TestServiceNeverServesStaleRows:
+    """Acceptance: interleaved writes are always visible to the next
+    request, whatever mix of template/raw/batch traffic came before."""
+
+    def test_insert_between_template_requests(self, db):
+        service = BoundedQueryService(db)
+        service.register_template("t", "Q(y) :- R(x, y), x = $a")
+        assert service.execute_template("t", {"a": 1}).answers == \
+            {(10,), (11,)}
+        db.insert("R", (1, 12))
+        assert service.execute_template("t", {"a": 1}).answers == \
+            {(10,), (11,), (12,)}
+        db.insert_many("R", [(1, 13), (2, 21)])
+        assert service.execute_template("t", {"a": 1}).answers == \
+            {(10,), (11,), (12,), (13,)}
+        assert service.execute_template("t", {"a": 2}).answers == \
+            {(20,), (21,)}
+
+    def test_writes_interleaved_with_raw_queries(self, db):
+        service = BoundedQueryService(db)
+        text = "Q(y) :- R(x, y), x = 2"
+        for extra in range(21, 26):
+            expected = evaluate(parse_query(text), db)
+            assert service.execute(text).answers == expected
+            db.insert("R", (2, extra))
+        assert service.execute(text).answers == \
+            {(20,), (21,), (22,), (23,), (24,), (25,)}
+
+    def test_fresh_rows_reach_every_batch_request(self, db):
+        from repro.service import BatchRequest
+        service = BoundedQueryService(db)
+        service.register_template("t", "Q(y) :- R(x, y), x = $a")
+        service.execute_template("t", {"a": 1})  # warm the cache
+        db.insert("R", (1, 99))
+        report = service.execute_batch(
+            [BatchRequest(template="t", params={"a": 1})
+             for _ in range(16)], max_workers=4)
+        assert report.errors == 0
+        for outcome in report.outcomes:
+            assert outcome.result.answers == {(10,), (11,), (99,)}

@@ -1,0 +1,177 @@
+"""Parameterized templates: $param parsing, plan binding, guard rails."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AccessConstraint, AccessSchema, Database, Schema
+from repro.engine import execute_plan
+from repro.engine.naive import evaluate
+from repro.engine.plan import ConstEq, ConstOp, SelectOp
+from repro.errors import ServiceError
+from repro.query import Param, parse_query
+from repro.service import BoundedQueryService, bind_plan, bind_query
+from repro.service.templates import check_template_query
+
+
+@pytest.fixture
+def db():
+    schema = Schema.from_dict({"R": ("A", "B"), "S": ("B", "C")})
+    access = AccessSchema(schema, [
+        AccessConstraint("R", ("A",), ("B",), 3),
+        AccessConstraint("S", ("B",), ("C",), 2),
+    ])
+    database = Database(schema, access)
+    database.insert_many("R", [(1, 10), (1, 11), (2, 10), (3, 12)])
+    database.insert_many("S", [(10, "x"), (10, "y"), (11, "z"), (12, "x")])
+    return database
+
+
+@pytest.fixture
+def service(db):
+    return BoundedQueryService(db)
+
+
+def test_parser_reads_params_as_constants():
+    query = parse_query("Q(y) :- R(x, y), x = $a")
+    assert query.parameters() == {"a"}
+    (eq,) = query.equalities
+    assert eq.right.value == Param("a")
+
+
+def test_template_compiles_once_and_binds_per_request(service, db):
+    template = service.register_template(
+        "by_a", "Q(z) :- R(x, y), S(y, z), x = $a")
+    assert template.bounded and template.parameters == {"a"}
+    for a in (1, 2, 3, 99):
+        result = service.execute_template("by_a", {"a": a})
+        expected = evaluate(parse_query(f"Q(z) :- R(x, y), S(y, z), x = {a}"),
+                            db)
+        assert result.answers == expected
+
+
+def test_bound_plan_has_no_residual_params(service):
+    template = service.register_template("t", "Q(y) :- R(x, y), x = $a")
+    plan = template.bind_plan({"a": 2})
+    for value in plan.constant_values():
+        assert not isinstance(value, Param)
+
+
+def test_binding_is_a_plan_rewrite_not_a_rebuild(service):
+    template = service.register_template("t", "Q(y) :- R(x, y), x = $a")
+    plan = template.bind_plan({"a": 2})
+    compiled = template.compiled.plan
+    assert len(plan) == len(compiled)
+    assert plan.certificate is compiled.certificate
+    # Ops without constants are shared outright.
+    for bound_op, original in zip(plan.steps, compiled.steps):
+        if not isinstance(original, (ConstOp, SelectOp)):
+            assert bound_op is original
+
+
+def test_missing_binding_is_rejected(service):
+    service.register_template("t", "Q(y) :- R(x, y), x = $a")
+    with pytest.raises(ServiceError, match=r"missing bindings for \$a"):
+        service.execute_template("t", {})
+
+
+def test_undeclared_binding_is_rejected(service):
+    service.register_template("t", "Q(y) :- R(x, y), x = $a")
+    with pytest.raises(ServiceError, match=r"unknown parameters \$b"):
+        service.execute_template("t", {"a": 1, "b": 2})
+
+
+def test_unknown_template_is_rejected(service):
+    with pytest.raises(ServiceError, match="unknown template"):
+        service.execute_template("nope", {})
+
+
+def test_duplicate_registration_is_rejected(service):
+    service.register_template("t", "Q(y) :- R(x, y), x = $a")
+    with pytest.raises(ServiceError, match="already registered"):
+        service.register_template("t", "Q(y) :- R(x, y), x = $a")
+    service.register_template("t", "Q(y) :- R(x, y), x = $b",
+                              replace=True)
+    assert service.template("t").parameters == {"b"}
+
+
+def test_param_sharing_a_variable_with_a_constant_is_rejected():
+    query = parse_query("Q(y) :- R(x, y), x = $a, x = 1")
+    with pytest.raises(ServiceError, match="multiple constants"):
+        check_template_query(query, "t")
+
+
+def test_two_params_on_one_variable_are_rejected():
+    query = parse_query("Q(y) :- R(x, y), x = $a, x = $b")
+    with pytest.raises(ServiceError, match="multiple constants"):
+        check_template_query(query, "t")
+
+
+def test_params_inside_atoms_are_normalized(service, db):
+    template = service.register_template("inline", "Q(y) :- R($a, y)")
+    assert template.parameters == {"a"}
+    result = service.execute_template("inline", {"a": 1})
+    assert result.answers == {(10,), (11,)}
+
+
+def test_ucq_template_binds_every_disjunct(service, db):
+    template = service.register_template(
+        "u", "Q(y) :- R(x, y), x = $a ; Q(y) :- S(y, c), c = $c")
+    result = service.execute_template("u", {"a": 3, "c": "z"})
+    expected = evaluate(
+        parse_query("Q(y) :- R(x, y), x = 3 ; Q(y) :- S(y, c), c = 'z'"),
+        db)
+    assert result.answers == expected == {(12,), (11,)}
+
+
+def test_bind_query_substitutes_the_ast(db):
+    query = parse_query("Q(y) :- R(x, y), x = $a")
+    bound = bind_query(query, frozenset({"a"}), {"a": 2})
+    assert bound.parameters() == set()
+    assert evaluate(bound, db) == {(10,)}
+
+
+def test_fallback_template_answers_via_scan(service, db):
+    # Not covered: no constraint fetches S rows by C.
+    template = service.register_template(
+        "scan", "Q(y) :- S(y, c), c = $c")
+    assert not template.bounded
+    result = service.execute_template("scan", {"c": "x"})
+    assert not result.bounded
+    assert result.scan_stats is not None
+    assert result.answers == {(10,), (12,)}
+
+
+def test_positive_formula_template_declares_and_binds_params(service, db):
+    template = service.register_template(
+        "pos", "Q(y) := R(x, y) AND x = $a")
+    assert template.parameters == {"a"}
+    assert template.bounded
+    result = service.execute_template("pos", {"a": 1})
+    assert result.answers == {(10,), (11,)}
+
+
+def test_unbounded_formula_template_with_params_is_rejected(service):
+    # FO with negation has no bounded plan and no CQ fallback binding.
+    with pytest.raises(ServiceError, match="rewrite it as a CQ/UCQ"):
+        service.register_template(
+            "neg", "Q(y) := R(x, y) AND NOT S(y, x) AND x = $a")
+
+
+def test_positive_formula_param_conflict_is_rejected():
+    query = parse_query("Q(y) := R(x, y) AND x = $a AND x = $b")
+    with pytest.raises(ServiceError, match="multiple constants"):
+        check_template_query(query, "t")
+
+
+def test_unhashable_binding_value_is_rejected(service):
+    service.register_template("t", "Q(y) :- R(x, y), x = $a")
+    with pytest.raises(ServiceError, match=r"\$a is unhashable"):
+        service.execute_template("t", {"a": [1, 2]})
+
+
+def test_executing_unbound_template_plan_matches_manual_binding(service, db):
+    template = service.register_template("t", "Q(y) :- R(x, y), x = $a")
+    manual = bind_plan(template.compiled.plan, template.parameters,
+                       {"a": 1})
+    assert execute_plan(manual, db).answers == {(10,), (11,)}

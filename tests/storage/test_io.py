@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import AccessConstraint, AccessSchema, Database, LogCardinality, \
-    PowerCardinality, Schema, SchemaError
+    PowerCardinality, Schema, SchemaError, StorageError
 from repro.cli import main as cli_main
 from repro.storage.io import (load_database, load_relation_csv,
                               save_database, save_relation_csv)
@@ -39,6 +39,35 @@ class TestCSVRoundTrip:
         with pytest.raises(SchemaError, match="header"):
             load_relation_csv(Database(db.schema), "R", path)
 
+    def test_unknown_relation_rejected(self, db, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("A,B\n1,2\n")
+        with pytest.raises(SchemaError, match="unknown relation 'T'"):
+            load_relation_csv(Database(db.schema), "T", path)
+
+    def test_missing_csv_file_rejected(self, db, tmp_path):
+        with pytest.raises(StorageError, match="missing CSV file"):
+            load_relation_csv(Database(db.schema), "R",
+                              tmp_path / "nope.csv")
+
+    def test_empty_csv_file_rejected(self, db, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(StorageError, match="empty"):
+            load_relation_csv(Database(db.schema), "R", path)
+
+    def test_malformed_row_reports_line(self, db, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("A,B\n1,x\n1,2,3\n")
+        with pytest.raises(StorageError, match="line 3"):
+            load_relation_csv(Database(db.schema), "R", path)
+
+    def test_blank_lines_are_skipped(self, db, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("A,B\n1,x\n\n2,y\n")
+        fresh = Database(db.schema)
+        assert load_relation_csv(fresh, "R", path) == 2
+
     def test_database_roundtrip(self, db, tmp_path):
         save_database(db, tmp_path / "dump")
         restored = load_database(tmp_path / "dump")
@@ -48,6 +77,40 @@ class TestCSVRoundTrip:
         kinds = {type(c.cardinality).__name__
                  for c in restored.access_schema}
         assert kinds == {"ConstantCardinality", "LogCardinality"}
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(StorageError, match="no such database directory"):
+            load_database(tmp_path / "absent")
+
+    def test_missing_schema_json_rejected(self, tmp_path):
+        (tmp_path / "d").mkdir()
+        with pytest.raises(SchemaError, match="no schema.json"):
+            load_database(tmp_path / "d")
+
+    def test_invalid_schema_json_rejected(self, tmp_path):
+        (tmp_path / "d").mkdir()
+        (tmp_path / "d" / "schema.json").write_text("{oops")
+        with pytest.raises(SchemaError, match="not valid JSON"):
+            load_database(tmp_path / "d")
+
+    def test_missing_relations_key_rejected(self, tmp_path):
+        (tmp_path / "d").mkdir()
+        (tmp_path / "d" / "schema.json").write_text('{"constraints": []}')
+        with pytest.raises(SchemaError, match="relations"):
+            load_database(tmp_path / "d")
+
+    def test_malformed_constraint_rejected(self, tmp_path):
+        (tmp_path / "d").mkdir()
+        (tmp_path / "d" / "schema.json").write_text(
+            '{"relations": {"R": ["A", "B"]}, "constraints": [{"x": []}]}')
+        with pytest.raises(SchemaError, match="constraint #0"):
+            load_database(tmp_path / "d")
+
+    def test_missing_relation_csv_rejected(self, db, tmp_path):
+        save_database(db, tmp_path / "d")
+        (tmp_path / "d" / "S.csv").unlink()
+        with pytest.raises(StorageError, match="missing CSV file.*'S'"):
+            load_database(tmp_path / "d")
 
     def test_power_cardinality_roundtrip(self, tmp_path):
         schema = Schema.from_dict({"R": ("A", "B")})

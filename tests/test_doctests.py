@@ -8,12 +8,17 @@ import pytest
 
 import repro._util
 import repro.query.ast
+import repro.query.normalize
 import repro.query.parser
 import repro.query.terms
 import repro.query.varclasses
 import repro.schema.access
 import repro.schema.discovery
 import repro.schema.relation
+import repro.service.fetchcache
+import repro.service.lru
+import repro.service.plancache
+import repro.service.service
 import repro.storage.database
 import repro.graph.graph
 import repro.graph.pattern
@@ -21,6 +26,7 @@ import repro.graph.pattern
 MODULES = [
     repro._util,
     repro.query.ast,
+    repro.query.normalize,
     repro.query.parser,
     repro.query.terms,
     repro.query.varclasses,
@@ -28,6 +34,10 @@ MODULES = [
     repro.schema.discovery,
     repro.schema.relation,
     repro.storage.database,
+    repro.service.plancache,
+    repro.service.fetchcache,
+    repro.service.lru,
+    repro.service.service,
     repro.graph.graph,
     repro.graph.pattern,
 ]
