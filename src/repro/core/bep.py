@@ -118,12 +118,22 @@ def _ucq_bounded(q: UCQ, access_schema: AccessSchema,
     covered_results: list[CoverageResult] = []
     pending: list[tuple[CQ, Decision]] = []
     notes: list[str] = []
+    # True when a disjunct carrying $param placeholders was dropped by
+    # reasoning that treats placeholders as pairwise-distinct constants
+    # (A-unsatisfiability, subsumption): the verdict then holds for that
+    # reading only, and a binding equating placeholder values can make
+    # the dropped disjunct contribute answers.  Consumers serving
+    # parameterized queries (repro.service) must not reuse the plan
+    # across bindings in that case.
+    value_dependent = False
 
     for disjunct in q.disjuncts:
         decision = _cq_bounded(disjunct, access_schema, budget)
         if decision.is_yes:
             if decision.details.get("method") == "unsatisfiable":
                 notes.append(f"{disjunct.name}: A-unsatisfiable, dropped")
+                if disjunct.parameters():
+                    value_dependent = True
                 continue
             covered_results.append(decision.witness["coverage"])
             notes.append(f"{disjunct.name}: bounded "
@@ -138,6 +148,8 @@ def _ucq_bounded(q: UCQ, access_schema: AccessSchema,
         if subsumed.is_yes:
             notes.append(f"{disjunct.name}: subsumed by covered sub-queries "
                          "(Example 3.5 pattern)")
+            if disjunct.parameters():
+                value_dependent = True
             continue
         if subsumed.is_unknown:
             unknown_seen = True
@@ -152,13 +164,14 @@ def _ucq_bounded(q: UCQ, access_schema: AccessSchema,
     if not covered_results:
         plan = build_empty_plan(q.arity, name=f"empty[{q.name}]")
         return yes(f"every sub-query of {q.name} is A-unsatisfiable",
-                   witness={"plan": plan, "queries": []}, notes=notes)
+                   witness={"plan": plan, "queries": []}, notes=notes,
+                   method="unsatisfiable")
     plan = build_union_plan(covered_results, name=f"bounded[{q.name}]")
     return yes(f"{q.name} is A-equivalent to a union of covered CQs "
                "(Lemma 3.6)",
                witness={"plan": plan,
                         "queries": [c.query for c in covered_results]},
-               notes=notes)
+               notes=notes, value_dependent=value_dependent)
 
 
 def is_boundedly_evaluable(query, access_schema: AccessSchema,

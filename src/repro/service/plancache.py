@@ -26,11 +26,37 @@ from dataclasses import dataclass, field
 from typing import Hashable
 
 from ..core.bep import is_boundedly_evaluable
-from ..core.decision import Decision
-from ..engine.plan import Plan
+from ..core.decision import Decision, no
+from ..engine.plan import EmptyOp, Plan
 from ..query.normalize import query_fingerprint
 from ..schema.access import AccessSchema
 from .lru import LruDict
+
+
+def _value_dependent(decision: Decision, plan: Plan) -> bool:
+    """Did a YES verdict lean on constant (in)equality reasoning?
+
+    The static pipeline treats ``$param`` placeholders as opaque,
+    pairwise-distinct constants.  Plan *shape* never depends on a
+    constant's value, so one compilation soundly serves every binding —
+    except where the pipeline concluded *emptiness* from constants being
+    distinct: the chase's constant clash and pigeonhole rules, the
+    classical-unsatisfiability ``EmptyOp`` shortcut of the plan builder
+    (Example 3.12), and UCQ disjuncts dropped as A-unsatisfiable or
+    subsumed.  A binding equating two placeholder values (or a
+    placeholder with a literal) can contradict those verdicts, so such
+    plans must not be reused across bindings.
+
+    The test is deliberately conservative: it does not track which
+    constants a derivation actually compared, so a clash among literals
+    only (no placeholder involved) also routes the query to the scan
+    fallback — still correct for every binding, merely unamortized.
+    """
+    if decision.details.get("method") == "unsatisfiable":
+        return True
+    if decision.details.get("value_dependent"):
+        return True
+    return any(isinstance(op, EmptyOp) for op in plan.steps)
 
 
 @dataclass(frozen=True)
@@ -125,11 +151,23 @@ class PlanCache:
         if entry is not None:
             return entry, True
         decision = is_boundedly_evaluable(query, access_schema)
+        parameters = (frozenset(query.parameters())
+                      if hasattr(query, "parameters") else frozenset())
         plan = None
         if decision.is_yes:
             plan = decision.witness["plan"]
-        parameters = (frozenset(query.parameters())
-                      if hasattr(query, "parameters") else frozenset())
+            if parameters and _value_dependent(decision, plan):
+                # The verdict holds only for the placeholders-as-
+                # distinct-constants reading; no single plan is correct
+                # for every binding.  Serve the query through the scan
+                # fallback, which evaluates the *bound* AST per request.
+                decision = no(
+                    "the bounded-evaluability verdict depends on the "
+                    f"placeholder values ({decision.reason}); "
+                    "parameterized queries take the scan fallback so "
+                    "every binding is answered correctly",
+                    witness=decision.witness, method="value-dependent")
+                plan = None
         entry = CompiledQuery(query=query, decision=decision, plan=plan,
                               parameters=parameters)
         self.put(key, entry)

@@ -33,7 +33,7 @@ from typing import Hashable, Mapping, Sequence
 from ..engine.executor import AccessStats, ExecutionResult
 from ..engine.naive import ScanStats, evaluate
 from ..errors import ServiceError
-from ..query.ast import CQ, UCQ
+from ..query.ast import CQ, UCQ, PositiveQuery
 from ..query.parser import parse_query
 from ..schema.access import AccessSchema
 from ..storage.database import Database
@@ -41,8 +41,7 @@ from .batch import BatchReport, BatchRequest, run_batch
 from .fetchcache import CachingExecutor, FetchCache
 from .lru import LruDict
 from .plancache import CacheInfo, CompiledQuery, PlanCache
-from .templates import (QueryTemplate, bind_plan, bind_query,
-                        check_template_query)
+from .templates import QueryTemplate, bind_plan, bind_query
 
 
 @dataclass
@@ -104,14 +103,22 @@ class BoundedQueryService:
                  plan_cache_size: int = 256,
                  fetch_cache_size: int = 4096):
         self.db = db
-        self.access_schema = access_schema or db.access_schema
-        if self.access_schema is None or not len(self.access_schema):
-            raise ServiceError(
-                "the database has no access schema; bounded evaluation "
-                "needs the constraints' indexes — attach one or run "
-                "`repro discover`")
-        if access_schema is not None and db.access_schema is not access_schema:
-            db.attach_access_schema(access_schema)
+        if access_schema is None:
+            access_schema = db.access_schema
+            if access_schema is None or not len(access_schema):
+                raise ServiceError(
+                    "the database has no access schema; bounded "
+                    "evaluation needs the constraints' indexes — attach "
+                    "one or run `repro discover`")
+        else:
+            if not len(access_schema):
+                raise ServiceError(
+                    "the supplied access schema is empty; bounded "
+                    "evaluation needs the constraints' indexes — pass a "
+                    "non-empty schema or run `repro discover`")
+            if db.access_schema is not access_schema:
+                db.attach_access_schema(access_schema)
+        self.access_schema = access_schema
         self.plan_cache = PlanCache(plan_cache_size)
         self.fetch_cache = FetchCache(fetch_cache_size)
         self._templates: dict[str, QueryTemplate] = {}
@@ -143,15 +150,15 @@ class BoundedQueryService:
         bindings only substitute constants into the compiled plan.
         """
         query = parse_query(text)
-        check_template_query(query, name)
         entry, _ = self.plan_cache.compile(query, self.access_schema)
         if (entry.parameters and not entry.bounded
-                and not isinstance(query, (CQ, UCQ))):
-            # The scan fallback binds parameters into a CQ/UCQ AST only;
-            # fail at registration rather than on the first request.
+                and not isinstance(query, (CQ, UCQ, PositiveQuery))):
+            # The scan fallback binds parameters into positive ASTs
+            # only; fail at registration rather than on the first
+            # request.
             raise ServiceError(
                 f"template {name!r} has parameters but no bounded plan "
-                f"({entry.reason}), and formula-style queries cannot be "
+                f"({entry.reason}), and non-positive formulas cannot be "
                 "bound for the scan fallback; rewrite it as a CQ/UCQ "
                 "(':-' rules)")
         template = QueryTemplate(name=name, text=text, compiled=entry)

@@ -19,12 +19,14 @@ fixpoint, no plan building.  For templates that are *not* boundedly
 evaluable, :func:`bind_query` substitutes into the AST instead so the
 scan-based fallback still answers correctly.
 
-One caveat is enforced at registration: two *distinct* placeholders (or
-a placeholder and a literal constant) must not be equated with the same
-variable class.  The static analysis would treat them as distinct
-constants and declare the query unsatisfiable, which becomes wrong the
-moment both are bound to the same value — so such templates are
-rejected up front with a :class:`~repro.errors.ServiceError`.
+One caveat: treating placeholders as pairwise-distinct constants is
+unsound exactly where the pipeline concludes *emptiness* from constants
+being distinct (constant clashes, the chase's pigeonhole rule, dropped
+UCQ disjuncts) — a binding equating two placeholders can contradict the
+verdict.  The plan cache detects those value-dependent verdicts and
+withholds the plan (see ``plancache._value_dependent``), so such
+templates transparently take the scan fallback and stay correct for
+every binding.
 """
 
 from __future__ import annotations
@@ -32,9 +34,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Mapping
 
-from .._util import UnionFind
 from ..engine.plan import Plan
-from ..errors import QueryError, ServiceError
+from ..errors import ServiceError
 from ..query.ast import CQ, UCQ, Atom, Equality, PositiveQuery
 from ..query.normalize import positive_to_ucq
 from ..query.terms import Const, Param
@@ -97,10 +98,14 @@ def bind_plan(plan: Plan, parameters: frozenset[str],
 
 def bind_query(query, parameters: frozenset[str],
                values: Mapping[str, Hashable], where: str = "bind"):
-    """Substitute bound constants into a CQ/UCQ AST (fallback path)."""
+    """Substitute bound constants into a CQ/UCQ/∃FO+ AST (fallback path)."""
     check_bindings(parameters, values, where)
     if not parameters:
         return query
+    if isinstance(query, PositiveQuery):
+        # Bind the equivalent UCQ; the scan evaluator answers both the
+        # same way, and the UCQ form is what substitution understands.
+        query = positive_to_ucq(query)
     resolve = _resolver(values, where)
 
     def bind_const(term):
@@ -123,49 +128,8 @@ def bind_query(query, parameters: frozenset[str],
         return UCQ(query.name, [bind_cq(d) for d in query.disjuncts])
     raise ServiceError(
         f"{where}: cannot bind parameters of a "
-        f"{type(query).__name__}; only CQ/UCQ templates support the "
-        "scan fallback")
-
-
-def check_template_query(query, name: str) -> None:
-    """Reject templates whose parameters collide on one variable class.
-
-    For each disjunct, variables joined by variable-variable equalities
-    form classes; if a class is pinned to two distinct constants and at
-    least one is a parameter, the compile-time "unsatisfiable" verdict
-    could be contradicted by a binding — refuse the template.
-    (Two distinct *literal* constants really are unsatisfiable; the
-    analysis handles that case correctly already.)
-    """
-    if isinstance(query, PositiveQuery):
-        try:
-            query = positive_to_ucq(query)
-        except QueryError:
-            return  # malformed bodies surface during compilation
-    disjuncts = query.disjuncts if isinstance(query, UCQ) else [query]
-    for disjunct in disjuncts:
-        if not isinstance(disjunct, CQ):
-            continue
-        eq = UnionFind(disjunct.variables())
-        for equality in disjunct.equalities:
-            if equality.is_var_var:
-                eq.union(equality.left, equality.right)
-        pinned: dict = {}
-        for equality in disjunct.equalities:
-            if not equality.is_var_const:
-                continue
-            root = eq.find(equality.left)
-            seen = pinned.setdefault(root, set())
-            seen.add(equality.right.value)
-        for root, constants in pinned.items():
-            if len(constants) > 1 and any(isinstance(c, Param)
-                                          for c in constants):
-                raise ServiceError(
-                    f"template {name!r}: variable {root} is equated with "
-                    f"multiple constants "
-                    f"({', '.join(sorted(map(str, constants)))}); a "
-                    "parameter may not share a variable with another "
-                    "constant — bind one value through one placeholder")
+        f"{type(query).__name__}; only CQ/UCQ/positive-formula "
+        "templates support the scan fallback")
 
 
 @dataclass

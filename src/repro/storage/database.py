@@ -67,9 +67,14 @@ class Database:
         if row in store:
             return
         store[row] = None
-        self._generations[relation_name] += 1
         for index in self._indexes_for(relation_name):
             index.add(row)
+        # The generation bump must come *after* the index updates: a
+        # concurrent reader keying a cache entry by the pre-bump epoch
+        # may at worst see the new row early (benign — the write was
+        # concurrent), never cache pre-write rows under the post-write
+        # epoch.
+        self._generations[relation_name] += 1
 
     def insert_many(self, relation_name: str,
                     rows: Iterable[Sequence[Hashable]]) -> None:
@@ -77,11 +82,15 @@ class Database:
             self.insert(relation_name, row)
 
     def clear(self) -> None:
-        for name, store in self._relations.items():
+        for store in self._relations.values():
             store.clear()
-            self._generations[name] += 1
         for index in self._indexes.values():
             index.remove_all()
+        # Bumped last, as in insert(): readers at the old epoch may see
+        # the emptied indexes early, but post-bump lookups never reuse
+        # rows cached before the clear.
+        for name in self._generations:
+            self._generations[name] += 1
 
     # -- access schema -----------------------------------------------------------
 

@@ -182,6 +182,16 @@ class TestServiceLifecycle:
         service.clear_caches()
         assert service.execute_template("t", {"a": 1}).answers == before
 
+    def test_rejects_explicitly_empty_access_schema(self):
+        db = make_db([(1, 10)], [(10, 0)])
+        empty = AccessSchema(db.schema, [])
+        with pytest.raises(ServiceError, match="empty"):
+            BoundedQueryService(db, access_schema=empty)
+        # The rejection must not have replaced the database's indexes.
+        assert len(db.access_schema) == 2
+        assert BoundedQueryService(db).execute(
+            "Q(y) :- R(x, y), x = 1").bounded
+
     def test_attaches_explicit_access_schema(self):
         schema = Schema.from_dict({"R": ("A", "B")})
         db = Database(schema)

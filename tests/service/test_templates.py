@@ -11,7 +11,6 @@ from repro.engine.plan import ConstEq, ConstOp, SelectOp
 from repro.errors import ServiceError
 from repro.query import Param, parse_query
 from repro.service import BoundedQueryService, bind_plan, bind_query
-from repro.service.templates import check_template_query
 
 
 @pytest.fixture
@@ -95,16 +94,26 @@ def test_duplicate_registration_is_rejected(service):
     assert service.template("t").parameters == {"b"}
 
 
-def test_param_sharing_a_variable_with_a_constant_is_rejected():
-    query = parse_query("Q(y) :- R(x, y), x = $a, x = 1")
-    with pytest.raises(ServiceError, match="multiple constants"):
-        check_template_query(query, "t")
+def test_param_sharing_a_variable_with_a_constant_falls_back(service, db):
+    # Compiled with $a as a distinct constant this looks unsatisfiable,
+    # but the binding a=1 satisfies it — the service must not reuse the
+    # value-dependent empty plan and must answer via the scan fallback.
+    template = service.register_template("t", "Q(y) :- R(x, y), x = $a, x = 1")
+    assert not template.bounded
+    for a in (1, 2):
+        result = service.execute_template("t", {"a": a})
+        expected = evaluate(parse_query(f"Q(y) :- R(x, y), x = {a}, x = 1"),
+                            db)
+        assert result.answers == expected
+    assert service.execute_template("t", {"a": 1}).answers == {(10,), (11,)}
 
 
-def test_two_params_on_one_variable_are_rejected():
-    query = parse_query("Q(y) :- R(x, y), x = $a, x = $b")
-    with pytest.raises(ServiceError, match="multiple constants"):
-        check_template_query(query, "t")
+def test_two_params_on_one_variable_fall_back(service, db):
+    template = service.register_template("t", "Q(y) :- R(x, y), x = $a, x = $b")
+    assert not template.bounded
+    assert service.execute_template("t", {"a": 1, "b": 1}).answers \
+        == {(10,), (11,)}
+    assert service.execute_template("t", {"a": 1, "b": 2}).answers == set()
 
 
 def test_params_inside_atoms_are_normalized(service, db):
@@ -158,10 +167,44 @@ def test_unbounded_formula_template_with_params_is_rejected(service):
             "neg", "Q(y) := R(x, y) AND NOT S(y, x) AND x = $a")
 
 
-def test_positive_formula_param_conflict_is_rejected():
-    query = parse_query("Q(y) := R(x, y) AND x = $a AND x = $b")
-    with pytest.raises(ServiceError, match="multiple constants"):
-        check_template_query(query, "t")
+def test_positive_formula_param_conflict_falls_back(service, db):
+    template = service.register_template(
+        "pos2", "Q(y) := R(x, y) AND x = $a AND x = $b")
+    assert not template.bounded
+    assert service.execute_template("pos2", {"a": 1, "b": 1}).answers \
+        == {(10,), (11,)}
+    assert service.execute_template("pos2", {"a": 1, "b": 2}).answers == set()
+
+
+def test_pigeonhole_param_template_falls_back():
+    # With F(A -> B, 1), two F-atoms on one x force y1 = y2; compiled
+    # with $a, $b as distinct constants the chase declares the template
+    # A-unsatisfiable, yet binding a = b is satisfiable (REVIEW:
+    # pigeonhole over Param-pinned classes).
+    schema = Schema.from_dict({"F": ("A", "B")})
+    access = AccessSchema(schema, [AccessConstraint("F", ("A",), ("B",), 1)])
+    database = Database(schema, access)
+    database.insert_many("F", [(1, 10), (2, 20)])
+    service = BoundedQueryService(database)
+    template = service.register_template(
+        "ph", "Q(x) :- F(x, y1), F(x, y2), y1 = $a, y2 = $b")
+    assert not template.bounded
+    assert service.execute_template("ph", {"a": 10, "b": 10}).answers \
+        == {(1,)}
+    assert service.execute_template("ph", {"a": 10, "b": 20}).answers == set()
+
+
+def test_execute_with_params_never_serves_value_dependent_empty(service, db):
+    # The raw-text path must apply the same guard as registration: the
+    # entry is cached as a scan fallback, not as an empty bounded plan.
+    text = "Q(y) :- R(x, y), x = $a, x = 1"
+    cold = service.execute(text, {"a": 1})
+    assert not cold.bounded
+    assert cold.answers == {(10,), (11,)}
+    warm = service.execute(text, {"a": 1})
+    assert warm.plan_cached
+    assert warm.answers == cold.answers
+    assert service.execute(text, {"a": 2}).answers == set()
 
 
 def test_unhashable_binding_value_is_rejected(service):

@@ -142,6 +142,55 @@ class TestFetch:
         assert db.fetch(aschema.constraints[0], (5,)) == [(5, "z")]
 
 
+class TestWriteGenerations:
+    def test_insert_bumps_generation_once_per_effective_write(
+            self, schema, aschema):
+        db = Database(schema, aschema)
+        before = db.generation("R")
+        db.insert("R", (1, "a"))
+        assert db.generation("R") == before + 1
+        db.insert("R", (1, "a"))  # duplicate: not an effective write
+        assert db.generation("R") == before + 1
+
+    def test_insert_bumps_generation_after_index_updates(
+            self, schema, aschema):
+        """A reader observing the post-write epoch must also see the new
+        row in every index; otherwise a fetch cache could pin pre-write
+        rows under the new epoch forever."""
+        db = Database(schema, aschema)
+        index = db._indexes_for("R")[0]
+        observed = []
+        original_add = index.add
+
+        def recording_add(row):
+            observed.append(db.generation("R"))
+            original_add(row)
+
+        index.add = recording_add
+        before = db.generation("R")
+        db.insert("R", (1, "a"))
+        assert observed == [before]
+        assert db.generation("R") == before + 1
+
+    def test_clear_bumps_generations_after_emptying_indexes(
+            self, schema, aschema):
+        db = Database(schema, aschema)
+        db.insert("R", (1, "a"))
+        before = db.generation("R")
+        index = db._indexes_for("R")[0]
+        observed = []
+        original_remove_all = index.remove_all
+
+        def recording_remove_all():
+            observed.append(db.generation("R"))
+            original_remove_all()
+
+        index.remove_all = recording_remove_all
+        db.clear()
+        assert observed == [before]
+        assert db.generation("R") == before + 1
+
+
 class TestAccessIndex:
     def test_distinct_y_counting(self, schema):
         constraint = AccessConstraint("R", ("A",), ("B",), 2)
