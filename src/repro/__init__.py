@@ -18,8 +18,9 @@ from .schema import (AccessConstraint, AccessSchema, CardinalityFunction,
 from .query import (CQ, UCQ, Atom, Const, Equality, FOQuery, PositiveQuery,
                     Var, parse_cq, parse_query, parse_ucq)
 from .storage import Database
-from .engine import (Plan, build_bounded_plan, build_union_plan,
-                     evaluate, execute_plan, static_bounds)
+from .engine import (Plan, PhysicalPlan, build_bounded_plan,
+                     build_union_plan, evaluate, execute_plan,
+                     interpret_logical, optimize, static_bounds)
 from .core import (Budget, Decision, Verdict, a_contained, a_equivalent,
                    a_satisfiable, analyze_coverage, is_boundedly_evaluable,
                    is_covered, lower_envelope, specialize_minimally,
@@ -45,8 +46,9 @@ __all__ = [
     "Var", "Const", "Atom", "Equality", "CQ", "UCQ", "PositiveQuery",
     "FOQuery", "parse_cq", "parse_ucq", "parse_query",
     # storage / engine
-    "Database", "Plan", "build_bounded_plan", "build_union_plan",
-    "execute_plan", "evaluate", "static_bounds",
+    "Database", "Plan", "PhysicalPlan", "build_bounded_plan",
+    "build_union_plan", "optimize", "execute_plan", "interpret_logical",
+    "evaluate", "static_bounds",
     # core analyses
     "analyze_coverage", "is_covered", "is_boundedly_evaluable",
     "a_satisfiable", "a_contained", "a_equivalent",

@@ -4,6 +4,7 @@ Usage (after ``pip install -e .`` the ``repro`` entry point is on PATH;
 ``python -m repro.cli`` always works)::
 
     repro analyze  --db DIR "Q(x) :- R(x, y), y = 1"
+    repro explain  --db DIR "Q(x) :- R(x, y), y = 1"
     repro run      --db DIR "Q(x) :- R(x, y), y = 1"
     repro discover --db DIR [--max-bound N]
     repro batch    --db DIR [--workers K] requests.json
@@ -12,7 +13,9 @@ Usage (after ``pip install -e .`` the ``repro`` entry point is on PATH;
 ``--db DIR`` points at a directory written by
 ``repro.storage.io.save_database`` (CSV files plus ``schema.json``).
 ``analyze`` reports coverage / bounded evaluability / envelopes /
-specialization advice; ``run`` additionally executes the bounded plan
+specialization advice; ``explain`` prints the full compilation pipeline
+(logical plan, fired optimizer rules, physical plan, cost estimate);
+``run`` additionally executes the bounded plan
 (or the baseline when none exists) and prints access accounting;
 ``discover`` mines an access schema from the data and prints it;
 ``batch`` serves a JSON file of requests through a persistent
@@ -39,12 +42,14 @@ import sys
 
 from .core import (analyze_coverage, is_boundedly_evaluable, lower_envelope,
                    specialize_minimally, upper_envelope)
-from .engine import ScanStats, evaluate, execute_plan, static_bounds
+from .engine import (ScanStats, evaluate, execute_plan, optimize,
+                     static_bounds)
 from .errors import ReproError, StorageError
 from .query import CQ, parse_query
 from .schema.discovery import DiscoveryOptions, discover_access_schema
 from .service import BatchRequest, BoundedQueryService
 from .storage.io import load_database
+from .storage.statistics import TableStatistics
 
 
 def _load(args):
@@ -84,6 +89,36 @@ def cmd_analyze(args) -> int:
         else:
             print(f"specialization: {qsp.explain()}")
     return 1
+
+
+def cmd_explain(args) -> int:
+    """Show the whole compilation pipeline for one query: the certified
+    logical plan, which optimizer rules fired, the physical plan the
+    executor will run, and the static cost estimate."""
+    db = _load(args)
+    query = parse_query(args.query)
+    decision = is_boundedly_evaluable(query, db.access_schema)
+    print(f"BEP: {decision.explain()}")
+    if not decision.is_yes:
+        print("no bounded plan to explain; `repro analyze` diagnoses "
+              "uncovered queries")
+        return 1
+    plan = decision.witness["plan"]
+    print()
+    print(f"logical {plan.explain()}")
+    physical = optimize(plan, TableStatistics.from_database(db))
+    print()
+    print(physical.trace.explain())
+    fired = physical.trace.fired_rules()
+    print(f"fired rules: {', '.join(fired) if fired else '(none)'}")
+    print()
+    print(physical.explain())
+    print()
+    cost = static_bounds(plan, db_size=db.size())
+    print(f"cost estimate: output <= {cost.output_bound} rows, "
+          f"fetched <= {cost.fetch_bound} tuples, "
+          f"index lookups <= {cost.lookup_bound}")
+    return 0
 
 
 def cmd_run(args) -> int:
@@ -211,6 +246,13 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--verbose", action="store_true")
     analyze.add_argument("query")
     analyze.set_defaults(func=cmd_analyze)
+
+    explain = sub.add_parser(
+        "explain", help="show logical plan, optimizer rules, physical "
+                        "plan and cost estimate")
+    explain.add_argument("--db", required=True)
+    explain.add_argument("query")
+    explain.set_defaults(func=cmd_explain)
 
     run = sub.add_parser("run", help="execute a query (bounded if possible)")
     run.add_argument("--db", required=True)

@@ -1,11 +1,14 @@
-"""Query execution: naive baseline, bounded plans, executor, cost bounds."""
+"""Query execution: naive baseline, logical plans, the rule-based
+optimizer, the batch-oriented physical executor, and cost bounds."""
 
 from .builder import build_bounded_plan, build_empty_plan, build_union_plan
 from .cost import FetchBound, PlanCost, static_bounds
-from .executor import (AccessStats, ExecutionResult, Executor, Table,
-                       execute_plan)
+from .executor import (AccessStats, Batch, ExecutionResult, Executor, Table,
+                       execute_plan, interpret_logical)
 from .naive import (ScanStats, evaluate, evaluate_cq, evaluate_fo,
                     evaluate_positive, evaluate_ucq)
+from .optimizer import (OptimizationTrace, PhysicalPlan, ensure_physical,
+                        optimize)
 from .plan import (ColEq, ConstEq, ConstOp, DiffOp, EmptyOp, FetchOp, Plan,
                    ProductOp, ProjectOp, RenameOp, SelectOp, UnionOp, UnitOp)
 
@@ -13,7 +16,9 @@ __all__ = [
     "Plan", "UnitOp", "EmptyOp", "ConstOp", "FetchOp", "ProjectOp",
     "SelectOp", "RenameOp", "ProductOp", "UnionOp", "DiffOp",
     "ColEq", "ConstEq",
-    "Executor", "ExecutionResult", "AccessStats", "Table", "execute_plan",
+    "PhysicalPlan", "OptimizationTrace", "optimize", "ensure_physical",
+    "Executor", "ExecutionResult", "AccessStats", "Table", "Batch",
+    "execute_plan", "interpret_logical",
     "build_bounded_plan", "build_union_plan", "build_empty_plan",
     "static_bounds", "PlanCost", "FetchBound",
     "ScanStats", "evaluate", "evaluate_cq", "evaluate_ucq",

@@ -1,0 +1,24 @@
+"""Shared column-name resolution.
+
+One helper, one error shape: every layer that maps a column name to a
+position — the batch executor's :class:`~repro.engine.executor.Table`,
+the logical reference interpreter, and the optimizer's physical
+lowering — resolves through :func:`column_index` so a missing column
+always raises the same :class:`~repro.errors.ExecutionError`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ExecutionError
+
+
+def column_index(columns: Sequence[str], name: str) -> int:
+    """Position of ``name`` in ``columns``; :class:`ExecutionError` if absent."""
+    try:
+        return list(columns).index(name)
+    except ValueError:
+        raise ExecutionError(
+            f"no column {name!r}; columns are {tuple(columns)}"
+        ) from None

@@ -30,6 +30,19 @@ from .plan import (ConstOp, DiffOp, EmptyOp, FetchOp, Plan, ProductOp,
 Factor = AccessConstraint  # A cost term is a product of constraint bounds.
 
 
+def constraint_lookup_bound(constraint: AccessConstraint,
+                            db_size: int | None) -> int | None:
+    """Tuples one index lookup through ``constraint`` can return, or
+    ``None`` when the constraint's cardinality is non-constant and no
+    ``db_size`` is supplied (the optimizer's estimator degrades
+    gracefully where :func:`static_bounds` would raise)."""
+    if constraint.is_constant:
+        return constraint.bound(0)
+    if db_size is None:
+        return None
+    return constraint.bound(db_size)
+
+
 def _eval_term(term: tuple[Factor, ...], db_size: int | None) -> int:
     """Evaluate a product of cardinality bounds."""
     product = 1

@@ -1,41 +1,81 @@
-"""Plan execution with access accounting.
+"""Batch-oriented physical-plan execution with access accounting.
 
-The executor materializes each plan step as a named-column table (set
-semantics) and, crucially, counts every tuple that crosses the storage
-boundary: bounded evaluability is an *access* guarantee, so the numbers
-reported here — fetch calls, tuples fetched — are the paper's
+The executor runs :class:`~repro.engine.optimizer.physical.PhysicalPlan`
+steps batch-at-a-time: each intermediate result is a columnar
+:class:`Batch` (one Python list per column), so projections and renames
+are column-list reuse, filters are vectorized position scans, and joins
+build index arrays instead of materializing row sets per step.  Handed
+a *logical* :class:`~repro.engine.plan.Plan`, it first runs the
+one-time optimizer (memoized on the plan object) — execution itself
+never pattern-matches the plan again.
+
+Crucially, the accounting semantics are unchanged from the
+tuple-at-a-time executor this replaces: every tuple that crosses the
+storage boundary is counted, so the numbers reported here — fetch
+calls, index lookups, tuples fetched — are still the paper's
 ``|D_Q|``-style quantities (Section 2) and what EXP-1/EXP-4 plot.
+
+:func:`interpret_logical` keeps the direct tuple-at-a-time
+interpretation of the logical IR (no optimizer, no fusion) as the
+reference semantics — property tests and the EXP-9 benchmark compare
+the optimized pipeline against it bit-for-bit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from ..errors import ExecutionError
 from ..storage.database import Database
-from .plan import (ColEq, Condition, ConstEq, ConstOp, DiffOp, EmptyOp,
-                   FetchOp, Op, Plan, ProductOp, ProjectOp, RenameOp,
-                   SelectOp, UnionOp, UnitOp)
+from ..storage.statistics import TableStatistics
+from .columns import column_index
+from .optimizer.physical import (BatchFetchOp, ConstCheck, ConstScanOp,
+                                 CrossJoinOp, DifferenceOp,
+                                 DistinctUnionOp, EmptyScanOp, FilterOp,
+                                 FusedFetchOp, GatherOp, HashJoinOp,
+                                 PhysicalOp, PhysicalPlan, UnitScanOp)
+from .optimizer.pipeline import ensure_physical
+from .plan import (ColEq, ConstEq, ConstOp, DiffOp, EmptyOp, FetchOp, Op,
+                   Plan, ProductOp, ProjectOp, RenameOp, SelectOp, UnionOp,
+                   UnitOp)
 
 
 @dataclass
 class Table:
-    """A named-column table with set semantics."""
+    """A named-column table with set semantics (the result format)."""
 
     columns: tuple[str, ...]
     rows: set[tuple]
 
     def column_index(self, name: str) -> int:
-        try:
-            return self.columns.index(name)
-        except ValueError:
-            raise ExecutionError(
-                f"no column {name!r}; columns are {self.columns}"
-            ) from None
+        return column_index(self.columns, name)
 
     def __len__(self) -> int:
         return len(self.rows)
+
+
+@dataclass
+class Batch:
+    """A columnar intermediate: one list per column, row-aligned.
+
+    ``distinct`` records whether the rows are known duplicate-free;
+    ops that cannot introduce duplicates propagate it, so deduplication
+    runs only where projection or union may actually have merged rows.
+    """
+
+    columns: tuple[str, ...]
+    cols: list[list]
+    length: int
+    distinct: bool
+
+    def rows(self) -> set[tuple]:
+        if not self.columns:
+            return {()} if self.length else set()
+        return set(zip(*self.cols))
+
+    def __len__(self) -> int:
+        return self.length
 
 
 @dataclass
@@ -56,11 +96,11 @@ class AccessStats:
     fetch_cache_misses: int = 0
     #: Tuples served from the fetch cache instead of storage.
     tuples_from_cache: int = 0
-    #: Largest intermediate table (plan-side work, not data access).
+    #: Largest intermediate batch (plan-side work, not data access).
     max_intermediate: int = 0
     ops_executed: int = 0
 
-    def observe_table(self, table: Table) -> None:
+    def observe_table(self, table) -> None:
         self.max_intermediate = max(self.max_intermediate, len(table))
 
     def merge(self, other: "AccessStats") -> None:
@@ -93,150 +133,151 @@ class ExecutionResult:
         return bool(self.table.rows)
 
 
+def _deduped(columns: tuple[str, ...], cols: list[list],
+             length: int) -> Batch:
+    if not columns:
+        return Batch(columns, [], 1 if length else 0, True)
+    rows = list(dict.fromkeys(zip(*cols)))
+    if rows:
+        new_cols = [list(column) for column in zip(*rows)]
+    else:
+        new_cols = [[] for _ in columns]
+    return Batch(columns, new_cols, len(rows), True)
+
+
+def _passes(row: tuple, checks) -> bool:
+    for check in checks:
+        if isinstance(check, ConstCheck):
+            if row[check.position] != check.value:
+                return False
+        else:
+            if row[check.left] != row[check.right]:
+                return False
+    return True
+
+
 class Executor:
-    """Executes plans against one database instance."""
+    """Executes plans against one database instance.
+
+    Accepts a logical :class:`Plan` (optimized once, memoized on the
+    plan) or a ready :class:`PhysicalPlan` (e.g. from a service's plan
+    cache — no optimizer work at all).
+    """
 
     def __init__(self, db: Database):
         self.db = db
 
-    def execute(self, plan: Plan) -> ExecutionResult:
-        stats = AccessStats()
-        fusable = plan.fused_join_products()
-        tables: list[Table] = []
-        for index, op in enumerate(plan.steps):
-            if index in fusable:
-                # Materialized lazily by the select that consumes it.
-                stats.ops_executed += 1
-                tables.append(None)  # type: ignore[arg-type]
-                continue
-            if isinstance(op, SelectOp) and op.source in fusable:
-                table = self._run_join(plan.steps[op.source], op, tables)
-            else:
-                table = self._run_op(op, tables, stats)
-            stats.ops_executed += 1
-            stats.observe_table(table)
-            tables.append(table)
-        if not tables:
-            raise ExecutionError("cannot execute an empty plan")
-        return ExecutionResult(tables[-1], stats)
-
-    def _run_join(self, product: ProductOp, op: SelectOp,
-                  tables: list[Table]) -> Table:
-        """``σ_conds(left × right)`` as a filtered hash join."""
-        left, right = tables[product.left], tables[product.right]
-        columns = left.columns + right.columns
-        split = len(left.columns)
-
-        def index_of(name: str) -> int:
-            try:
-                return columns.index(name)
-            except ValueError:
-                raise ExecutionError(
-                    f"no column {name!r}; columns are {columns}") from None
-
-        left_checks: list = []   # (position, const) or (pos, pos) in left
-        right_checks: list = []
-        join_pairs: list[tuple[int, int]] = []  # (left pos, right pos)
-        for condition in op.conditions:
-            if isinstance(condition, ConstEq):
-                position = index_of(condition.column)
-                if position < split:
-                    left_checks.append((position, condition.value))
-                else:
-                    right_checks.append((position - split, condition.value))
-            elif isinstance(condition, ColEq):
-                a, b = index_of(condition.left), index_of(condition.right)
-                if a < split and b < split:
-                    left_checks.append((a, b, None))
-                elif a >= split and b >= split:
-                    right_checks.append((a - split, b - split, None))
-                else:
-                    if a >= split:
-                        a, b = b, a
-                    join_pairs.append((a, b - split))
-            else:
-                raise ExecutionError(f"unknown condition {condition!r}")
-
-        def filtered(rows, checks):
-            if not checks:
-                return rows
-            kept = []
-            for row in rows:
-                for check in checks:
-                    if len(check) == 3:
-                        if row[check[0]] != row[check[1]]:
-                            break
-                    elif row[check[0]] != check[1]:
-                        break
-                else:
-                    kept.append(row)
-            return kept
-
-        left_rows = filtered(left.rows, left_checks)
-        right_rows = filtered(right.rows, right_checks)
-        rows: set[tuple] = set()
-        if join_pairs:
-            left_key = [p for p, _ in join_pairs]
-            right_key = [p for _, p in join_pairs]
-            buckets: dict[tuple, list[tuple]] = {}
-            for row in right_rows:
-                buckets.setdefault(
-                    tuple(row[p] for p in right_key), []).append(row)
-            for row in left_rows:
-                for match in buckets.get(
-                        tuple(row[p] for p in left_key), ()):
-                    rows.add(row + match)
+    def execute(self, plan) -> ExecutionResult:
+        if isinstance(plan, Plan):
+            if not plan.steps:
+                raise ExecutionError("cannot execute an empty plan")
+            physical = ensure_physical(
+                plan, lambda: TableStatistics.from_database(self.db))
+        elif isinstance(plan, PhysicalPlan):
+            physical = plan
         else:
-            for lrow in left_rows:
-                for rrow in right_rows:
-                    rows.add(lrow + rrow)
-        return Table(columns, rows)
+            raise ExecutionError(
+                f"cannot execute a {type(plan).__name__}; expected a "
+                "logical Plan or a PhysicalPlan")
+        stats = AccessStats()
+        batches: list[Batch] = []
+        for op in physical.steps:
+            batch = self._run_op(op, batches, stats)
+            stats.ops_executed += 1
+            stats.max_intermediate = max(stats.max_intermediate,
+                                         batch.length)
+            batches.append(batch)
+        final = batches[-1]
+        return ExecutionResult(Table(final.columns, final.rows()), stats)
 
-    # -- op dispatch ------------------------------------------------------------
+    # -- op dispatch ----------------------------------------------------------
 
-    def _run_op(self, op: Op, tables: list[Table],
-                stats: AccessStats) -> Table:
-        if isinstance(op, UnitOp):
-            return Table((), {()})
-        if isinstance(op, EmptyOp):
-            return Table(op.columns, set())
-        if isinstance(op, ConstOp):
-            return Table((op.column,), {(op.value,)})
-        if isinstance(op, FetchOp):
-            return self._run_fetch(op, tables[op.source], stats)
-        if isinstance(op, ProjectOp):
-            return self._run_project(op, tables[op.source])
-        if isinstance(op, SelectOp):
-            return self._run_select(op, tables[op.source])
-        if isinstance(op, RenameOp):
-            mapping = dict(op.mapping)
-            source = tables[op.source]
-            return Table(tuple(mapping.get(c, c) for c in source.columns),
-                         set(source.rows))
-        if isinstance(op, ProductOp):
-            left, right = tables[op.left], tables[op.right]
-            rows = {l + r for l in left.rows for r in right.rows}
-            return Table(left.columns + right.columns, rows)
-        if isinstance(op, UnionOp):
-            first = tables[op.sources[0]]
-            rows: set[tuple] = set()
-            for source in op.sources:
-                rows |= tables[source].rows
-            return Table(first.columns, rows)
-        if isinstance(op, DiffOp):
-            left, right = tables[op.left], tables[op.right]
-            return Table(left.columns, left.rows - right.rows)
-        raise ExecutionError(f"unknown op {op!r}")
+    def _run_op(self, op: PhysicalOp, batches: list[Batch],
+                stats: AccessStats) -> Batch:
+        if isinstance(op, UnitScanOp):
+            return Batch((), [], 1, True)
+        if isinstance(op, EmptyScanOp):
+            return Batch(op.out_columns,
+                         [[] for _ in op.out_columns], 0, True)
+        if isinstance(op, ConstScanOp):
+            return Batch(op.out_columns, [[op.value]], 1, True)
+        if isinstance(op, GatherOp):
+            return self._run_gather(op, batches[op.source])
+        if isinstance(op, FilterOp):
+            return self._run_filter(op, batches[op.source])
+        if isinstance(op, (BatchFetchOp, FusedFetchOp)):
+            return self._run_fetch(op, batches[op.source], stats)
+        if isinstance(op, HashJoinOp):
+            return self._run_hash_join(op, batches[op.left],
+                                       batches[op.right])
+        if isinstance(op, CrossJoinOp):
+            return self._run_cross(op, batches[op.left], batches[op.right])
+        if isinstance(op, DistinctUnionOp):
+            return self._run_union(op, batches)
+        if isinstance(op, DifferenceOp):
+            left, right = batches[op.left], batches[op.right]
+            rows = list(left.rows() - right.rows())
+            if rows and op.out_columns:
+                cols = [list(column) for column in zip(*rows)]
+            else:
+                cols = [[] for _ in op.out_columns]
+            return Batch(op.out_columns, cols,
+                         len(rows) if op.out_columns else
+                         (1 if rows else 0), True)
+        raise ExecutionError(f"unknown physical op {op!r}")
 
-    def _run_fetch(self, op: FetchOp, source: Table,
-                   stats: AccessStats) -> Table:
-        positions = [source.column_index(c) for c in op.x_columns]
-        x_values = {tuple(row[p] for p in positions) for row in source.rows}
+    @staticmethod
+    def _run_gather(op: GatherOp, source: Batch) -> Batch:
+        if not op.positions:
+            return Batch(op.out_columns, [], 1 if source.length else 0, True)
+        cols = [source.cols[p] for p in op.positions]
+        permutation = (len(op.positions) == len(source.columns)
+                       and sorted(op.positions) ==
+                       list(range(len(source.columns))))
+        if source.distinct and permutation:
+            # Reorder/rename of distinct rows: column lists are shared,
+            # nothing is copied, distinctness is preserved.
+            return Batch(op.out_columns, cols, source.length, True)
+        return _deduped(op.out_columns, cols, source.length)
+
+    @staticmethod
+    def _run_filter(op: FilterOp, source: Batch) -> Batch:
+        selected = range(source.length)
+        for check in op.checks:
+            if isinstance(check, ConstCheck):
+                column, value = source.cols[check.position], check.value
+                selected = [i for i in selected if column[i] == value]
+            else:
+                left, right = source.cols[check.left], source.cols[check.right]
+                selected = [i for i in selected if left[i] == right[i]]
+        selected = list(selected)
+        cols = [[column[i] for i in selected] for column in source.cols]
+        return Batch(op.out_columns, cols, len(selected), source.distinct)
+
+    def _run_fetch(self, op, source: Batch,
+                   stats: AccessStats) -> Batch:
+        if op.x_positions:
+            key_cols = [source.cols[p] for p in op.x_positions]
+            x_values = set(zip(*key_cols))
+        else:
+            x_values = {()} if source.length else set()
         stats.fetch_calls += 1
-        rows: set[tuple] = set()
+        checks = op.checks if isinstance(op, FusedFetchOp) else ()
+        out_rows: list[tuple] = []
         for x_value in x_values:
-            rows.update(self._fetch_rows(op.constraint, x_value, stats))
-        return Table(op.out_columns, rows)
+            fetched = self._fetch_rows(op.constraint, x_value, stats)
+            if checks:
+                out_rows.extend(row for row in fetched
+                                if _passes(row, checks))
+            else:
+                out_rows.extend(fetched)
+        if out_rows:
+            cols = [list(column) for column in zip(*out_rows)]
+        else:
+            cols = [[] for _ in op.out_columns]
+        # Per-X results are distinct and carry their X-prefix, so the
+        # concatenation over distinct X-values is duplicate-free.
+        return Batch(op.out_columns, cols, len(out_rows), True)
 
     def _fetch_rows(self, constraint, x_value: tuple,
                     stats: AccessStats) -> Sequence[tuple]:
@@ -248,42 +289,153 @@ class Executor:
         return fetched
 
     @staticmethod
-    def _run_project(op: ProjectOp, source: Table) -> Table:
-        positions = [source.column_index(c) for c in op.src_columns]
-        rows = {tuple(row[p] for p in positions) for row in source.rows}
-        columns = op.out_columns if op.out_columns is not None else op.src_columns
-        return Table(tuple(columns), rows)
+    def _run_hash_join(op: HashJoinOp, left: Batch, right: Batch) -> Batch:
+        if op.build == "left":
+            build, probe = left, right
+            build_key, probe_key = op.left_key, op.right_key
+        else:
+            build, probe = right, left
+            build_key, probe_key = op.right_key, op.left_key
+        build_cols = [build.cols[p] for p in build_key]
+        buckets: dict[tuple, list[int]] = {}
+        for i in range(build.length):
+            buckets.setdefault(tuple(col[i] for col in build_cols),
+                               []).append(i)
+        probe_cols = [probe.cols[p] for p in probe_key]
+        left_index: list[int] = []
+        right_index: list[int] = []
+        probe_is_left = probe is left
+        for j in range(probe.length):
+            matches = buckets.get(tuple(col[j] for col in probe_cols))
+            if not matches:
+                continue
+            for i in matches:
+                if probe_is_left:
+                    left_index.append(j)
+                    right_index.append(i)
+                else:
+                    left_index.append(i)
+                    right_index.append(j)
+        cols = ([[column[i] for i in left_index] for column in left.cols]
+                + [[column[j] for j in right_index]
+                   for column in right.cols])
+        return Batch(op.out_columns, cols, len(left_index),
+                     left.distinct and right.distinct)
 
     @staticmethod
-    def _run_select(op: SelectOp, source: Table) -> Table:
-        checks: list = []
-        for condition in op.conditions:
-            if isinstance(condition, ColEq):
-                li = source.column_index(condition.left)
-                ri = source.column_index(condition.right)
-                checks.append(("col", li, ri))
-            elif isinstance(condition, ConstEq):
-                ci = source.column_index(condition.column)
-                checks.append(("const", ci, condition.value))
-            else:
-                raise ExecutionError(f"unknown condition {condition!r}")
-        rows = set()
-        for row in source.rows:
-            ok = True
-            for kind, a, b in checks:
-                if kind == "col":
-                    if row[a] != row[b]:
-                        ok = False
-                        break
+    def _run_cross(op: CrossJoinOp, left: Batch, right: Batch) -> Batch:
+        l_count, r_count = left.length, right.length
+        cols = ([[column[i] for i in range(l_count)
+                  for _ in range(r_count)] for column in left.cols]
+                + [column * l_count for column in right.cols])
+        return Batch(op.out_columns, cols, l_count * r_count,
+                     left.distinct and right.distinct)
+
+    @staticmethod
+    def _run_union(op: DistinctUnionOp, batches: list[Batch]) -> Batch:
+        sources = [batches[s] for s in op.sources]
+        if len(sources) == 1 and sources[0].distinct:
+            only = sources[0]
+            return Batch(op.out_columns, only.cols, only.length, True)
+        width = len(op.out_columns)
+        cols = [[] for _ in range(width)]
+        total = 0
+        for source in sources:
+            for position in range(width):
+                cols[position].extend(source.cols[position])
+            total += source.length
+        return _deduped(op.out_columns, cols, total)
+
+
+# -- the logical reference interpreter ---------------------------------------
+
+
+def interpret_logical(plan: Plan, db: Database,
+                      stats: AccessStats | None = None) -> ExecutionResult:
+    """Direct tuple-at-a-time interpretation of the *logical* IR.
+
+    No optimizer, no join fusion, no batches: every step materializes a
+    row set exactly as the paper's plan semantics reads.  This is the
+    reference the optimized pipeline is property-tested against, and
+    the "unoptimized" baseline of the EXP-9 benchmark.
+    """
+    stats = stats if stats is not None else AccessStats()
+    tables: list[Table] = []
+
+    def run(op: Op) -> Table:
+        if isinstance(op, UnitOp):
+            return Table((), {()})
+        if isinstance(op, EmptyOp):
+            return Table(op.columns, set())
+        if isinstance(op, ConstOp):
+            return Table((op.column,), {(op.value,)})
+        if isinstance(op, FetchOp):
+            source = tables[op.source]
+            positions = [source.column_index(c) for c in op.x_columns]
+            x_values = {tuple(row[p] for p in positions)
+                        for row in source.rows}
+            stats.fetch_calls += 1
+            rows: set[tuple] = set()
+            for x_value in x_values:
+                fetched = db.fetch(op.constraint, x_value)
+                stats.index_lookups += 1
+                stats.tuples_fetched += len(fetched)
+                rows.update(fetched)
+            return Table(op.out_columns, rows)
+        if isinstance(op, ProjectOp):
+            source = tables[op.source]
+            positions = [source.column_index(c) for c in op.src_columns]
+            rows = {tuple(row[p] for p in positions) for row in source.rows}
+            columns = (op.out_columns if op.out_columns is not None
+                       else op.src_columns)
+            return Table(tuple(columns), rows)
+        if isinstance(op, SelectOp):
+            source = tables[op.source]
+            checks = []
+            for condition in op.conditions:
+                if isinstance(condition, ColEq):
+                    checks.append((source.column_index(condition.left),
+                                   source.column_index(condition.right),
+                                   None))
+                elif isinstance(condition, ConstEq):
+                    checks.append((source.column_index(condition.column),
+                                   condition.value))
                 else:
-                    if row[a] != b:
-                        ok = False
-                        break
-            if ok:
-                rows.add(row)
-        return Table(source.columns, rows)
+                    raise ExecutionError(
+                        f"unknown condition {condition!r}")
+            rows = {row for row in source.rows
+                    if all(row[c[0]] == row[c[1]] if len(c) == 3
+                           else row[c[0]] == c[1] for c in checks)}
+            return Table(source.columns, rows)
+        if isinstance(op, RenameOp):
+            mapping = dict(op.mapping)
+            source = tables[op.source]
+            return Table(tuple(mapping.get(c, c) for c in source.columns),
+                         set(source.rows))
+        if isinstance(op, ProductOp):
+            left, right = tables[op.left], tables[op.right]
+            rows = {l + r for l in left.rows for r in right.rows}
+            return Table(left.columns + right.columns, rows)
+        if isinstance(op, UnionOp):
+            rows = set()
+            for source in op.sources:
+                rows |= tables[source].rows
+            return Table(tables[op.sources[0]].columns, rows)
+        if isinstance(op, DiffOp):
+            left, right = tables[op.left], tables[op.right]
+            return Table(left.columns, left.rows - right.rows)
+        raise ExecutionError(f"unknown op {op!r}")
+
+    if not plan.steps:
+        raise ExecutionError("cannot execute an empty plan")
+    for op in plan.steps:
+        table = run(op)
+        stats.ops_executed += 1
+        stats.observe_table(table)
+        tables.append(table)
+    return ExecutionResult(tables[-1], stats)
 
 
-def execute_plan(plan: Plan, db: Database) -> ExecutionResult:
-    """Convenience wrapper: run ``plan`` against ``db``."""
+def execute_plan(plan, db: Database) -> ExecutionResult:
+    """Convenience wrapper: optimize (if needed) and run against ``db``."""
     return Executor(db).execute(plan)

@@ -1,0 +1,42 @@
+"""Rule-based optimizer: logical bounded plans -> physical plans.
+
+The logical :class:`~repro.engine.plan.Plan` is the paper-facing IR —
+what :func:`~repro.engine.builder.build_bounded_plan` emits and
+:meth:`~repro.engine.plan.Plan.check_bounded_under` certifies.  This
+package turns it into a :class:`~repro.engine.optimizer.physical.
+PhysicalPlan` of batch-oriented physical operators via a pipeline of
+independent rewrite rules, each recorded in an
+:class:`~repro.engine.optimizer.pipeline.OptimizationTrace`:
+
+* ``product-to-hash-join`` — σ over × becomes a hash join with
+  per-side residual filters (subsumes the executor's old
+  ``fused_join_products`` pattern scan);
+* ``select-into-fetch`` — σ directly over a fetch is fused into the
+  fetch, filtering rows as they arrive from storage;
+* ``projection-pushdown`` — collapses projection chains and prunes
+  columns that no downstream op reads, narrowing join inputs;
+* ``common-subplan`` — hash-consing over the DAG, eliminating
+  duplicate fetches and shared sub-plans across UCQ disjuncts;
+* ``dead-step`` — drops steps no longer reachable from the result;
+* ``join-ordering`` — picks each hash join's build side from
+  statistics-derived row estimates.
+
+Optimization happens *once* per (query, access schema); the physical
+plan is what services cache and executors run.
+"""
+
+from .physical import (BatchFetchOp, ColCheck, ConstCheck, ConstScanOp,
+                       CrossJoinOp, DifferenceOp, DistinctUnionOp,
+                       EmptyScanOp, FilterOp, FusedFetchOp, GatherOp,
+                       HashJoinOp, PhysicalOp, PhysicalPlan, UnitScanOp)
+from .pipeline import (DEFAULT_RULES, OptimizationTrace, RuleFiring,
+                       ensure_physical, optimize)
+
+__all__ = [
+    "PhysicalPlan", "PhysicalOp", "UnitScanOp", "EmptyScanOp",
+    "ConstScanOp", "BatchFetchOp", "FusedFetchOp", "GatherOp", "FilterOp",
+    "HashJoinOp", "CrossJoinOp", "DistinctUnionOp", "DifferenceOp",
+    "ConstCheck", "ColCheck",
+    "optimize", "ensure_physical", "OptimizationTrace", "RuleFiring",
+    "DEFAULT_RULES",
+]

@@ -1,0 +1,561 @@
+"""Rewrite rules over the optimizer DAG.
+
+Each rule is independent: it inspects the graph, rewrites what it can,
+and reports how many times it fired.  Rules preserve *set-semantics
+results* — every rewrite is one of the classical algebraic identities
+(σ distributes over ×; σ commutes with fetch materialization; π can be
+pushed below ⨝ for columns nothing downstream reads; identical
+subexpressions denote identical tables) — so optimized and unoptimized
+plans are answer-identical on every instance (property-tested in
+``tests/engine/test_optimizer_property.py``).
+
+None of the rules adds data access: fetches are only merged (hash
+consing), narrowed (fused residual checks filter *after* the index
+lookup, which the access accounting already counted), or dropped (dead
+steps), so the builder's cost certificate remains a sound bound for the
+physical plan.
+"""
+
+from __future__ import annotations
+
+from ..plan import ColEq, Condition, ConstEq
+from .graph import Graph, Node
+
+
+class Rule:
+    """Base class; ``apply`` returns how many rewrites fired."""
+
+    name: str = "rule"
+
+    def apply(self, graph: Graph) -> int:
+        raise NotImplementedError
+
+
+class TrivialProductElimination(Rule):
+    """``unit × X`` (or ``X × unit``) → ``X``.
+
+    The builder seeds every CQ with the unit table and products against
+    it on each expansion, so the identity fires on nearly every bounded
+    plan; removing the product early lets the filter above it sit
+    directly on a fetch, where ``select-into-fetch`` can fuse it.
+    """
+
+    name = "unit-product"
+
+    def apply(self, graph: Graph) -> int:
+        fired = 0
+        changed = True
+        while changed:
+            changed = False
+            for node in graph.topo():
+                if node.kind != "cross":
+                    continue
+                left, right = node.inputs
+                if left.kind == "unit":
+                    survivor = right
+                elif right.kind == "unit":
+                    survivor = left
+                else:
+                    continue
+                graph.replace(node, survivor)
+                fired += 1
+                changed = True
+                break
+        return fired
+
+
+class ProductSelectToHashJoin(Rule):
+    """``σ(A × B)`` → per-side residual filters + hash join.
+
+    Conditions over one side's columns move below the product; ColEq
+    conditions spanning both sides become equi-join pairs.  With no
+    cross-side pair the product survives, but the pushed-down side
+    filters still shrink it.  This subsumes the old executor's
+    ``Plan.fused_join_products`` pattern scan — and, unlike it, also
+    fires when the product has other consumers or the plan was written
+    by hand.
+    """
+
+    name = "product-to-hash-join"
+
+    def apply(self, graph: Graph) -> int:
+        fired = 0
+        changed = True
+        while changed:
+            changed = False
+            for node in graph.topo():
+                if node.kind != "filter" or node.inputs[0].kind != "cross":
+                    continue
+                cross = node.inputs[0]
+                left, right = cross.inputs
+                split = self._split(node.conditions, set(left.columns),
+                                    set(right.columns))
+                if split is None:
+                    continue
+                left_conds, right_conds, pairs = split
+                if not pairs and not left_conds and not right_conds:
+                    continue
+                left_in = left
+                if left_conds:
+                    left_in = graph.add(Node("filter", [left], left.columns,
+                                             conditions=tuple(left_conds)))
+                right_in = right
+                if right_conds:
+                    right_in = graph.add(
+                        Node("filter", [right], right.columns,
+                             conditions=tuple(right_conds)))
+                if pairs:
+                    new = graph.add(Node("hashjoin", [left_in, right_in],
+                                         cross.columns, pairs=tuple(pairs)))
+                else:
+                    new = graph.add(Node("cross", [left_in, right_in],
+                                         cross.columns))
+                graph.replace(node, new)
+                fired += 1
+                changed = True
+                break
+        return fired
+
+    @staticmethod
+    def _split(conditions, left_columns: set, right_columns: set):
+        left_conds: list[Condition] = []
+        right_conds: list[Condition] = []
+        pairs: list[tuple[str, str]] = []
+        for condition in conditions:
+            if isinstance(condition, ConstEq):
+                if condition.column in left_columns:
+                    left_conds.append(condition)
+                elif condition.column in right_columns:
+                    right_conds.append(condition)
+                else:
+                    return None
+            elif isinstance(condition, ColEq):
+                a, b = condition.left, condition.right
+                if a in left_columns and b in left_columns:
+                    left_conds.append(condition)
+                elif a in right_columns and b in right_columns:
+                    right_conds.append(condition)
+                elif a in left_columns and b in right_columns:
+                    pairs.append((a, b))
+                elif a in right_columns and b in left_columns:
+                    pairs.append((b, a))
+                else:
+                    return None
+            else:
+                return None
+        return left_conds, right_conds, pairs
+
+
+class SelectIntoFetchPushdown(Rule):
+    """``σ(fetch(...))`` → a fetch with fused residual checks.
+
+    Conditions over the fetch's own output columns are applied to each
+    row as it arrives from the index, before it is materialized into a
+    batch.  Only fires when the filter is the fetch's sole consumer —
+    otherwise fusing would change what the shared fetch feeds others.
+    """
+
+    name = "select-into-fetch"
+
+    def apply(self, graph: Graph) -> int:
+        fired = 0
+        changed = True
+        while changed:
+            changed = False
+            uses = graph.consumers()
+            for node in graph.topo():
+                if node.kind != "filter" or node.inputs[0].kind != "fetch":
+                    continue
+                fetch = node.inputs[0]
+                if len(uses.get(id(fetch), ())) != 1:
+                    continue
+                fetch_columns = set(fetch.columns)
+                fusable = [c for c in node.conditions
+                           if self._over(c, fetch_columns)]
+                if not fusable:
+                    continue
+                residual = tuple(c for c in node.conditions
+                                 if not self._over(c, fetch_columns))
+                fused = graph.add(Node(
+                    "fetch", list(fetch.inputs), fetch.columns,
+                    constraint=fetch.constraint, x_columns=fetch.x_columns,
+                    filters=fetch.filters + tuple(fusable)))
+                if residual:
+                    new = graph.add(Node("filter", [fused], node.columns,
+                                         conditions=residual))
+                else:
+                    new = fused
+                graph.replace(node, new)
+                fired += 1
+                changed = True
+                break
+        return fired
+
+    @staticmethod
+    def _over(condition: Condition, columns: set) -> bool:
+        if isinstance(condition, ConstEq):
+            return condition.column in columns
+        if isinstance(condition, ColEq):
+            return condition.left in columns and condition.right in columns
+        return False
+
+
+class ProjectionPushdown(Rule):
+    """Collapse projection chains and prune columns nothing reads.
+
+    A required-columns analysis runs over the DAG (conservatively
+    treating ∪/− as needing every column); join inputs and fetch
+    sources carrying unrequired columns are wrapped in (or narrowed to)
+    a projection.  Narrower batches mean smaller hash tables and more
+    duplicate collapses before joins — sound under set semantics
+    because the dropped columns feed no downstream condition, key or
+    output.
+    """
+
+    name = "projection-pushdown"
+
+    def apply(self, graph: Graph) -> int:
+        fired = self._collapse_chains(graph)
+        fired += self._prune(graph)
+        fired += self._collapse_chains(graph)
+        return fired
+
+    # -- π(π(x)) → π(x), and identity-π elimination ------------------------
+
+    def _collapse_chains(self, graph: Graph) -> int:
+        fired = 0
+        changed = True
+        while changed:
+            changed = False
+            for node in graph.topo():
+                if node.kind != "project":
+                    continue
+                source = node.inputs[0]
+                if node.src_columns == node.columns \
+                        and node.src_columns == source.columns:
+                    graph.replace(node, source)
+                    fired += 1
+                    changed = True
+                    break
+                if source.kind == "project":
+                    # Compose: this project's src names are the inner's
+                    # out names; rewrite in terms of the inner's source.
+                    inner_of = dict(zip(source.columns, source.src_columns))
+                    composed = graph.add(Node(
+                        "project", list(source.inputs), node.columns,
+                        src_columns=tuple(inner_of[c]
+                                          for c in node.src_columns)))
+                    graph.replace(node, composed)
+                    fired += 1
+                    changed = True
+                    break
+        return fired
+
+    # -- column pruning -----------------------------------------------------
+
+    def _required(self, graph: Graph) -> dict[int, set]:
+        order = graph.topo()
+        required: dict[int, set] = {id(node): set() for node in order}
+        required[id(graph.result)] = set(graph.result.columns)
+        for node in reversed(order):
+            needs = required[id(node)]
+            if node.kind == "project":
+                src = required[id(node.inputs[0])]
+                for src_column, out_column in zip(node.src_columns,
+                                                  node.columns):
+                    if out_column in needs:
+                        src.add(src_column)
+            elif node.kind == "filter":
+                src = required[id(node.inputs[0])]
+                src |= needs
+                for condition in node.conditions:
+                    if isinstance(condition, ConstEq):
+                        src.add(condition.column)
+                    elif isinstance(condition, ColEq):
+                        src.add(condition.left)
+                        src.add(condition.right)
+            elif node.kind == "fetch":
+                required[id(node.inputs[0])] |= set(node.x_columns)
+            elif node.kind in ("cross", "hashjoin"):
+                left, right = node.inputs
+                required[id(left)] |= needs & set(left.columns)
+                required[id(right)] |= needs & set(right.columns)
+                for a, b in node.pairs:
+                    required[id(left)].add(a)
+                    required[id(right)].add(b)
+            else:
+                # union/diff members and anything else: keep every column.
+                for child in node.inputs:
+                    required[id(child)] |= set(child.columns)
+        return required
+
+    @staticmethod
+    def _refresh_columns(graph: Graph) -> None:
+        """Recompute derived column tuples after inputs were narrowed.
+
+        Filters mirror their input's columns; joins concatenate their
+        inputs'.  Everything else carries intrinsic columns.
+        """
+        for node in graph.topo():
+            if node.kind == "filter":
+                node.columns = node.inputs[0].columns
+            elif node.kind in ("cross", "hashjoin"):
+                node.columns = (node.inputs[0].columns
+                                + node.inputs[1].columns)
+
+    def _prune(self, graph: Graph) -> int:
+        fired = 0
+        required = self._required(graph)
+        # Narrow the inputs of joins and fetches (where batch width costs).
+        for node in graph.topo():
+            if node.kind not in ("cross", "hashjoin", "fetch"):
+                continue
+            for child in list(node.inputs):
+                needs = required.get(id(child))
+                if needs is None or needs >= set(child.columns):
+                    continue
+                keep = tuple(c for c in child.columns if c in needs)
+                if child.kind == "project":
+                    keep_src = tuple(s for s, o in zip(child.src_columns,
+                                                       child.columns)
+                                     if o in needs)
+                    narrowed = graph.add(Node(
+                        "project", list(child.inputs), keep,
+                        src_columns=keep_src))
+                else:
+                    narrowed = graph.add(Node("project", [child], keep,
+                                              src_columns=keep))
+                graph.replace(child, narrowed)
+                required[id(narrowed)] = set(keep)
+                fired += 1
+        if fired:
+            self._reconcile(graph)
+        return fired
+
+    def _reconcile(self, graph: Graph) -> None:
+        """Propagate narrowed columns downstream.
+
+        Derived columns (filters, joins) refresh directly.  A live
+        projection may still list a dropped source column — by the
+        required-columns analysis that can only happen when the
+        corresponding *output* is needed by no consumer (union/diff
+        consumers demand every column, so their arms are never
+        narrowed) — drop those (src, out) pairs and repeat until the
+        graph is consistent."""
+        changed = True
+        while changed:
+            self._refresh_columns(graph)
+            changed = False
+            for node in graph.topo():
+                if node.kind != "project":
+                    continue
+                available = set(node.inputs[0].columns)
+                if all(c in available for c in node.src_columns):
+                    continue
+                kept = [(src, out) for src, out
+                        in zip(node.src_columns, node.columns)
+                        if src in available]
+                node.src_columns = tuple(src for src, _ in kept)
+                node.columns = tuple(out for _, out in kept)
+                changed = True
+
+
+class CommonSubplanElimination(Rule):
+    """Hash-consing over the DAG, up to column renaming.
+
+    The plan builder fresh-names every step, so duplicate sub-plans
+    across UCQ disjuncts are *alpha-equivalent*, never textually equal.
+    Node signatures therefore trace through projection chains down to
+    base positions: two nodes with the same signature denote the same
+    table up to column names.  The duplicate is replaced by the
+    original — behind a rename-projection when names differ, which the
+    batch executor runs as zero-copy column relabeling.  Each merged
+    fetch is an index lookup the executor no longer repeats.
+
+    One topo pass suffices: merges happen bottom-up, and signatures see
+    *through* the rename-projections earlier merges inserted.
+    """
+
+    name = "common-subplan"
+
+    def apply(self, graph: Graph) -> int:
+        fired = 0
+        seen: dict[tuple, Node] = {}
+        for node in graph.topo():
+            signature = self._signature(node)
+            if signature is None:
+                continue
+            existing = seen.get(signature)
+            if existing is None:
+                seen[signature] = node
+                continue
+            if existing is node:
+                continue
+            if existing.columns == node.columns:
+                graph.replace(node, existing)
+            else:
+                rename = graph.add(Node(
+                    "project", [existing], node.columns,
+                    src_columns=existing.columns))
+                graph.replace(node, rename)
+            fired += 1
+        return fired
+
+    # -- signatures ---------------------------------------------------------
+
+    @staticmethod
+    def _through_projects(node: Node):
+        """``(base, positions)``: the nearest non-projection ancestor
+        and, per output column, its position there — or ``None`` when a
+        duplicate-named intermediate makes the mapping ambiguous."""
+        positions = list(range(len(node.columns)))
+        current = node
+        while current.kind == "project":
+            source = current.inputs[0]
+            if len(set(source.columns)) != len(source.columns):
+                return None
+            mapping = [source.columns.index(c)
+                       for c in current.src_columns]
+            positions = [mapping[p] for p in positions]
+            current = source
+        return current, tuple(positions)
+
+    @classmethod
+    def _traced_input(cls, child: Node):
+        traced = cls._through_projects(child)
+        if traced is None:
+            return None
+        base, positions = traced
+        return (id(base), positions)
+
+    @staticmethod
+    def _positional(conditions, columns: tuple[str, ...]):
+        if len(set(columns)) != len(columns):
+            return None
+        resolved = []
+        for condition in conditions:
+            if isinstance(condition, ConstEq):
+                resolved.append(("c", columns.index(condition.column),
+                                 condition.value))
+            elif isinstance(condition, ColEq):
+                resolved.append(("k", columns.index(condition.left),
+                                 columns.index(condition.right)))
+            else:
+                return None
+        return tuple(resolved)
+
+    def _signature(self, node: Node):
+        inputs = []
+        for child in node.inputs:
+            traced = self._traced_input(child)
+            if traced is None:
+                return None
+            inputs.append(traced)
+        if node.kind == "unit":
+            payload = ()
+        elif node.kind == "empty":
+            payload = (len(node.columns),)
+        elif node.kind == "const":
+            payload = (node.value,)
+        elif node.kind == "fetch":
+            # A fetch reads only its X-projection of the source, so the
+            # signature composes the X-positions through to the base.
+            source = node.inputs[0]
+            if len(set(source.columns)) != len(source.columns):
+                return None
+            traced = self._through_projects(source)
+            if traced is None:
+                return None
+            base, base_positions = traced
+            x_positions = tuple(
+                base_positions[source.columns.index(c)]
+                for c in node.x_columns)
+            filters = self._positional(node.filters, node.columns)
+            if filters is None:
+                return None
+            payload = (node.constraint, x_positions, filters)
+            inputs = [id(base)]
+        elif node.kind == "project":
+            traced = self._through_projects(node)
+            if traced is None:
+                return None
+            base, positions = traced
+            payload = (positions,)
+            inputs = [id(base)]
+        elif node.kind == "filter":
+            payload = (self._positional(node.conditions,
+                                        node.inputs[0].columns),)
+            if payload[0] is None:
+                return None
+        elif node.kind == "hashjoin":
+            left, right = node.inputs
+            try:
+                payload = (tuple(
+                    (left.columns.index(a), right.columns.index(b))
+                    for a, b in node.pairs),)
+            except ValueError:
+                return None
+        elif node.kind in ("cross", "union", "diff"):
+            payload = ()
+        else:
+            return None
+        signature = (node.kind, tuple(inputs), payload)
+        try:
+            hash(signature)
+        except TypeError:  # unhashable payload (e.g. exotic constant)
+            return None
+        return signature
+
+
+class DeadStepElimination(Rule):
+    """Drop registered nodes no longer reachable from the result.
+
+    Other rules strand nodes (a product replaced by a hash join, a
+    fetch merged into its twin); this rule is where the strands are
+    counted and physically removed from the registry, so the trace
+    reports how much of the plan each rewrite made redundant.
+    """
+
+    name = "dead-step"
+
+    def apply(self, graph: Graph) -> int:
+        live = {id(node) for node in graph.topo()}
+        dead = [node for node in graph.registry if id(node) not in live]
+        graph.registry = [node for node in graph.registry
+                          if id(node) in live]
+        return len(dead)
+
+
+class JoinInputOrdering(Rule):
+    """Pick each hash join's build side from row estimates.
+
+    The build side should be the smaller input: a smaller hash table,
+    and probing streams the bigger batch through.  Estimates come from
+    the same Q-and-A bounds the cost certificate uses, evaluated
+    against :class:`~repro.storage.statistics.TableStatistics` when
+    provided (relation sizes cap fetch estimates).  Fires only when
+    both sides are estimable and disagree with the current choice.
+    """
+
+    name = "join-ordering"
+
+    def __init__(self, statistics=None):
+        self.statistics = statistics
+
+    def apply(self, graph: Graph) -> int:
+        from .graph import estimate_rows
+
+        bounds = estimate_rows(graph, self.statistics)
+        fired = 0
+        for node in graph.topo():
+            if node.kind != "hashjoin":
+                continue
+            left_rows = bounds[id(node.inputs[0])]
+            right_rows = bounds[id(node.inputs[1])]
+            if left_rows is None or right_rows is None:
+                continue
+            build = "left" if left_rows < right_rows else "right"
+            if build != node.build:
+                node.build = build
+                fired += 1
+        return fired

@@ -319,31 +319,6 @@ class Plan:
     def fetch_ops(self) -> list[FetchOp]:
         return [op for op in self.steps if isinstance(op, FetchOp)]
 
-    def fused_join_products(self) -> frozenset[int]:
-        """Steps ``T_i = A × B`` whose only consumer is a later
-        ``σ(T_i)`` — the builder's join idiom.  The executor runs the
-        pair as one hash join instead of materializing the quadratic
-        product; σ distributes over ×, so results are identical.
-        Memoized per step count (plans are append-only).
-        """
-        cached = getattr(self, "_fused_cache", None)
-        if cached is not None and cached[0] == len(self.steps):
-            return cached[1]
-        consumers: dict[int, list[Op]] = {}
-        for op in self.steps:
-            for source in op.inputs():
-                consumers.setdefault(source, []).append(op)
-        fusable = set()
-        for index, op in enumerate(self.steps):
-            if (isinstance(op, ProductOp)
-                    and index != len(self.steps) - 1):
-                using = consumers.get(index, [])
-                if len(using) == 1 and isinstance(using[0], SelectOp):
-                    fusable.add(index)
-        result = frozenset(fusable)
-        self._fused_cache = (len(self.steps), result)
-        return result
-
     def constant_values(self) -> list[Hashable]:
         """Every constant the plan mentions (``ConstOp`` values and
         ``ConstEq`` selection values), in step order with repeats."""
@@ -383,11 +358,6 @@ class Plan:
                     op = SelectOp(op.source, conditions)
             clone.steps.append(op)
         clone._columns = list(self._columns)
-        # Constant substitution never changes op structure, so the
-        # join-fusion analysis carries over.
-        fused = getattr(self, "_fused_cache", None)
-        if fused is not None:
-            clone._fused_cache = fused
         return clone
 
     def __len__(self) -> int:

@@ -10,12 +10,13 @@ from .batch import BatchReport, BatchRequest, RequestOutcome, run_batch
 from .fetchcache import CachingExecutor, FetchCache
 from .plancache import CacheInfo, CompiledQuery, PlanCache, PlanCacheKey
 from .service import BoundedQueryService, ServiceResult, ServiceStats
-from .templates import QueryTemplate, bind_plan, bind_query
+from .templates import (QueryTemplate, bind_physical_plan,
+                        bind_plan, bind_query)
 
 __all__ = [
     "BoundedQueryService", "ServiceResult", "ServiceStats",
     "PlanCache", "PlanCacheKey", "CompiledQuery", "CacheInfo",
     "FetchCache", "CachingExecutor",
-    "QueryTemplate", "bind_plan", "bind_query",
+    "QueryTemplate", "bind_plan", "bind_physical_plan", "bind_query",
     "BatchRequest", "RequestOutcome", "BatchReport", "run_batch",
 ]

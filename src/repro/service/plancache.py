@@ -27,6 +27,7 @@ from typing import Hashable
 
 from ..core.bep import is_boundedly_evaluable
 from ..core.decision import Decision, no
+from ..engine.optimizer import PhysicalPlan, optimize
 from ..engine.plan import EmptyOp, Plan
 from ..query.normalize import query_fingerprint
 from ..schema.access import AccessSchema
@@ -72,16 +73,20 @@ class PlanCacheKey:
 class CompiledQuery:
     """Everything the static pipeline produced for one query.
 
-    ``plan`` is present exactly when the query is boundedly evaluable
-    (or A-unsatisfiable, in which case it is the empty plan); otherwise
-    the service falls back to scan-based evaluation and ``reason``
-    explains why.
+    ``plan`` (the certified logical plan) and ``physical`` (its
+    optimized, executable form) are present exactly when the query is
+    boundedly evaluable (or A-unsatisfiable, in which case they are the
+    empty plan); otherwise the service falls back to scan-based
+    evaluation and ``reason`` explains why.  The optimizer runs here,
+    at compile time, once — warm requests execute ``physical`` (bound
+    per request for templates) without ever re-optimizing.
     """
 
     query: object
     decision: Decision
     plan: Plan | None
     parameters: frozenset[str]
+    physical: PhysicalPlan | None = None
     #: Process-unique id, a safe key for downstream memo tables (ids of
     #: garbage-collected entries are never reused, unlike ``id()``).
     serial: int = field(default_factory=itertools.count().__next__)
@@ -137,13 +142,18 @@ class PlanCache:
     def put(self, key: PlanCacheKey, entry: CompiledQuery) -> None:
         self._entries.put(key, entry)
 
-    def compile(self, query,
-                access_schema: AccessSchema) -> tuple[CompiledQuery, bool]:
+    def compile(self, query, access_schema: AccessSchema,
+                statistics=None) -> tuple[CompiledQuery, bool]:
         """Look up (or run and memoize) the static pipeline for ``query``.
 
         Returns ``(entry, cached)``.  ``query`` may be any parsed query
         object; parameter placeholders are compiled as opaque constants,
-        so one compilation serves every binding of a template.
+        so one compilation serves every binding of a template.  The
+        optimizer runs as the pipeline's last stage, so cached entries
+        carry a ready-to-execute physical plan; ``statistics``
+        (:class:`~repro.storage.statistics.TableStatistics`, or a
+        zero-arg callable producing one — taken only on a miss) steers
+        its join ordering when provided.
         """
         key = PlanCacheKey(query_fingerprint(query, access_schema.schema),
                            access_schema.fingerprint())
@@ -153,7 +163,7 @@ class PlanCache:
         decision = is_boundedly_evaluable(query, access_schema)
         parameters = (frozenset(query.parameters())
                       if hasattr(query, "parameters") else frozenset())
-        plan = None
+        plan = physical = None
         if decision.is_yes:
             plan = decision.witness["plan"]
             if parameters and _value_dependent(decision, plan):
@@ -168,13 +178,15 @@ class PlanCache:
                     "every binding is answered correctly",
                     witness=decision.witness, method="value-dependent")
                 plan = None
+            else:
+                physical = optimize(plan, statistics)
         entry = CompiledQuery(query=query, decision=decision, plan=plan,
-                              parameters=parameters)
+                              parameters=parameters, physical=physical)
         self.put(key, entry)
         return entry, False
 
     def compile_text(self, text: str, access_schema: AccessSchema,
-                     parse) -> tuple[CompiledQuery, bool]:
+                     parse, statistics=None) -> tuple[CompiledQuery, bool]:
         """Like :meth:`compile` for source text; repeated texts also skip
         the parser.  ``parse`` maps text to a query object (injected so
         this module stays parser-agnostic)."""
@@ -189,7 +201,7 @@ class PlanCache:
         key = PlanCacheKey(query_fingerprint(query, access_schema.schema),
                            access_fp)
         self._text_keys.put(text_key, key)
-        return self.compile(query, access_schema)
+        return self.compile(query, access_schema, statistics)
 
     def clear(self) -> None:
         self._entries.clear()

@@ -37,11 +37,12 @@ from ..query.ast import CQ, UCQ, PositiveQuery
 from ..query.parser import parse_query
 from ..schema.access import AccessSchema
 from ..storage.database import Database
+from ..storage.statistics import TableStatistics
 from .batch import BatchReport, BatchRequest, run_batch
 from .fetchcache import CachingExecutor, FetchCache
 from .lru import LruDict
 from .plancache import CacheInfo, CompiledQuery, PlanCache
-from .templates import QueryTemplate, bind_plan, bind_query
+from .templates import QueryTemplate, bind_physical_plan, bind_query
 
 
 @dataclass
@@ -137,10 +138,19 @@ class BoundedQueryService:
         """Compile (or fetch from the plan cache) a query or query text."""
         if isinstance(query, str):
             entry, _ = self.plan_cache.compile_text(
-                query, self.access_schema, parse_query)
+                query, self.access_schema, parse_query, self._statistics)
         else:
-            entry, _ = self.plan_cache.compile(query, self.access_schema)
+            entry, _ = self.plan_cache.compile(query, self.access_schema,
+                                               self._statistics)
         return entry
+
+    def _statistics(self) -> TableStatistics:
+        """A fresh cardinality snapshot for the optimizer's join
+        ordering.  Passed as a *callable* to the plan cache, so it is
+        taken only when a compilation actually runs — warm requests
+        never pay for it.  Staleness is harmless (physical choices
+        only), so no invalidation is needed."""
+        return TableStatistics.from_database(self.db)
 
     def register_template(self, name: str, text: str,
                           replace: bool = False) -> QueryTemplate:
@@ -150,7 +160,8 @@ class BoundedQueryService:
         bindings only substitute constants into the compiled plan.
         """
         query = parse_query(text)
-        entry, _ = self.plan_cache.compile(query, self.access_schema)
+        entry, _ = self.plan_cache.compile(query, self.access_schema,
+                                           self._statistics)
         if (entry.parameters and not entry.bounded
                 and not isinstance(query, (CQ, UCQ, PositiveQuery))):
             # The scan fallback binds parameters into positive ASTs
@@ -194,10 +205,11 @@ class BoundedQueryService:
         start = time.perf_counter()
         if isinstance(query, str):
             entry, cached = self.plan_cache.compile_text(
-                query, self.access_schema, parse_query)
+                query, self.access_schema, parse_query, self._statistics)
         else:
             entry, cached = self.plan_cache.compile(query,
-                                                    self.access_schema)
+                                                    self.access_schema,
+                                                    self._statistics)
         return self._run(entry, cached, params or {}, start,
                          where="execute")
 
@@ -213,6 +225,9 @@ class BoundedQueryService:
              params: Mapping[str, Hashable], start: float,
              where: str) -> ServiceResult:
         if entry.bounded:
+            # The hot path runs the *optimized physical* plan straight
+            # from the cache: binding is one constant-substitution pass,
+            # never a re-parse, re-plan or re-optimize.
             plan = self._bound_plan(entry, params, where)
             result = CachingExecutor(self.db, self.fetch_cache).execute(plan)
             answers, stats, scan = result.answers, result.stats, None
@@ -236,20 +251,21 @@ class BoundedQueryService:
 
     def _bound_plan(self, entry: CompiledQuery,
                     params: Mapping[str, Hashable], where: str):
-        """The compiled plan with ``params`` substituted, memoized per
-        (compiled query, binding)."""
+        """The compiled *physical* plan with ``params`` substituted,
+        memoized per (compiled query, binding)."""
         if not entry.parameters and not params:
-            return entry.plan
+            return entry.physical
         try:
             key = (entry.serial, tuple(sorted(params.items())))
             hash(key)
         except TypeError:  # unhashable binding value: bind uncached
-            return bind_plan(entry.plan, entry.parameters, params,
-                             where=where)
+            return bind_physical_plan(entry.physical, entry.parameters,
+                                      params, where=where)
         plan = self._bound_plans.get(key, count=False)
         if plan is not None:
             return plan
-        plan = bind_plan(entry.plan, entry.parameters, params, where=where)
+        plan = bind_physical_plan(entry.physical, entry.parameters, params,
+                                  where=where)
         self._bound_plans.put(key, plan)
         return plan
 

@@ -13,11 +13,13 @@ are functions of Q and A only, never of a constant's value (paper,
 Section 2): every binding of the template shares one plan skeleton.
 
 Binding is then the per-request hot path: one pass over the compiled
-plan's op list substituting bound values into ``ConstOp``/``ConstEq``
-nodes (:meth:`repro.engine.plan.Plan.map_constants`) — no parsing, no
-fixpoint, no plan building.  For templates that are *not* boundedly
-evaluable, :func:`bind_query` substitutes into the AST instead so the
-scan-based fallback still answers correctly.
+*physical* plan's op list substituting bound values into const-scan and
+const-check nodes (:meth:`repro.engine.optimizer.physical.PhysicalPlan.
+map_constants`) — no parsing, no fixpoint, no plan building, and no
+re-optimization: rule rewrites depend on plan shape only, so the
+optimized skeleton is shared by every binding.  For templates that are
+*not* boundedly evaluable, :func:`bind_query` substitutes into the AST
+instead so the scan-based fallback still answers correctly.
 
 One caveat: treating placeholders as pairwise-distinct constants is
 unsound exactly where the pipeline concludes *emptiness* from constants
@@ -34,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Mapping
 
+from ..engine.optimizer import PhysicalPlan
 from ..engine.plan import Plan
 from ..errors import ServiceError
 from ..query.ast import CQ, UCQ, Atom, Equality, PositiveQuery
@@ -84,12 +87,26 @@ def check_bindings(parameters: frozenset[str],
 def bind_plan(plan: Plan, parameters: frozenset[str],
               values: Mapping[str, Hashable],
               where: str = "bind") -> Plan:
-    """Substitute bound constants into a compiled plan's const nodes.
+    """Substitute bound constants into a compiled *logical* plan's
+    const nodes.
 
     Returns a structurally shared copy — the certificate, fetch
     structure and column layout are untouched.  Raises
     :class:`ServiceError` on missing or undeclared bindings.
     """
+    check_bindings(parameters, values, where)
+    if not parameters:
+        return plan
+    return plan.map_constants(_resolver(values, where))
+
+
+def bind_physical_plan(plan: PhysicalPlan, parameters: frozenset[str],
+                       values: Mapping[str, Hashable],
+                       where: str = "bind") -> PhysicalPlan:
+    """Substitute bound constants into an optimized *physical* plan —
+    the service's warm path.  One pass over the op list; positions,
+    trace, certificate and estimates carry over, so the request skips
+    the optimizer entirely."""
     check_bindings(parameters, values, where)
     if not parameters:
         return plan
@@ -155,6 +172,14 @@ class QueryTemplate:
                 f"({self.compiled.reason}); use the fallback path")
         return bind_plan(self.compiled.plan, self.parameters, values,
                          where=f"template {self.name!r}")
+
+    def bind_physical(self, values: Mapping[str, Hashable]) -> PhysicalPlan:
+        if self.compiled.physical is None:
+            raise ServiceError(
+                f"template {self.name!r} has no bounded plan "
+                f"({self.compiled.reason}); use the fallback path")
+        return bind_physical_plan(self.compiled.physical, self.parameters,
+                                  values, where=f"template {self.name!r}")
 
     def bind_query(self, values: Mapping[str, Hashable]):
         return bind_query(self.compiled.query, self.parameters, values,

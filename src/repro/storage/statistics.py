@@ -10,10 +10,35 @@ used by the discovery heuristics.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..schema.relation import RelationSchema
 from .database import Database
+
+
+@dataclass(frozen=True)
+class TableStatistics:
+    """A cheap snapshot of instance-level cardinalities.
+
+    The optimizer's join-ordering rule consumes this: ``db_size``
+    evaluates non-constant cardinality functions, ``relation_sizes``
+    cap fetch-output estimates (a fetch can never return more distinct
+    projections than the relation holds).  Statistics only steer
+    physical choices — a stale snapshot can cost speed, never answers.
+    """
+
+    db_size: int = 0
+    relation_sizes: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_database(cls, db: Database) -> "TableStatistics":
+        sizes = {name: db.relation_size(name)
+                 for name in db.schema.relation_names()}
+        return cls(db_size=sum(sizes.values()), relation_sizes=sizes)
+
+    def relation_size(self, relation_name: str) -> int | None:
+        return self.relation_sizes.get(relation_name)
 
 
 def max_group_cardinality(db: Database, relation_name: str,

@@ -37,6 +37,46 @@ def test_analyze_uncovered_reports_envelopes(db_dir, capsys):
     assert "lower envelope" in out
 
 
+def test_explain_bounded_shows_full_pipeline(db_dir, capsys):
+    assert main(["explain", "--db", db_dir, Q0]) == 0
+    out = capsys.readouterr().out
+    # The four sections: verdict + logical plan, rule trace, physical
+    # plan, and the static cost estimate.
+    assert "BEP: yes" in out
+    assert "logical plan" in out
+    assert "optimizer:" in out and "fired rules:" in out
+    assert "physical plan" in out
+    assert "cost estimate:" in out
+    # The rules that must fire on the paper's Q0 join plan.
+    assert "product-to-hash-join" in out
+    assert "select-into-fetch" in out
+    assert "hash-join" in out and "fused-fetch" in out
+    # The logical IR's products are gone from the physical plan.
+    assert " x " in out.split("optimizer:")[0]
+    assert "cross(" not in out.split("physical plan")[1]
+
+
+def test_explain_is_stable_for_a_fixed_query(db_dir, capsys):
+    assert main(["explain", "--db", db_dir, Q0]) == 0
+    first = capsys.readouterr().out
+    assert main(["explain", "--db", db_dir, Q0]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_explain_uncovered_exits_nonzero(db_dir, capsys):
+    assert main(["explain", "--db", db_dir, UNCOVERED]) == 1
+    out = capsys.readouterr().out
+    assert "BEP: no" in out
+    assert "no bounded plan to explain" in out
+
+
+def test_explain_missing_db_is_actionable(tmp_path, capsys):
+    missing = str(tmp_path / "nowhere")
+    assert main(["explain", "--db", missing, Q0]) == 2
+    assert "no such database directory" in capsys.readouterr().err
+
+
 def test_run_bounded_matches_expected_answers(db_dir, capsys):
     assert main(["run", "--db", db_dir, Q0]) == 0
     out = capsys.readouterr().out

@@ -200,3 +200,50 @@ class TestServiceLifecycle:
             AccessConstraint("R", ("A",), ("B",), 2)])
         service = BoundedQueryService(db, access_schema=access)
         assert service.execute("Q(y) :- R(x, y), x = 1").answers == {(2,)}
+
+
+class TestPhysicalPlanCaching:
+    def test_warm_requests_reuse_physical_plans_without_reoptimizing(
+            self, monkeypatch):
+        """The optimizer runs exactly once per compiled query; warm
+        template requests bind the cached physical plan."""
+        import repro.service.plancache as plancache
+
+        calls = []
+        real_optimize = plancache.optimize
+
+        def counting_optimize(plan, statistics=None, **kwargs):
+            calls.append(plan.name)
+            return real_optimize(plan, statistics, **kwargs)
+
+        monkeypatch.setattr(plancache, "optimize", counting_optimize)
+        db = make_db([(1, 10), (2, 11)], [(10, 0), (11, 1)])
+        service = BoundedQueryService(db)
+        service.register_template("t", TEMPLATE)
+        assert len(calls) == 1
+        first = service.execute_template("t", {"a": 1})
+        second = service.execute_template("t", {"a": 1})
+        third = service.execute_template("t", {"a": 2})
+        assert len(calls) == 1  # optimization never re-ran
+        assert first.answers == second.answers == {(0,)}
+        assert third.answers == {(1,)}
+
+    def test_compiled_entries_carry_executable_physical_plans(self):
+        from repro.engine.optimizer import PhysicalPlan
+
+        db = make_db([(1, 10)], [(10, 7)])
+        service = BoundedQueryService(db)
+        entry = service.compile("Q(z) :- R(x, y), S(y, z), x = 1")
+        assert entry.bounded
+        assert isinstance(entry.physical, PhysicalPlan)
+        assert entry.physical.trace is not None
+        # The physical plan is what the hot path executes.
+        result = service.execute("Q(z) :- R(x, y), S(y, z), x = 1")
+        assert result.answers == {(7,)}
+
+    def test_unbounded_entries_have_no_physical_plan(self):
+        db = make_db([(1, 10)], [(10, 7)])
+        service = BoundedQueryService(db)
+        entry = service.compile("Q(x, y) :- R(x, y)")
+        assert not entry.bounded
+        assert entry.physical is None
