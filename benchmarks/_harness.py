@@ -3,11 +3,19 @@
 Every experiment writes the rows it reproduces into
 ``benchmarks/results/<exp_id>.txt`` (and prints them when pytest runs
 with ``-s``), so EXPERIMENTS.md can be checked against fresh numbers.
+
+Experiments can additionally record *machine-readable* numbers with
+:meth:`ExperimentLog.metric`; ``flush`` then writes them to
+``benchmarks/results/BENCH_<exp_id>.json`` so the perf trajectory
+(medians, speedups, tuples fetched, ...) can be diffed across PRs
+instead of eyeballing text tables.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import statistics
 import time
 from typing import Callable
 
@@ -15,12 +23,13 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 class ExperimentLog:
-    """Collects printable rows for one experiment and writes them out."""
+    """Collects printable rows (and metrics) for one experiment."""
 
     def __init__(self, exp_id: str, title: str):
         self.exp_id = exp_id
         self.title = title
         self.lines: list[str] = [f"{exp_id}: {title}", "=" * 72]
+        self.metrics: dict[str, object] = {}
 
     def row(self, text: str) -> None:
         self.lines.append(text)
@@ -36,10 +45,21 @@ class ExperimentLog:
         for r in rows:
             self.row(fmt.format(*(str(c) for c in r)))
 
+    def metric(self, name: str, value) -> None:
+        """Record one machine-readable number (float/int/str/dict/list)
+        for the JSON artifact."""
+        self.metrics[name] = value
+
     def flush(self) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{self.exp_id.lower()}.txt"
         path.write_text("\n".join(self.lines) + "\n")
+        if self.metrics:  # experiments without metric() calls stay text-only
+            json_path = RESULTS_DIR / f"BENCH_{self.exp_id.lower()}.json"
+            json_path.write_text(json.dumps(
+                {"experiment": self.exp_id, "title": self.title,
+                 "metrics": self.metrics},
+                indent=2, sort_keys=True, default=str) + "\n")
 
 
 def timed(fn: Callable, repeat: int = 1) -> tuple[float, object]:
@@ -51,3 +71,14 @@ def timed(fn: Callable, repeat: int = 1) -> tuple[float, object]:
         result = fn()
         best = min(best, time.perf_counter() - start)
     return best, result
+
+
+def timed_median(fn: Callable, repeat: int = 5) -> tuple[float, object]:
+    """Wall-clock one callable; returns (median seconds, last result)."""
+    samples = []
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples), result

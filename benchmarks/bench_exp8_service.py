@@ -123,6 +123,11 @@ def test_warm_speedup_and_identical_answers(db, bindings, log):
     log.row("claim: warm (plan-cache + fetch-cache) execution of a "
             "repeated parameterized query is >= 5x faster than cold.")
     log.row(f"measured: {speedup:.0f}x")
+    log.metric("db_size", db.size())
+    log.metric("cold_ms_per_request", round(cold_per_request * 1e3, 4))
+    log.metric("warm_ms_per_request", round(warm_per_request * 1e3, 4))
+    log.metric("warm_speedup", round(speedup, 2))
+    log.metric("fetch_cache_hit_rate", round(info.hit_rate, 4))
     assert speedup >= 5.0, (
         f"warm path only {speedup:.1f}x faster than cold")
     assert info.hit_rate > 0.5

@@ -25,13 +25,13 @@ from collections import defaultdict
 
 import pytest
 
-from repro import (AccessConstraint, AccessSchema, Database, Schema,
-                   is_boundedly_evaluable)
+from repro import Database, is_boundedly_evaluable
 from repro.engine import execute_plan, interpret_logical, optimize
 from repro.query import parse_query
 from repro.storage.statistics import TableStatistics
 from repro.workload.accidents import AccidentScale, simple_accidents
-from repro.workload.social import CITIES, INTERESTS, SocialScale, social_graph
+from repro.workload.social import (CITIES, INTERESTS, SocialScale,
+                                   relational_social)
 
 from _harness import ExperimentLog, timed
 
@@ -68,31 +68,9 @@ def accident_queries():
 
 
 def social_db(scale: SocialScale | None = None) -> Database:
-    """The social graph of EXP-3, encoded relationally so the bounded
-    engine (rather than the graph matcher) serves Graph-Search traffic."""
-    scale = scale or SocialScale(persons=1500)
-    graph = social_graph(scale)
-    schema = Schema.from_dict({
-        "Friend": ("src", "dst"),
-        "LivesIn": ("person", "city"),
-        "Likes": ("person", "interest"),
-    })
-    access = AccessSchema(schema, [
-        AccessConstraint("Friend", ("src",), ("dst",), scale.max_friends),
-        AccessConstraint("LivesIn", ("person",), ("city",), 1),
-        AccessConstraint("Likes", ("person",), ("interest",),
-                         scale.max_likes),
-    ])
-    db = Database(schema, access)
-    for node in graph.nodes_by_label("person"):
-        person = f"p{node[1]}"
-        for other in graph.out_neighbors(node, "friend"):
-            db.insert("Friend", (person, f"p{other[1]}"))
-        for city in graph.out_neighbors(node, "lives_in"):
-            db.insert("LivesIn", (person, city[1]))
-        for interest in graph.out_neighbors(node, "likes"):
-            db.insert("Likes", (person, interest[1]))
-    return db
+    """The social graph of EXP-3, encoded relationally (see
+    ``repro.workload.social.relational_social``)."""
+    return relational_social(scale or SocialScale(persons=1500))
 
 
 def social_queries(db: Database):
@@ -178,6 +156,10 @@ def test_optimizer_speedup_and_identical_answers(log):
     log.table(["rule", "rewrites", "steps removed"],
               [[rule, fired, removed]
                for rule, (fired, removed) in merged.items()])
+    log.metric("accidents_speedup", round(acc_speedup, 2))
+    log.metric("social_speedup", round(soc_speedup, 2))
+    log.metric("rule_firings",
+               {rule: fired for rule, (fired, _) in merged.items()})
 
     # The join-heavy workloads must show the headline win.
     assert acc_speedup >= MIN_SPEEDUP, f"accidents: only {acc_speedup:.1f}x"

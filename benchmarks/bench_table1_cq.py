@@ -17,9 +17,8 @@ from __future__ import annotations
 import pytest
 
 from repro import AccessConstraint, AccessSchema, Schema, Var
-from repro.core import (Budget, a_contained, a_satisfiable, analyze_coverage,
-                        is_boundedly_evaluable, specialize_minimally,
-                        upper_envelope)
+from repro.core import (a_contained, analyze_coverage, is_boundedly_evaluable,
+                        specialize_minimally, upper_envelope)
 from repro.query import parse_cq
 
 from _harness import ExperimentLog, timed

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import AccessConstraint, AccessSchema, Schema, Var
+from repro import AccessConstraint, AccessSchema, Schema
 from repro.core import (Budget, is_boundedly_evaluable, is_covered,
                         lower_envelope, specialize_minimally)
 from repro.query import parse_ucq

@@ -10,8 +10,7 @@ Run:  python examples/quickstart.py
 from repro import (AccessConstraint, AccessSchema, Database, Schema,
                    parse_cq)
 from repro.core import analyze_coverage, is_boundedly_evaluable
-from repro.engine import (ScanStats, build_bounded_plan, evaluate,
-                          execute_plan, static_bounds)
+from repro.engine import ScanStats, evaluate, execute_plan, static_bounds
 
 
 def main() -> None:

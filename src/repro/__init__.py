@@ -17,7 +17,8 @@ from .schema import (AccessConstraint, AccessSchema, CardinalityFunction,
                      RelationSchema, Schema)
 from .query import (CQ, UCQ, Atom, Const, Equality, FOQuery, PositiveQuery,
                     Var, parse_cq, parse_query, parse_ucq)
-from .storage import Database
+from .storage import (Database, MemoryBackend, ShardedBackend,
+                      StorageBackend, make_backend)
 from .engine import (Plan, PhysicalPlan, build_bounded_plan,
                      build_union_plan, evaluate, execute_plan,
                      interpret_logical, optimize, static_bounds)
@@ -46,7 +47,8 @@ __all__ = [
     "Var", "Const", "Atom", "Equality", "CQ", "UCQ", "PositiveQuery",
     "FOQuery", "parse_cq", "parse_ucq", "parse_query",
     # storage / engine
-    "Database", "Plan", "PhysicalPlan", "build_bounded_plan",
+    "Database", "StorageBackend", "MemoryBackend", "ShardedBackend",
+    "make_backend", "Plan", "PhysicalPlan", "build_bounded_plan",
     "build_union_plan", "optimize", "execute_plan", "interpret_logical",
     "evaluate", "static_bounds",
     # core analyses

@@ -5,10 +5,15 @@ Usage (after ``pip install -e .`` the ``repro`` entry point is on PATH;
 
     repro analyze  --db DIR "Q(x) :- R(x, y), y = 1"
     repro explain  --db DIR "Q(x) :- R(x, y), y = 1"
-    repro run      --db DIR "Q(x) :- R(x, y), y = 1"
+    repro run      --db DIR [--backend sharded --shards S] "Q(x) :- ..."
     repro discover --db DIR [--max-bound N]
-    repro batch    --db DIR [--workers K] requests.json
-    repro bench-service --db DIR [--requests N] "Q(x) :- ..."
+    repro batch    --db DIR [--workers K] [--backend sharded] requests.json
+    repro bench-service --db DIR [--requests N] [--backend sharded] "Q(x) :- ..."
+
+``run``, ``batch`` and ``bench-service`` accept ``--backend
+{memory,sharded}`` (plus ``--shards S``) to re-home the loaded
+instance onto a different storage engine; answers are identical on
+every backend.
 
 ``--db DIR`` points at a directory written by
 ``repro.storage.io.save_database`` (CSV files plus ``schema.json``).
@@ -48,16 +53,33 @@ from .errors import ReproError, StorageError
 from .query import CQ, parse_query
 from .schema.discovery import DiscoveryOptions, discover_access_schema
 from .service import BatchRequest, BoundedQueryService
+from .storage.backend import BACKENDS, make_backend
 from .storage.io import load_database
 from .storage.statistics import TableStatistics
 
 
 def _load(args):
-    db = load_database(args.db)
+    backend_name = getattr(args, "backend", "memory")
+    factory = None
+    if backend_name != "memory":
+        # Load straight onto the target engine: rows and indexes are
+        # built once, not built in memory and re-homed.
+        def factory(schema):
+            return make_backend(backend_name, schema,
+                                shards=getattr(args, "shards", 8))
+    db = load_database(args.db, backend_factory=factory)
     if db.access_schema is None or not len(db.access_schema):
         print("warning: no access constraints in schema.json",
               file=sys.stderr)
     return db
+
+
+def _add_backend_flags(parser) -> None:
+    parser.add_argument("--backend", choices=BACKENDS, default="memory",
+                        help="storage engine to serve reads from "
+                             "(default: memory)")
+    parser.add_argument("--shards", type=int, default=8,
+                        help="shard count for --backend sharded")
 
 
 def cmd_analyze(args) -> int:
@@ -123,6 +145,7 @@ def cmd_explain(args) -> int:
 
 def cmd_run(args) -> int:
     db = _load(args)
+    print(f"storage: {db.backend.describe()}")
     query = parse_query(args.query)
     decision = is_boundedly_evaluable(query, db.access_schema)
     if decision.is_yes:
@@ -215,6 +238,7 @@ def cmd_bench_service(args) -> int:
     p95 = warm_ms[min(len(warm_ms) - 1, int(len(warm_ms) * 0.95))]
     mode = "bounded" if cold.bounded else "scan fallback"
     print(f"query: {query}")
+    print(f"storage: {db.backend.describe()}")
     print(f"mode: {mode}; {len(cold.answers)} answer(s)")
     print(f"cold (parse + analyze + plan + execute): {cold_ms:.2f}ms")
     print(f"warm x{len(warm_ms)} (plan cache + fetch cache): "
@@ -257,6 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="execute a query (bounded if possible)")
     run.add_argument("--db", required=True)
     run.add_argument("--limit", type=int, default=20)
+    _add_backend_flags(run)
     run.add_argument("query")
     run.set_defaults(func=cmd_run)
 
@@ -273,6 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--plan-cache", type=int, default=256)
     batch.add_argument("--fetch-cache", type=int, default=4096)
     batch.add_argument("--verbose", action="store_true")
+    _add_backend_flags(batch)
     batch.add_argument("requests", help="JSON file of templates + requests")
     batch.set_defaults(func=cmd_batch)
 
@@ -281,6 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--db", required=True)
     bench.add_argument("--requests", type=int, default=100,
                        help="warm repetitions to measure")
+    _add_backend_flags(bench)
     bench.add_argument("query")
     bench.set_defaults(func=cmd_bench_service)
     return parser

@@ -30,13 +30,12 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from .._util import UnionFind, stable_unique
-from ..errors import QueryError
 from ..query.ast import CQ, Atom, Equality
 from ..query.normalize import normalize_cq
 from ..query.tableau import core_tableau, resolved_tableau, tableau_to_cq
-from ..query.terms import Const, Term, Var, is_const, is_var
+from ..query.terms import Const, Term, Var, is_const
 from ..query.varclasses import analyze_variables
-from ..schema.access import AccessConstraint, AccessSchema
+from ..schema.access import AccessSchema
 
 
 @dataclass

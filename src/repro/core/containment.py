@@ -20,7 +20,6 @@ chase-based unsatisfiability of ``Q1``.
 
 from __future__ import annotations
 
-from typing import Iterable
 
 from ..errors import QueryError
 from ..query.ast import CQ, UCQ

@@ -27,12 +27,11 @@ Implementation notes (DESIGN.md, Section 3):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Iterable
 
-from ..errors import QueryError
 from ..query.ast import CQ, UCQ, Atom
-from ..query.normalize import as_ucq, normalize_cq
+from ..query.normalize import normalize_cq
 from ..query.terms import Var, is_var
 from ..query.varclasses import VariableAnalysis, analyze_variables
 from ..schema.access import AccessConstraint, AccessSchema

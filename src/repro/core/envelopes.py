@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from .._util import FreshNames, powerset
 from ..engine.builder import build_bounded_plan, build_union_plan
@@ -43,11 +43,10 @@ from ..engine.cost import static_bounds
 from ..engine.plan import Plan
 from ..engine.naive import evaluate
 from ..errors import QueryError, UnsafeQueryError
-from ..query.ast import CQ, UCQ, Atom, Equality, PositiveQuery
+from ..query.ast import CQ, UCQ, Atom, Equality
 from ..query.normalize import as_ucq, normalize_cq
-from ..query.terms import Var, is_var
+from ..query.terms import Var
 from ..schema.access import AccessSchema
-from .chase import chase
 from .containment import a_contained
 from .coverage import CoverageResult, analyze_coverage
 from .decision import Budget, Decision, no, unknown, yes

@@ -26,14 +26,14 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator
 
 from .._util import constrained_partitions
 from ..errors import QueryError
 from ..query.ast import CQ, UCQ
 from ..query.normalize import normalize_cq
-from ..query.tableau import Tableau, resolved_tableau
-from ..query.terms import Const, Term, Var, is_const, is_var
+from ..query.tableau import resolved_tableau
+from ..query.terms import Const, Term, Var, is_const
 from ..query.varclasses import analyze_variables
 from ..schema.access import AccessSchema
 from ..storage.database import Database

@@ -43,7 +43,7 @@ from typing import Hashable, Sequence
 from .._util import FreshNames
 from ..errors import PlanError
 from ..query.ast import CQ, Atom
-from ..query.terms import Const, Var, is_var
+from ..query.terms import Var
 from ..query.varclasses import VariableAnalysis
 from ..schema.access import AccessConstraint
 from .cost import CostCertificate

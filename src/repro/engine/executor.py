@@ -258,19 +258,19 @@ class Executor:
                    stats: AccessStats) -> Batch:
         if op.x_positions:
             key_cols = [source.cols[p] for p in op.x_positions]
-            x_values = set(zip(*key_cols))
+            x_values = list(dict.fromkeys(zip(*key_cols)))
         else:
-            x_values = {()} if source.length else set()
+            x_values = [()] if source.length else []
         stats.fetch_calls += 1
+        # The whole batch of distinct X-values crosses the storage
+        # boundary in ONE vectorized call — the executor never loops
+        # single lookups against the backend.
+        fetched = self._fetch_flat(op.constraint, x_values, stats)
         checks = op.checks if isinstance(op, FusedFetchOp) else ()
-        out_rows: list[tuple] = []
-        for x_value in x_values:
-            fetched = self._fetch_rows(op.constraint, x_value, stats)
-            if checks:
-                out_rows.extend(row for row in fetched
-                                if _passes(row, checks))
-            else:
-                out_rows.extend(fetched)
+        if checks:
+            out_rows = [row for row in fetched if _passes(row, checks)]
+        else:
+            out_rows = fetched
         if out_rows:
             cols = [list(column) for column in zip(*out_rows)]
         else:
@@ -279,14 +279,18 @@ class Executor:
         # concatenation over distinct X-values is duplicate-free.
         return Batch(op.out_columns, cols, len(out_rows), True)
 
-    def _fetch_rows(self, constraint, x_value: tuple,
-                    stats: AccessStats) -> Sequence[tuple]:
-        """One index lookup.  Subclasses may interpose a cache here
-        (see ``repro.service.fetchcache.CachingExecutor``)."""
-        fetched = self.db.fetch(constraint, x_value)
-        stats.index_lookups += 1
-        stats.tuples_fetched += len(fetched)
-        return fetched
+    def _fetch_flat(self, constraint, x_values: Sequence[tuple],
+                    stats: AccessStats) -> list[tuple]:
+        """One batched trip to storage: every row for the batch of
+        distinct X-values, in one unordered list.  Accounting is
+        unchanged from the per-value days: one index lookup per
+        distinct X-value, every returned tuple counted.  Subclasses may
+        interpose a per-X cache here (see
+        ``repro.service.fetchcache.CachingExecutor``)."""
+        rows = self.db.fetch_flat(constraint, x_values)
+        stats.index_lookups += len(x_values)
+        stats.tuples_fetched += len(rows)
+        return rows
 
     @staticmethod
     def _run_hash_join(op: HashJoinOp, left: Batch, right: Batch) -> Batch:

@@ -19,15 +19,15 @@ scan-based access volume with the bounded plans' fetch counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Hashable, Sequence
 
 from ..errors import QueryError
-from ..query.ast import (CQ, UCQ, Atom, Equality, FAnd, FAtom, FEq, FExists,
-                         FForAll, FNot, FOQuery, FOr, Formula, PositiveQuery)
+from ..query.ast import (CQ, UCQ, FAnd, FAtom, FEq, FExists, FForAll, FNot,
+                         FOQuery, FOr, Formula, PositiveQuery)
 from ..query.normalize import as_ucq
 from ..query.tableau import Row, resolved_tableau
-from ..query.terms import Const, Term, Var, is_const, is_var
+from ..query.terms import Var, is_const, is_var
 from ..query.varclasses import analyze_variables
 from ..storage.database import Database
 

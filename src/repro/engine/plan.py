@@ -23,8 +23,8 @@ allowed) is classified by :meth:`Plan.language_class`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Sequence, Union
+from dataclasses import dataclass
+from typing import Hashable, Union
 
 from ..errors import PlanError
 from ..schema.access import AccessConstraint, AccessSchema

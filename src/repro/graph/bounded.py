@@ -18,14 +18,13 @@ matcher is property-tested (DESIGN.md invariant 7).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable
 
 from ..errors import PlanError
-from .access import DegreeConstraint, GraphAccessSchema, LabelCountConstraint
+from .access import GraphAccessSchema
 from .graph import Graph
-from .matcher import MatchStats
-from .pattern import Pattern, PatternEdge, PatternNode
+from .pattern import Pattern, PatternEdge
 
 
 @dataclass(frozen=True)

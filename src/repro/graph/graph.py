@@ -16,8 +16,7 @@ index lookups, mirroring the relational ``fetch``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Iterator
+from typing import Hashable, Iterator
 
 from ..errors import SchemaError
 

@@ -10,7 +10,7 @@ on large graphs (Example 1.1: "4 orders of magnitude on average").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable
 
 from .graph import Graph

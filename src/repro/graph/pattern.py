@@ -15,7 +15,7 @@ evaluable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Iterable
 
 from ..errors import QueryError

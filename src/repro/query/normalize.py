@@ -20,14 +20,14 @@ enforces those assumptions:
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from .._util import FreshNames, UnionFind
 from ..errors import QueryError, UnsafeQueryError
 from ..schema.relation import Schema
 from .ast import (CQ, UCQ, Atom, Equality, FAnd, FAtom, FEq, FExists, FOr,
                   Formula, PositiveQuery)
-from .terms import Const, Var, is_const, is_var
+from .terms import Var, is_const, is_var
 
 
 def validate_arities(q: CQ, schema: Schema) -> None:

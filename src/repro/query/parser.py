@@ -26,7 +26,6 @@ recursive descent — and reports offsets in :class:`ParseError`.
 from __future__ import annotations
 
 import re
-from typing import Sequence
 
 from ..errors import ParseError
 from .ast import (CQ, UCQ, Atom, Equality, FAnd, FAtom, FEq, FExists, FForAll,

@@ -20,7 +20,7 @@ relation atoms as rows over variables/constants, plus the head summary
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from .._util import FreshNames
 from ..errors import QueryError

@@ -24,8 +24,8 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from ..storage.database import Database
 from ..storage.statistics import max_group_cardinality

@@ -50,19 +50,45 @@ class FetchCache:
                x_value: tuple) -> tuple[list[tuple], bool]:
         """Return ``(rows, hit)`` for one index lookup.
 
-        A miss reads through ``db.fetch`` and populates the cache.  The
+        A miss reads through the database and populates the cache.  The
         key carries ``db.generation(relation)``, so rows cached before a
         write can never satisfy a lookup issued after it.
         """
-        key = (constraint, x_value,
-               db.generation(constraint.relation_name))
-        cached = self._entries.get(key)
-        if cached is not None:
-            return cached, True
-        rows = db.fetch(constraint, x_value)
-        self._entries.put(key, rows)
-        self.max_entry_rows = max(self.max_entry_rows, len(rows))
-        return rows, False
+        rows_per_x, hits = self.lookup_many(db, constraint, (x_value,))
+        return rows_per_x[0], hits[0]
+
+    def lookup_many(self, db: Database, constraint: AccessConstraint,
+                    x_values: Sequence[tuple]
+                    ) -> tuple[list[list[tuple]], list[bool]]:
+        """Batched :meth:`lookup`: split a whole batch into hits and
+        misses in a single lock pass, then fetch *only* the misses in
+        one ``fetch_many`` trip to storage.
+
+        Both returned lists align with ``x_values``.  The generation is
+        read once for the batch: a write racing the batch at worst
+        caches fresher rows under the older epoch (benign — the write
+        was concurrent), never stale rows under a newer one, because
+        generations bump only after the backend's index updates.
+        """
+        generation = db.generation(constraint.relation_name)
+        keys = [(constraint, x_value, generation) for x_value in x_values]
+        cached = self._entries.get_many(keys)
+        rows_per_x: list = list(cached)
+        hits = [value is not None for value in cached]
+        miss_positions = [i for i, value in enumerate(cached)
+                          if value is None]
+        if miss_positions:
+            fetched = db.fetch_many(
+                constraint, [x_values[i] for i in miss_positions])
+            largest = self.max_entry_rows
+            for position, rows in zip(miss_positions, fetched):
+                rows_per_x[position] = rows
+                largest = max(largest, len(rows))
+            self.max_entry_rows = largest
+            self._entries.put_many(
+                (keys[i], rows)
+                for i, rows in zip(miss_positions, fetched))
+        return rows_per_x, hits
 
     def clear(self) -> None:
         self._entries.clear()
@@ -91,16 +117,20 @@ class CachingExecutor(Executor):
         super().__init__(db)
         self.fetch_cache = fetch_cache
 
-    def _fetch_rows(self, constraint, x_value: tuple,
-                    stats: AccessStats) -> Sequence[tuple]:
+    def _fetch_flat(self, constraint, x_values: Sequence[tuple],
+                    stats: AccessStats) -> list[tuple]:
         if self.fetch_cache is None:
-            return super()._fetch_rows(constraint, x_value, stats)
-        rows, hit = self.fetch_cache.lookup(self.db, constraint, x_value)
-        stats.index_lookups += 1
-        if hit:
-            stats.fetch_cache_hits += 1
-            stats.tuples_from_cache += len(rows)
-        else:
-            stats.fetch_cache_misses += 1
-            stats.tuples_fetched += len(rows)
-        return rows
+            return super()._fetch_flat(constraint, x_values, stats)
+        rows_per_x, hits = self.fetch_cache.lookup_many(
+            self.db, constraint, x_values)
+        stats.index_lookups += len(x_values)
+        flat: list[tuple] = []
+        for rows, hit in zip(rows_per_x, hits):
+            if hit:
+                stats.fetch_cache_hits += 1
+                stats.tuples_from_cache += len(rows)
+            else:
+                stats.fetch_cache_misses += 1
+                stats.tuples_fetched += len(rows)
+            flat.extend(rows)
+        return flat

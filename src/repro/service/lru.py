@@ -53,6 +53,37 @@ class LruDict:
                 self.hits += 1
             return value
 
+    def get_many(self, keys, count: bool = True) -> list:
+        """Batched :meth:`get`: one lock pass for a whole key batch,
+        returning a value-or-``None`` list aligned with ``keys``."""
+        with self._lock:
+            values = []
+            hits = misses = 0
+            for key in keys:
+                value = self._data.get(key)
+                if value is None:
+                    misses += 1
+                else:
+                    self._data.move_to_end(key)
+                    hits += 1
+                values.append(value)
+            if count:
+                self.hits += hits
+                self.misses += misses
+            return values
+
+    def put_many(self, items) -> None:
+        """Batched :meth:`put` of ``(key, value)`` pairs under one lock."""
+        with self._lock:
+            for key, value in items:
+                if value is None:
+                    raise ValueError("LruDict cannot store None")
+                self._data[key] = value
+                self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
     def put(self, key, value) -> None:
         if value is None:
             raise ValueError("LruDict cannot store None")

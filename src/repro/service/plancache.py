@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Hashable
 
 from ..core.bep import is_boundedly_evaluable
 from ..core.decision import Decision, no

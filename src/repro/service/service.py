@@ -30,7 +30,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Hashable, Mapping, Sequence
 
-from ..engine.executor import AccessStats, ExecutionResult
+from ..engine.executor import AccessStats
 from ..engine.naive import ScanStats, evaluate
 from ..errors import ServiceError
 from ..query.ast import CQ, UCQ, PositiveQuery

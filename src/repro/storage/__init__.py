@@ -1,5 +1,7 @@
-"""In-memory storage: instances, indexes and statistics."""
+"""Storage engines: instances, backends, indexes and statistics."""
 
+from .backend import (BACKENDS, MemoryBackend, ShardedBackend,
+                      StorageBackend, make_backend)
 from .database import Database
 from .indexes import AccessIndex
 from .statistics import (distinct_count, is_key, max_group_cardinality,
@@ -7,6 +9,8 @@ from .statistics import (distinct_count, is_key, max_group_cardinality,
 
 __all__ = [
     "Database", "AccessIndex",
+    "StorageBackend", "MemoryBackend", "ShardedBackend",
+    "make_backend", "BACKENDS",
     "max_group_cardinality", "distinct_count", "is_key",
     "selectivity_profile",
 ]

@@ -1,0 +1,727 @@
+"""The pluggable storage-engine boundary.
+
+A covered query touches a bounded fragment ``D_Q`` through the indexes
+an access schema promises — *how* those indexes and rows are laid out
+is the storage engine's business, not the engine's.  This module pins
+that boundary down as :class:`StorageBackend`, a narrow batched access
+protocol:
+
+* ``fetch_many(constraint, x_values)`` — the vectorized form of the
+  paper's ``fetch`` primitive: one call answers a whole batch of
+  distinct X-values, so executors never loop single lookups across the
+  storage boundary;
+* ``scan(relation)`` — the full-scan path bounded plans avoid (kept
+  separate so benchmarks can tell the two apart);
+* ``insert_rows`` / ``delete_rows`` — set-semantics bulk writes whose
+  per-relation ``generation`` bumps *after* the index updates, the
+  ordering read-side caches rely on;
+* ``generation(relation)`` — the write epoch keying those caches.
+
+Two engines ship:
+
+* :class:`MemoryBackend` — one dict of rows plus one
+  :class:`~repro.storage.indexes.AccessIndex` per constraint (the
+  original ``Database`` internals, extracted);
+* :class:`ShardedBackend` — rows hash-partitioned across ``S`` shards
+  and every constraint's index groups partitioned by the constraint's
+  X-key, so a ``fetch_many`` batch fans out per shard (optionally over
+  a thread pool) and each shard lock covers only its slice.
+
+:class:`~repro.storage.database.Database` is a thin facade over a
+backend; everything above storage (executor, caches, service, CLI)
+talks to the facade, which forwards through this protocol.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from ..errors import ExecutionError, StorageError
+from ..schema.access import AccessConstraint, AccessSchema
+from ..schema.relation import Schema
+from .indexes import AccessIndex
+
+Row = tuple
+
+#: A memoized constraint resolution: the requested constraint itself
+#: (kept alive so ``id``-keyed memos can never alias a recreated
+#: object), the attached constraint whose index answers it, the key
+#: permutation from the requested X-order into the attached index's
+#: X-order (or None for identity), the projection from the attached
+#: index's X∪Y row layout into the requested constraint's X∪Y columns
+#: (or None for identity), and whether that projection can collapse
+#: rows (wider attached Y) and therefore needs deduplication.
+_Resolution = tuple[AccessConstraint, AccessConstraint,
+                    "tuple[int, ...] | None",
+                    "tuple[int, ...] | None", bool]
+
+
+class StorageBackend(ABC):
+    """The batched access-method contract every storage engine honours.
+
+    Implementations own the rows, the per-constraint indexes and the
+    per-relation write generations; they guarantee
+
+    * set semantics (``insert_rows``/``delete_rows`` report *effective*
+      changes only),
+    * ``fetch_many`` results identical to looking each X-value up in a
+      freshly built per-constraint index, and
+    * generation bumps strictly *after* the corresponding index
+      updates, so a reader observing epoch ``g`` can cache what it
+      fetched under ``g`` without ever pinning pre-write rows under a
+      post-write epoch.
+    """
+
+    #: Resolution-memo bound; overflow clears the memo (see _resolve).
+    _MAX_RESOLUTIONS = 4096
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self.access_schema: AccessSchema | None = None
+        self._generations: dict[str, int] = {
+            name: 0 for name in schema.relation_names()}
+        # id(requested constraint) -> resolution against the attached
+        # schema; values keep the requested object alive (see
+        # _Resolution).
+        self._resolutions: dict[int, _Resolution] = {}
+
+    # -- the protocol ------------------------------------------------------
+
+    @abstractmethod
+    def attach_access_schema(self, access_schema: AccessSchema) -> None:
+        """(Re)build one index per constraint from the stored rows."""
+
+    @abstractmethod
+    def insert_rows(self, relation_name: str,
+                    rows: Iterable[Row]) -> int:
+        """Insert rows (set semantics); returns the number actually
+        added.  Bumps the relation's generation once if any were."""
+
+    @abstractmethod
+    def delete_rows(self, relation_name: str,
+                    rows: Iterable[Row]) -> int:
+        """Delete rows; returns the number actually removed.  Index
+        entries go first, the generation bump last."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Remove every row (generations bump; they never reset)."""
+
+    @abstractmethod
+    def scan(self, relation_name: str) -> list[Row]:
+        """Every row of one relation — the path bounded plans avoid."""
+
+    @abstractmethod
+    def fetch_many(self, constraint: AccessConstraint,
+                   x_values: Sequence[Row]) -> list[list[Row]]:
+        """Index lookups for a batch of X-values, aligned with the
+        input: ``result[i]`` is the distinct ``X∪Y`` projections for
+        ``x_values[i]``, in the *requested* constraint's column order.
+        """
+
+    def fetch_flat(self, constraint: AccessConstraint,
+                   x_values: Sequence[Row]) -> list[Row]:
+        """The concatenation of :meth:`fetch_many`'s per-X lists, in
+        any order.  Executors with no per-X consumer (no fetch cache)
+        use this; engines should override it with an alignment-free
+        fast path."""
+        return [row
+                for rows in self.fetch_many(constraint, x_values)
+                for row in rows]
+
+    @abstractmethod
+    def relation_size(self, relation_name: str) -> int:
+        ...
+
+    @abstractmethod
+    def contains(self, relation_name: str, row: Row) -> bool:
+        ...
+
+    @abstractmethod
+    def constraint_groups(self, constraint: AccessConstraint
+                          ) -> Iterator[tuple[Row, int]]:
+        """``(x_value, distinct-Y count)`` pairs for an attached
+        constraint — what cardinality validation consumes."""
+
+    @abstractmethod
+    def indexes_for(self, relation_name: str) -> list[AccessIndex]:
+        """The live index objects over one relation (all shards for a
+        sharded engine) — a white-box hook for tests and diagnostics."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """A short human-readable engine summary (CLI/bench reporting)."""
+
+    def close(self) -> None:
+        """Release engine resources (worker pools, file handles).
+        Default: nothing to release."""
+
+    # -- shared bookkeeping ------------------------------------------------
+
+    def generation(self, relation_name: str) -> int:
+        return self._generations[relation_name]
+
+    def write_epoch(self) -> int:
+        return sum(self._generations.values())
+
+    # -- constraint resolution (shared by engines) -------------------------
+
+    def _resolve(self, constraint: AccessConstraint) -> _Resolution:
+        """Map a requested constraint onto an attached one.
+
+        Analysis code re-creates constraints structurally rather than
+        sharing the attached objects, and may request a *narrower* Y
+        than some attached index stores.  The resolution precomputes
+        the key permutation and row projection that insulate callers
+        from the attached index's layout.
+        """
+        resolution = self._resolutions.get(id(constraint))
+        if resolution is not None:
+            return resolution
+        attached = self._match(constraint)
+        key_perm: tuple[int, ...] | None = None
+        if attached.x != constraint.x:
+            positions = {name: i for i, name in enumerate(constraint.x)}
+            key_perm = tuple(positions[name] for name in attached.x)
+        row_proj: tuple[int, ...] | None = None
+        attached_layout = attached.x + attached.y
+        requested_layout = constraint.x + constraint.y
+        if attached_layout != requested_layout:
+            positions = {name: i for i, name in enumerate(attached_layout)}
+            row_proj = tuple(positions[name] for name in requested_layout)
+        needs_dedup = constraint.xy_set != attached.xy_set
+        resolution = (constraint, attached, key_perm, row_proj, needs_dedup)
+        # The memo pins requested constraint objects alive (that is
+        # what makes id-keying sound), so it must not grow without
+        # bound in a long-running service: wholesale-clear on overflow
+        # — it is a pure cache, rebuilt per constraint in one pass.
+        if len(self._resolutions) >= self._MAX_RESOLUTIONS:
+            self._resolutions.clear()
+        self._resolutions[id(constraint)] = resolution
+        return resolution
+
+    def _match(self, constraint: AccessConstraint) -> AccessConstraint:
+        attached = self.access_schema
+        if attached is not None:
+            for candidate in attached:
+                if candidate is constraint:
+                    return candidate
+            for candidate in attached:
+                if (candidate.relation_name == constraint.relation_name
+                        and candidate.x_set == constraint.x_set
+                        and constraint.y_set <= candidate.xy_set):
+                    return candidate
+        raise ExecutionError(
+            f"no index available for constraint {constraint}; attach an "
+            "access schema containing it before executing bounded plans")
+
+    def _reset_resolutions(self) -> None:
+        self._resolutions.clear()
+
+    def _resolved_indexes(self, constraint: AccessConstraint):
+        """Resolve ``constraint`` and look up its live index entry in
+        the engine's ``_indexes`` map (every engine defines one, keyed
+        by ``id(attached constraint)``).
+
+        Resilient against a racing ``attach_access_schema``: a
+        resolution memoized against the *old* schema (or stored just
+        after the reset) points at discarded indexes — drop it and
+        resolve again until the memo and the index map agree.  The
+        loop terminates: once an attach completes, either the fresh
+        resolution finds its entry or ``_match`` raises the intended
+        ``ExecutionError``.
+        """
+        while True:
+            resolution = self._resolve(constraint)
+            entry = self._indexes.get(id(resolution[1]))
+            if entry is not None:
+                return resolution, entry
+            self._resolutions.pop(id(constraint), None)
+
+    @staticmethod
+    def _project(rows: list[Row], row_proj: tuple[int, ...] | None,
+                 needs_dedup: bool) -> list[Row]:
+        if row_proj is None:
+            return rows
+        projected = [tuple(row[i] for i in row_proj) for row in rows]
+        if needs_dedup:
+            projected = list(dict.fromkeys(projected))
+        return projected
+
+    @staticmethod
+    def _permute_keys(x_values: Sequence[Row],
+                      key_perm: tuple[int, ...] | None) -> Sequence[Row]:
+        """``x_values`` must already be tuples (the facade and the
+        executor guarantee it); the common no-permutation case is a
+        pass-through, not a copy."""
+        if key_perm is None:
+            return x_values
+        return [tuple(x[i] for i in key_perm) for x in x_values]
+
+
+class MemoryBackend(StorageBackend):
+    """The original single-store engine: one dict of rows per relation
+    plus one :class:`AccessIndex` per attached constraint.
+
+    A single lock serializes structural mutation and lookup snapshots;
+    it is held only for the dict operations themselves, never across
+    user code.
+    """
+
+    def __init__(self, schema: Schema):
+        super().__init__(schema)
+        self._rows: dict[str, dict[Row, None]] = {
+            name: {} for name in schema.relation_names()}
+        self._indexes: dict[int, AccessIndex] = {}
+        self._lock = threading.RLock()
+
+    # -- writes ------------------------------------------------------------
+
+    def attach_access_schema(self, access_schema: AccessSchema) -> None:
+        with self._lock:
+            # Build the full map first, then publish with single
+            # assignments: lock-free readers (_resolved_indexes) never
+            # observe a partially filled index map.
+            indexes: dict[int, AccessIndex] = {}
+            for constraint in access_schema:
+                relation = constraint.validate_against(self.schema)
+                index = AccessIndex(constraint, relation)
+                for row in self._rows[constraint.relation_name]:
+                    index.add(row)
+                indexes[id(constraint)] = index
+            self._indexes = indexes
+            self.access_schema = access_schema
+            self._reset_resolutions()
+
+    def insert_rows(self, relation_name: str, rows: Iterable[Row]) -> int:
+        store = self._rows[relation_name]
+        added = 0
+        with self._lock:
+            # The index list must be read under the lock: a concurrent
+            # attach_access_schema swaps in rebuilt indexes, and rows
+            # registered on the discarded ones would be lost.
+            indexes = self.indexes_for(relation_name)
+            for row in rows:
+                if row in store:
+                    continue
+                store[row] = None
+                for index in indexes:
+                    index.add(row)
+                added += 1
+            if added:
+                self._generations[relation_name] += 1
+        return added
+
+    def delete_rows(self, relation_name: str, rows: Iterable[Row]) -> int:
+        store = self._rows[relation_name]
+        removed = 0
+        with self._lock:
+            indexes = self.indexes_for(relation_name)
+            for row in rows:
+                if row not in store:
+                    continue
+                del store[row]
+                for index in indexes:
+                    index.remove(row)
+                removed += 1
+            if removed:
+                # After the index updates, like insert: a concurrent
+                # reader at the pre-bump epoch may see the deletion
+                # early (benign), never cache deleted rows post-bump.
+                self._generations[relation_name] += 1
+        return removed
+
+    def clear(self) -> None:
+        with self._lock:
+            for store in self._rows.values():
+                store.clear()
+            for index in self._indexes.values():
+                index.remove_all()
+            for name in self._generations:
+                self._generations[name] += 1
+
+    # -- reads -------------------------------------------------------------
+
+    def scan(self, relation_name: str) -> list[Row]:
+        with self._lock:
+            return list(self._rows[relation_name])
+
+    def relation_size(self, relation_name: str) -> int:
+        return len(self._rows[relation_name])
+
+    def contains(self, relation_name: str, row: Row) -> bool:
+        return row in self._rows[relation_name]
+
+    def fetch_many(self, constraint: AccessConstraint,
+                   x_values: Sequence[Row]) -> list[list[Row]]:
+        (_, _, key_perm, row_proj, dedup), index = \
+            self._resolved_indexes(constraint)
+        keys = self._permute_keys(x_values, key_perm)
+        with self._lock:
+            results = index.lookup_many(keys)
+        if row_proj is not None:
+            results = [self._project(rows, row_proj, dedup)
+                       for rows in results]
+        return results
+
+    def fetch_flat(self, constraint: AccessConstraint,
+                   x_values: Sequence[Row]) -> list[Row]:
+        (_, _, key_perm, row_proj, _), index = \
+            self._resolved_indexes(constraint)
+        if row_proj is not None:  # projection needs per-X deduplication
+            return super().fetch_flat(constraint, x_values)
+        keys = self._permute_keys(x_values, key_perm)
+        with self._lock:
+            return index.lookup_flat(keys)
+
+    def constraint_groups(self, constraint: AccessConstraint
+                          ) -> Iterator[tuple[Row, int]]:
+        _, index = self._resolved_indexes(constraint)
+        with self._lock:
+            snapshot = [(x, index.group_size(x)) for x in index.x_values()]
+        return iter(snapshot)
+
+    def indexes_for(self, relation_name: str) -> list[AccessIndex]:
+        return [index for index in self._indexes.values()
+                if index.constraint.relation_name == relation_name]
+
+    def describe(self) -> str:
+        return "memory"
+
+
+class ShardedBackend(StorageBackend):
+    """A hash-partitioned engine: ``S`` shards per relation.
+
+    Rows are partitioned by full-row hash; every constraint's index
+    groups are partitioned by the constraint's *X-key* hash, so all
+    rows for one X-value live in exactly one index shard and a
+    ``fetch_many`` batch decomposes into disjoint per-shard lookups.
+    With ``workers > 0`` those per-shard lookups run on a thread pool
+    (a structural stand-in for per-shard processes/hosts; under the GIL
+    it buys overlap only when lookups block).
+
+    Locking is per shard: readers take one shard lock at a time,
+    writers take the affected shard locks in ascending order (so two
+    bulk writers can never deadlock).
+    """
+
+    def __init__(self, schema: Schema, shards: int = 8, workers: int = 0):
+        if shards < 1:
+            raise StorageError(f"shard count must be >= 1, got {shards}")
+        if workers < 0:
+            raise StorageError(f"worker count must be >= 0, got {workers}")
+        super().__init__(schema)
+        self.shards = shards
+        self.workers = workers
+        self._rows: dict[str, list[dict[Row, None]]] = {
+            name: [{} for _ in range(shards)]
+            for name in schema.relation_names()}
+        # id(attached constraint) -> one AccessIndex per shard.
+        self._indexes: dict[int, list[AccessIndex]] = {}
+        self._locks = [threading.RLock() for _ in range(shards)]
+        # Generation bumps are read-modify-writes shared by writers
+        # that may hold *disjoint* shard-lock sets; they serialize on
+        # this dedicated lock so no bump is ever lost.
+        self._generation_lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    # -- shard plumbing ----------------------------------------------------
+
+    # Shard placement is fixed as ``hash(key) % shards`` and inlined on
+    # the hot read paths below — readers and writers must always agree
+    # on it, so it is deliberately NOT an override hook (implement the
+    # StorageBackend protocol for a different partitioning scheme).
+    def _shard_of(self, key: Hashable) -> int:
+        return hash(key) % self.shards
+
+    def _indexes_by_relation(self, relation_name: str
+                             ) -> list[list[AccessIndex]]:
+        return [shard_indexes
+                for shard_indexes in self._indexes.values()
+                if shard_indexes[0].constraint.relation_name
+                == relation_name]
+
+    def _pool_instance(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-shard")
+            return self._pool
+
+    # -- writes ------------------------------------------------------------
+
+    def attach_access_schema(self, access_schema: AccessSchema) -> None:
+        with self._all_locks():
+            # Build fully, then publish with single assignments, as in
+            # MemoryBackend: lock-free readers never see a partial map.
+            indexes: dict[int, list[AccessIndex]] = {}
+            for constraint in access_schema:
+                relation = constraint.validate_against(self.schema)
+                shard_indexes = [AccessIndex(constraint, relation)
+                                 for _ in range(self.shards)]
+                x_positions = shard_indexes[0].x_positions
+                for shard in self._rows[constraint.relation_name]:
+                    for row in shard:
+                        x_value = tuple(row[i] for i in x_positions)
+                        shard_indexes[self._shard_of(x_value)].add(row)
+                indexes[id(constraint)] = shard_indexes
+            self._indexes = indexes
+            self.access_schema = access_schema
+            self._reset_resolutions()
+
+    def _all_locks(self):
+        class _Held:
+            def __init__(self, locks):
+                self.locks = locks
+
+            def __enter__(self):
+                for lock in self.locks:
+                    lock.acquire()
+
+            def __exit__(self, *exc):
+                for lock in reversed(self.locks):
+                    lock.release()
+        return _Held(self._locks)
+
+    def _apply_rows(self, relation_name: str, rows: Iterable[Row],
+                    deleting: bool) -> int:
+        """Shared insert/delete body: group the batch by the shard
+        locks it needs, mutate under them in ascending order, bump the
+        generation last."""
+        shards = self._rows[relation_name]
+        batch = [tuple(row) for row in rows]
+        if not batch:
+            return 0
+        while True:
+            index_families = self._indexes_by_relation(relation_name)
+            changed = self._apply_planned(relation_name, shards, batch,
+                                          index_families, deleting)
+            if changed is not None:
+                return changed
+            # attach_access_schema swapped the indexes between planning
+            # and locking; replan against the fresh ones.
+
+    def _apply_planned(self, relation_name: str,
+                       shards: list[dict[Row, None]], batch: list[Row],
+                       index_families: list[list[AccessIndex]],
+                       deleting: bool) -> int | None:
+        """One planned write attempt; returns None when the planned
+        index generation went stale before the locks were acquired."""
+        changed = 0
+        # Plan each row's touched shards first so locks are taken in
+        # ascending order exactly once per batch.
+        touched: set[int] = set()
+        placements = []  # (row, row_shard, [(shard_indexes, index_shard)])
+        for row in batch:
+            row_shard = self._shard_of(row)
+            index_targets = []
+            for shard_indexes in index_families:
+                x_positions = shard_indexes[0].x_positions
+                x_value = tuple(row[i] for i in x_positions)
+                index_shard = self._shard_of(x_value)
+                index_targets.append((shard_indexes, index_shard))
+                touched.add(index_shard)
+            touched.add(row_shard)
+            placements.append((row, row_shard, index_targets))
+        ordered = sorted(touched)
+        for shard_id in ordered:
+            self._locks[shard_id].acquire()
+        try:
+            # attach_access_schema rebuilds under ALL shard locks, so
+            # holding any lock means it is not mid-flight — but it may
+            # have completed between planning and here, orphaning the
+            # planned index objects.  Verify and replan if so.
+            if self._indexes_by_relation(relation_name) != index_families:
+                return None
+            for row, row_shard, index_targets in placements:
+                store = shards[row_shard]
+                if deleting:
+                    if row not in store:
+                        continue
+                    del store[row]
+                    for shard_indexes, index_shard in index_targets:
+                        shard_indexes[index_shard].remove(row)
+                else:
+                    if row in store:
+                        continue
+                    store[row] = None
+                    for shard_indexes, index_shard in index_targets:
+                        shard_indexes[index_shard].add(row)
+                changed += 1
+            if changed:
+                # Post-index bump, same contract as MemoryBackend; the
+                # dedicated lock keeps concurrent disjoint-shard
+                # writers from losing a bump.
+                with self._generation_lock:
+                    self._generations[relation_name] += 1
+        finally:
+            for shard_id in reversed(ordered):
+                self._locks[shard_id].release()
+        return changed
+
+    def insert_rows(self, relation_name: str, rows: Iterable[Row]) -> int:
+        return self._apply_rows(relation_name, rows, deleting=False)
+
+    def delete_rows(self, relation_name: str, rows: Iterable[Row]) -> int:
+        return self._apply_rows(relation_name, rows, deleting=True)
+
+    def clear(self) -> None:
+        with self._all_locks():
+            for shards in self._rows.values():
+                for shard in shards:
+                    shard.clear()
+            for shard_indexes in self._indexes.values():
+                for index in shard_indexes:
+                    index.remove_all()
+            with self._generation_lock:
+                for name in self._generations:
+                    self._generations[name] += 1
+
+    # -- reads -------------------------------------------------------------
+
+    def scan(self, relation_name: str) -> list[Row]:
+        rows: list[Row] = []
+        for shard_id, shard in enumerate(self._rows[relation_name]):
+            with self._locks[shard_id]:
+                rows.extend(shard)
+        return rows
+
+    def relation_size(self, relation_name: str) -> int:
+        return sum(len(shard) for shard in self._rows[relation_name])
+
+    def contains(self, relation_name: str, row: Row) -> bool:
+        return row in self._rows[relation_name][self._shard_of(row)]
+
+    def fetch_many(self, constraint: AccessConstraint,
+                   x_values: Sequence[Row]) -> list[list[Row]]:
+        (_, _, key_perm, row_proj, dedup), shard_indexes = \
+            self._resolved_indexes(constraint)
+        keys = self._permute_keys(x_values, key_perm)
+        shards = self.shards
+        count = len(keys)
+        if count == 1:
+            # Singleton batches skip the scatter machinery entirely.
+            shard_id = hash(keys[0]) % shards
+            with self._locks[shard_id]:
+                results = shard_indexes[shard_id].lookup_many(keys)
+        else:
+            buckets: list[list[int]] = [[] for _ in range(shards)]
+            for position, key in enumerate(keys):
+                buckets[hash(key) % shards].append(position)
+            touched = [shard_id for shard_id in range(shards)
+                       if buckets[shard_id]]
+            results = [()] * count  # type: ignore[list-item]
+            if len(touched) == 1:
+                shard_id = touched[0]
+                with self._locks[shard_id]:
+                    results = shard_indexes[shard_id].lookup_many(keys)
+            elif self.workers:
+                pool = self._pool_instance()
+                futures = [
+                    pool.submit(self._lookup_shard, shard_indexes,
+                                shard_id, keys, buckets[shard_id], results)
+                    for shard_id in touched]
+                for future in futures:
+                    future.result()
+            else:
+                for shard_id in touched:
+                    self._lookup_shard(shard_indexes, shard_id, keys,
+                                       buckets[shard_id], results)
+        if row_proj is not None:
+            return [self._project(rows, row_proj, dedup)
+                    for rows in results]
+        return results
+
+    def _lookup_shard(self, shard_indexes: list[AccessIndex],
+                      shard_id: int, keys: Sequence[Row],
+                      positions: list[int], out: list) -> None:
+        with self._locks[shard_id]:
+            shard_indexes[shard_id].lookup_scatter(keys, positions, out)
+
+    def fetch_flat(self, constraint: AccessConstraint,
+                   x_values: Sequence[Row]) -> list[Row]:
+        (_, _, key_perm, row_proj, _), shard_indexes = \
+            self._resolved_indexes(constraint)
+        if row_proj is not None:  # projection needs per-X deduplication
+            return StorageBackend.fetch_flat(self, constraint, x_values)
+        keys = self._permute_keys(x_values, key_perm)
+        shards = self.shards
+        if len(keys) == 1:
+            shard_id = hash(keys[0]) % shards
+            with self._locks[shard_id]:
+                return shard_indexes[shard_id].lookup_flat(keys)
+        buckets: list[list[Row]] = [[] for _ in range(shards)]
+        for key in keys:
+            buckets[hash(key) % shards].append(key)
+        if self.workers:
+            pool = self._pool_instance()
+            futures = [pool.submit(self._lookup_shard_flat, shard_indexes,
+                                   shard_id, buckets[shard_id])
+                       for shard_id in range(shards) if buckets[shard_id]]
+            rows: list[Row] = []
+            for future in futures:
+                rows.extend(future.result())
+            return rows
+        rows = []
+        for shard_id in range(shards):
+            bucket = buckets[shard_id]
+            if bucket:
+                with self._locks[shard_id]:
+                    rows.extend(
+                        shard_indexes[shard_id].lookup_flat(bucket))
+        return rows
+
+    def _lookup_shard_flat(self, shard_indexes: list[AccessIndex],
+                           shard_id: int, keys: list[Row]) -> list[Row]:
+        with self._locks[shard_id]:
+            return shard_indexes[shard_id].lookup_flat(keys)
+
+    def constraint_groups(self, constraint: AccessConstraint
+                          ) -> Iterator[tuple[Row, int]]:
+        _, shard_indexes = self._resolved_indexes(constraint)
+        snapshot: list[tuple[Row, int]] = []
+        for shard_id, index in enumerate(shard_indexes):
+            with self._locks[shard_id]:
+                snapshot.extend((x, index.group_size(x))
+                                for x in index.x_values())
+        return iter(snapshot)
+
+    def indexes_for(self, relation_name: str) -> list[AccessIndex]:
+        return [index
+                for shard_indexes in self._indexes_by_relation(relation_name)
+                for index in shard_indexes]
+
+    def describe(self) -> str:
+        suffix = f", workers={self.workers}" if self.workers else ""
+        return f"sharded(shards={self.shards}{suffix})"
+
+    def close(self) -> None:
+        """Shut down the lazily created lookup pool (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+
+BACKENDS = ("memory", "sharded")
+
+
+def make_backend(name: str, schema: Schema, *, shards: int = 8,
+                 workers: int = 0) -> StorageBackend:
+    """Build a backend by name — the CLI's ``--backend`` hook.
+
+    Adding an engine means implementing :class:`StorageBackend` and
+    registering it here (see README, "Adding a storage backend").
+    """
+    if name == "memory":
+        return MemoryBackend(schema)
+    if name == "sharded":
+        return ShardedBackend(schema, shards=shards, workers=workers)
+    raise StorageError(
+        f"unknown storage backend {name!r}; available: "
+        f"{', '.join(BACKENDS)}")

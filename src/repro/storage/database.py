@@ -1,26 +1,32 @@
-"""In-memory database instances with access-constraint indexes.
+"""The database facade over a pluggable storage backend.
 
-:class:`Database` stores one instance ``D`` of a relational schema:
-per-relation tuple sets plus the :class:`~repro.storage.indexes.AccessIndex`
-for every access constraint that has been attached.  It exposes
+:class:`Database` presents one instance ``D`` of a relational schema to
+the rest of the system — loading, deletion, the active domain,
+access-schema validation and the (now batched) ``fetch`` primitive —
+while the actual rows and per-constraint indexes live behind the
+:class:`~repro.storage.backend.StorageBackend` protocol.  Pick the
+engine at construction time::
 
-* bulk loading (``insert`` / ``insert_many``),
-* the active domain ``adom(D)``,
-* access-schema validation (``satisfies`` / ``check``), and
-* the ``fetch`` primitive used by bounded query plans, which *only*
-  touches indexes — the executor's access accounting hangs off it.
+    Database(schema)                                   # MemoryBackend
+    Database(schema, backend=ShardedBackend(schema, shards=16))
 
-Scans (``relation_tuples``) are deliberately separate so benchmarks can
-distinguish index-only bounded plans from scanning baselines.
+Everything above storage goes through this facade, and the facade goes
+through the backend protocol — there is no other road to the rows, so
+swapping engines can never change answers, only speed and topology.
+
+Scans (``relation_tuples``) are deliberately separate from fetches so
+benchmarks can distinguish index-only bounded plans from scanning
+baselines.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+from typing import Hashable, Iterable, Sequence
 
-from ..errors import ConstraintViolation, ExecutionError, SchemaError
+from ..errors import ConstraintViolation, SchemaError
 from ..schema.access import AccessConstraint, AccessSchema
-from ..schema.relation import RelationSchema, Schema
+from ..schema.relation import Schema
+from .backend import MemoryBackend, StorageBackend
 from .indexes import AccessIndex
 
 Row = tuple
@@ -37,25 +43,44 @@ class Database:
     """
 
     def __init__(self, schema: Schema,
-                 access_schema: AccessSchema | None = None):
+                 access_schema: AccessSchema | None = None,
+                 backend: StorageBackend | None = None):
         self.schema = schema
-        self._relations: dict[str, dict[Row, None]] = {
-            name: {} for name in schema.relation_names()
-        }
-        self._indexes: dict[int, AccessIndex] = {}
-        # Per-relation write epochs: bumped on every effective mutation,
-        # so read-side caches (repro.service.fetchcache) can key cached
-        # fetch results by generation and never serve stale rows.
-        self._generations: dict[str, int] = {
-            name: 0 for name in schema.relation_names()
-        }
+        if backend is None:
+            backend = MemoryBackend(schema)
+        elif backend.schema is not schema:
+            raise SchemaError(
+                "the backend was built for a different schema object; "
+                "construct it with the same Schema the Database uses")
+        self._backend = backend
+        # adom(D) memo: one (epoch, domain) pair assigned atomically so
+        # racing readers can never pin a pre-write domain under a
+        # post-write epoch (see active_domain).
+        self._adom_cache: tuple[int, frozenset] | None = None
         self.access_schema: AccessSchema | None = None
         if access_schema is not None:
             self.attach_access_schema(access_schema)
 
+    @property
+    def backend(self) -> StorageBackend:
+        """The storage engine behind this instance."""
+        return self._backend
+
+    def with_backend(self, backend: StorageBackend) -> "Database":
+        """A new :class:`Database` holding the same rows (and access
+        schema) on a different engine — how the CLI's ``--backend``
+        flag re-homes a loaded instance."""
+        clone = Database(self.schema, backend=backend)
+        for name in self.schema.relation_names():
+            backend.insert_rows(name, self._backend.scan(name))
+        if self.access_schema is not None:
+            clone.attach_access_schema(self.access_schema)
+        return clone
+
     # -- loading ---------------------------------------------------------------
 
-    def insert(self, relation_name: str, row: Sequence[Hashable]) -> None:
+    def _validated(self, relation_name: str,
+                   row: Sequence[Hashable]) -> Row:
         relation = self.schema.relation(relation_name)
         row = tuple(row)
         if len(row) != relation.arity:
@@ -63,68 +88,44 @@ class Database:
                 f"row {row!r} has arity {len(row)} but {relation} expects "
                 f"{relation.arity}"
             )
-        store = self._relations[relation_name]
-        if row in store:
-            return
-        store[row] = None
-        for index in self._indexes_for(relation_name):
-            index.add(row)
-        # The generation bump must come *after* the index updates: a
-        # concurrent reader keying a cache entry by the pre-bump epoch
-        # may at worst see the new row early (benign — the write was
-        # concurrent), never cache pre-write rows under the post-write
-        # epoch.
-        self._generations[relation_name] += 1
+        return row
+
+    def insert(self, relation_name: str, row: Sequence[Hashable]) -> None:
+        self._backend.insert_rows(relation_name,
+                                  (self._validated(relation_name, row),))
 
     def insert_many(self, relation_name: str,
                     rows: Iterable[Sequence[Hashable]]) -> None:
-        for row in rows:
-            self.insert(relation_name, row)
+        """Bulk insert — one backend call (and one generation bump) for
+        the whole batch."""
+        self._backend.insert_rows(
+            relation_name,
+            [self._validated(relation_name, row) for row in rows])
+
+    def delete(self, relation_name: str, row: Sequence[Hashable]) -> bool:
+        """Remove one row; True when it was present."""
+        return self._backend.delete_rows(
+            relation_name, (self._validated(relation_name, row),)) > 0
+
+    def delete_many(self, relation_name: str,
+                    rows: Iterable[Sequence[Hashable]]) -> int:
+        """Bulk delete; returns how many rows were actually removed."""
+        return self._backend.delete_rows(
+            relation_name,
+            [self._validated(relation_name, row) for row in rows])
 
     def clear(self) -> None:
-        for store in self._relations.values():
-            store.clear()
-        for index in self._indexes.values():
-            index.remove_all()
-        # Bumped last, as in insert(): readers at the old epoch may see
-        # the emptied indexes early, but post-bump lookups never reuse
-        # rows cached before the clear.
-        for name in self._generations:
-            self._generations[name] += 1
+        self._backend.clear()
 
     # -- access schema -----------------------------------------------------------
 
     def attach_access_schema(self, access_schema: AccessSchema) -> None:
         """Attach constraints and (re)build one index per constraint."""
         self.access_schema = access_schema
-        self._indexes = {}
-        for constraint in access_schema:
-            relation = constraint.validate_against(self.schema)
-            index = AccessIndex(constraint, relation)
-            for row in self._relations[constraint.relation_name]:
-                index.add(row)
-            self._indexes[id(constraint)] = index
+        self._backend.attach_access_schema(access_schema)
 
     def _indexes_for(self, relation_name: str) -> list[AccessIndex]:
-        return [idx for idx in self._indexes.values()
-                if idx.constraint.relation_name == relation_name]
-
-    def index_for(self, constraint: AccessConstraint) -> AccessIndex:
-        index = self._indexes.get(id(constraint))
-        if index is not None:
-            return index
-        # Fall back to structural matching (constraints may be re-created
-        # by analysis code rather than shared by identity).
-        for candidate in self._indexes.values():
-            existing = candidate.constraint
-            if (existing.relation_name == constraint.relation_name
-                    and existing.x_set == constraint.x_set
-                    and constraint.y_set <= existing.xy_set):
-                return candidate
-        raise ExecutionError(
-            f"no index available for constraint {constraint}; attach an "
-            "access schema containing it before executing bounded plans"
-        )
+        return self._backend.indexes_for(relation_name)
 
     def satisfies(self, access_schema: AccessSchema | None = None) -> bool:
         """``D |= A``: every constraint's cardinality bound holds."""
@@ -141,18 +142,34 @@ class Database:
             return
         db_size = self.size()
         for constraint in target:
-            index = self._index_or_adhoc(constraint)
-            index.validate(db_size)
+            limit = constraint.bound(db_size)
+            for x_value, group_size in self._groups_or_adhoc(constraint):
+                if group_size > limit:
+                    raise ConstraintViolation(constraint, x_value,
+                                              group_size)
 
-    def _index_or_adhoc(self, constraint: AccessConstraint) -> AccessIndex:
-        try:
-            return self.index_for(constraint)
-        except ExecutionError:
-            relation = constraint.validate_against(self.schema)
-            index = AccessIndex(constraint, relation)
-            for row in self._relations[constraint.relation_name]:
-                index.add(row)
-            return index
+    def _groups_or_adhoc(self, constraint: AccessConstraint):
+        """Per-X distinct-Y counts for exactly this constraint.
+
+        The attached index is only usable when its ``(X, Y)`` *sets*
+        match the requested constraint's: a structurally wider index
+        (the fetch path projects those) counts distinct values of the
+        wider Y and would flag spurious violations.  Anything else is
+        computed ad hoc from a scan.
+        """
+        attached = self.access_schema
+        if attached is not None:
+            for candidate in attached:
+                if candidate is constraint or (
+                        candidate.relation_name == constraint.relation_name
+                        and candidate.x_set == constraint.x_set
+                        and candidate.y_set == constraint.y_set):
+                    return self._backend.constraint_groups(candidate)
+        relation = constraint.validate_against(self.schema)
+        index = AccessIndex(constraint, relation)
+        for row in self._backend.scan(constraint.relation_name):
+            index.add(row)
+        return ((x, index.group_size(x)) for x in index.x_values())
 
     # -- reading -------------------------------------------------------------------
 
@@ -162,44 +179,92 @@ class Database:
         Equal generations guarantee identical relation contents, which
         is what lets fetch caches reuse results soundly.
         """
-        return self._generations[relation_name]
+        return self._backend.generation(relation_name)
 
     def write_epoch(self) -> int:
         """A database-wide epoch (sum of relation generations)."""
-        return sum(self._generations.values())
+        return self._backend.write_epoch()
 
     def relation_tuples(self, relation_name: str) -> list[Row]:
         """Full scan of one relation (the costly path bounded plans avoid)."""
-        return list(self._relations[relation_name])
+        return self._backend.scan(relation_name)
 
     def relation_size(self, relation_name: str) -> int:
-        return len(self._relations[relation_name])
+        return self._backend.relation_size(relation_name)
 
     def size(self) -> int:
         """``|D|``: total number of tuples."""
-        return sum(len(store) for store in self._relations.values())
+        return sum(self._backend.relation_size(name)
+                   for name in self.schema.relation_names())
 
     def active_domain(self, extra: Iterable[Hashable] = ()) -> set:
-        """``adom(D)`` (optionally extended with a query's constants)."""
-        domain: set = set(extra)
-        for store in self._relations.values():
-            for row in store:
-                domain.update(row)
-        return domain
+        """``adom(D)`` (optionally extended with a query's constants).
+
+        Memoized per :meth:`write_epoch` — analysis paths hit this on
+        every cold request, and re-scanning every relation each time
+        was pure waste.  A fresh mutable set is returned each call.
+        """
+        epoch = self._backend.write_epoch()
+        cached = self._adom_cache
+        if cached is None or cached[0] != epoch:
+            domain: set = set()
+            for name in self.schema.relation_names():
+                for row in self._backend.scan(name):
+                    domain.update(row)
+            # The epoch was read *before* the scans and the pair is
+            # stored in one assignment: a racing write at worst makes
+            # the next call recompute (stale epoch in the pair), never
+            # pins a pre-write domain under a post-write epoch.
+            cached = (epoch, frozenset(domain))
+            self._adom_cache = cached
+        result = set(cached[1])
+        result.update(extra)
+        return result
 
     def fetch(self, constraint: AccessConstraint, x_value: Row) -> list[Row]:
-        """Index lookup for one X-value: distinct ``X∪Y`` projections.
+        """Index lookup for one X-value: distinct ``X∪Y`` projections."""
+        return self._backend.fetch_many(constraint, (tuple(x_value),))[0]
 
-        This is the only data-access primitive bounded plans use.
-        """
-        return self.index_for(constraint).lookup(tuple(x_value))
+    def fetch_many(self, constraint: AccessConstraint,
+                   x_values: Sequence[Row]) -> list[list[Row]]:
+        """Batched index lookups, aligned with ``x_values`` — the only
+        data-access primitive bounded plans use.  Hot callers pass
+        tuples already; anything else is normalized once here."""
+        if x_values and not isinstance(x_values[0], tuple):
+            x_values = [tuple(x) for x in x_values]
+        try:
+            return self._backend.fetch_many(constraint, x_values)
+        except TypeError:  # mixed batch: a non-tuple past position 0
+            return self._backend.fetch_many(
+                constraint, self._normalized_keys(x_values))
+
+    def fetch_flat(self, constraint: AccessConstraint,
+                   x_values: Sequence[Row]) -> list[Row]:
+        """All rows for a batch of X-values in one unordered list —
+        the executor's fast path when nothing needs per-X alignment."""
+        if x_values and not isinstance(x_values[0], tuple):
+            x_values = [tuple(x) for x in x_values]
+        try:
+            return self._backend.fetch_flat(constraint, x_values)
+        except TypeError:  # mixed batch: a non-tuple past position 0
+            return self._backend.fetch_flat(
+                constraint, self._normalized_keys(x_values))
+
+    @staticmethod
+    def _normalized_keys(x_values: Sequence[Row]) -> list[Row]:
+        """Per-element tuple coercion, for mixed batches only: the
+        first-element sniff above keeps the hot all-tuple path free of
+        a per-key isinstance scan, and a non-tuple later in the batch
+        surfaces as the backends' unhashable-key TypeError."""
+        return [x if isinstance(x, tuple) else tuple(x) for x in x_values]
 
     def __contains__(self, pair) -> bool:
         relation_name, row = pair
-        return tuple(row) in self._relations[relation_name]
+        return self._backend.contains(relation_name, tuple(row))
 
     def summary(self) -> dict[str, int]:
-        return {name: len(store) for name, store in self._relations.items()}
+        return {name: self._backend.relation_size(name)
+                for name in self.schema.relation_names()}
 
     def __str__(self) -> str:
         parts = ", ".join(f"{name}: {size}" for name, size in self.summary().items())

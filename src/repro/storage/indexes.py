@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
-from ..errors import ConstraintViolation, SchemaError
+from ..errors import ConstraintViolation
 from ..schema.access import AccessConstraint
 from ..schema.relation import RelationSchema
 
@@ -34,13 +34,36 @@ class AccessIndex:
         self.relation = relation
         self.x_positions = constraint.x_positions(relation)
         self.y_positions = constraint.y_positions(relation)
-        # x-projection -> ordered dict of distinct y-projections.
-        self._groups: dict[Tuple, dict[Tuple, None]] = {}
+        # x-projection -> ordered dict of distinct y-projections, each
+        # mapped to the number of stored rows producing it.  The count
+        # makes row deletion exact: a projection disappears only when
+        # its last witness row is removed (X∪Y may be a strict subset
+        # of the relation's attributes, so projections can be shared).
+        self._groups: dict[Tuple, dict[Tuple, int]] = {}
 
     def add(self, row: Sequence) -> None:
         x_value = tuple(row[i] for i in self.x_positions)
         y_value = tuple(row[i] for i in self.y_positions)
-        self._groups.setdefault(x_value, {})[y_value] = None
+        group = self._groups.setdefault(x_value, {})
+        group[y_value] = group.get(y_value, 0) + 1
+
+    def remove(self, row: Sequence) -> None:
+        """Unregister one stored row (callers pass only rows they
+        actually deleted, exactly once per deletion)."""
+        x_value = tuple(row[i] for i in self.x_positions)
+        y_value = tuple(row[i] for i in self.y_positions)
+        group = self._groups.get(x_value)
+        if group is None:
+            return
+        count = group.get(y_value)
+        if count is None:
+            return
+        if count > 1:
+            group[y_value] = count - 1
+        else:
+            del group[y_value]
+            if not group:
+                del self._groups[x_value]
 
     def remove_all(self) -> None:
         self._groups.clear()
@@ -56,6 +79,46 @@ class AccessIndex:
         if group is None:
             return []
         return [x_value + y_value for y_value in group]
+
+    def lookup_many(self, x_values: Iterable[Tuple]) -> list[list[Tuple]]:
+        """Batched :meth:`lookup` — the hot path of ``fetch_many``.
+
+        ``x_values`` must already be tuples (callers batch them from
+        columnar zips); skipping per-key normalization and method
+        dispatch is exactly what makes the vectorized boundary pay off.
+        """
+        groups = self._groups
+        results = []
+        for x_value in x_values:
+            group = groups.get(x_value)
+            results.append([x_value + y_value for y_value in group]
+                           if group else [])
+        return results
+
+    def lookup_flat(self, keys: Sequence[Tuple]) -> list[Tuple]:
+        """Concatenated :meth:`lookup_many` without per-key alignment —
+        what executors consume when no cache interposes.  Distinct
+        X-values have disjoint row prefixes, so the concatenation is
+        duplicate-free exactly when each group is."""
+        groups = self._groups
+        out: list[Tuple] = []
+        for key in keys:
+            group = groups.get(key)
+            if group:
+                out.extend([key + y_value for y_value in group])
+        return out
+
+    def lookup_scatter(self, keys: Sequence[Tuple], positions: Sequence[int],
+                       out: list) -> None:
+        """Scatter variant for sharded engines: look up
+        ``keys[p]`` for each ``p`` in ``positions`` and write the rows
+        into ``out[p]`` — no per-shard gather lists, no realignment."""
+        groups = self._groups
+        for position in positions:
+            key = keys[position]
+            group = groups.get(key)
+            out[position] = ([key + y_value for y_value in group]
+                             if group else [])
 
     def lookup_y(self, x_value: Tuple) -> list[Tuple]:
         """Distinct Y-projections only."""

@@ -17,7 +17,6 @@ from __future__ import annotations
 import csv
 import json
 import pathlib
-from typing import Iterable
 
 from ..errors import SchemaError, StorageError
 from ..schema.access import (AccessConstraint, AccessSchema,
@@ -113,8 +112,13 @@ def save_database(db: Database, directory) -> None:
     (directory / "schema.json").write_text(json.dumps(spec, indent=2))
 
 
-def load_database(directory) -> Database:
+def load_database(directory, backend_factory=None) -> Database:
     """Reopen a directory written by :func:`save_database`.
+
+    ``backend_factory`` (schema -> StorageBackend) picks the storage
+    engine the rows are loaded onto — loading directly onto the target
+    engine, rather than re-homing afterwards, builds rows and indexes
+    exactly once.
 
     Every failure mode of a hand-edited directory is reported with an
     actionable message: missing directory or ``schema.json``, invalid
@@ -154,7 +158,9 @@ def load_database(directory) -> Database:
                 f"({error!r}); expected keys relation/x/y/cardinality"
             ) from error
     access = AccessSchema(schema, constraints)
-    db = Database(schema, access if len(access) else None)
+    db = Database(schema, access if len(access) else None,
+                  backend=backend_factory(schema) if backend_factory
+                  else None)
     for name in schema.relation_names():
         load_relation_csv(db, name, directory / f"{name}.csv")
     return db

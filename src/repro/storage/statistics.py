@@ -11,9 +11,8 @@ used by the discovery heuristics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Sequence
 
-from ..schema.relation import RelationSchema
 from .database import Database
 
 

@@ -6,7 +6,9 @@ from .accidents import (AccidentScale, canonical_access_schema,
 from .qgen import (JoinEdge, WorkloadConfig, accident_workload_config,
                    generate_workload, random_cq)
 from .social import (SocialScale, generate_patterns, graph_search_pattern,
-                     random_pattern, social_access_schema, social_graph)
+                     random_pattern, relational_social,
+                     social_access_schema, social_graph,
+                     social_relational_access, social_relational_schema)
 
 __all__ = [
     "AccidentScale", "simple_schema", "simple_accidents",
@@ -15,5 +17,7 @@ __all__ = [
     "JoinEdge", "WorkloadConfig", "accident_workload_config",
     "random_cq", "generate_workload",
     "SocialScale", "social_graph", "social_access_schema",
+    "social_relational_schema", "social_relational_access",
+    "relational_social",
     "graph_search_pattern", "random_pattern", "generate_patterns",
 ]

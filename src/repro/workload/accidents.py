@@ -29,10 +29,17 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from ..schema.access import AccessConstraint, AccessSchema
 from ..schema.relation import Schema
+from ..storage.backend import StorageBackend
 from ..storage.database import Database
+
+#: Optional storage-engine hook shared by the workload generators: a
+#: callable from the generated schema to the backend the instance
+#: should live on.
+BackendFactory = Optional[Callable[[Schema], StorageBackend]]
 
 DISTRICTS = [
     "Queens Park", "Soho", "Camden", "Islington", "Hackney", "Brixton",
@@ -97,16 +104,21 @@ def _dates(days: int) -> list[str]:
 
 
 def simple_accidents(scale: AccidentScale | None = None,
-                     access_schema: AccessSchema | None = None) -> Database:
+                     access_schema: AccessSchema | None = None,
+                     backend_factory: BackendFactory = None) -> Database:
     """Generate a simple-schema instance satisfying ψ1–ψ4.
 
     Total size is roughly ``days * max_accidents_per_day / 2 *
-    (1 + 2 * mean_casualties)`` tuples.
+    (1 + 2 * mean_casualties)`` tuples.  ``backend_factory`` picks the
+    storage engine, e.g. ``lambda s: ShardedBackend(s, shards=16)``
+    (default: the in-memory engine).
     """
     scale = scale or AccidentScale()
     rng = random.Random(scale.seed)
     schema = simple_schema()
-    db = Database(schema, access_schema or canonical_access_schema(schema))
+    db = Database(schema, access_schema or canonical_access_schema(schema),
+                  backend=backend_factory(schema) if backend_factory
+                  else None)
 
     aid = cid = vid = 0
     for date in _dates(scale.days):
@@ -171,13 +183,15 @@ def extended_access_schema(schema: Schema | None = None,
     ])
 
 
-def extended_accidents(scale: AccidentScale | None = None) -> Database:
+def extended_accidents(scale: AccidentScale | None = None,
+                       backend_factory: BackendFactory = None) -> Database:
     """Generate an extended-schema instance (no access schema attached;
     callers usually discover one)."""
     scale = scale or AccidentScale()
     rng = random.Random(scale.seed + 1)
     schema = extended_schema()
-    db = Database(schema)
+    db = Database(schema, backend=backend_factory(schema)
+                  if backend_factory else None)
 
     aid = cid = vid = 0
     for date in _dates(scale.days):

@@ -27,6 +27,10 @@ from ..graph.access import (DegreeConstraint, GraphAccessSchema,
                             LabelCountConstraint)
 from ..graph.graph import Graph
 from ..graph.pattern import Pattern, PatternEdge, PatternNode
+from ..schema.access import AccessConstraint, AccessSchema
+from ..schema.relation import Schema
+from ..storage.database import Database
+from .accidents import BackendFactory
 
 CITIES = ["nyc", "london", "paris", "tokyo", "berlin", "sydney",
           "toronto", "madrid"]
@@ -98,6 +102,57 @@ def social_access_schema(scale: SocialScale | None = None
         DegreeConstraint("lives_in", 1, "out", "person"),
         DegreeConstraint("likes", scale.max_likes, "out", "person"),
     ])
+
+
+def social_relational_schema() -> Schema:
+    """The social graph as relations, for the bounded *relational*
+    engine (edge lists per label)."""
+    return Schema.from_dict({
+        "Friend": ("src", "dst"),
+        "LivesIn": ("person", "city"),
+        "Likes": ("person", "interest"),
+    })
+
+
+def social_relational_access(scale: SocialScale | None = None,
+                             schema: Schema | None = None) -> AccessSchema:
+    """The relational reading of :func:`social_access_schema`."""
+    scale = scale or SocialScale()
+    schema = schema or social_relational_schema()
+    return AccessSchema(schema, [
+        AccessConstraint("Friend", ("src",), ("dst",), scale.max_friends),
+        AccessConstraint("LivesIn", ("person",), ("city",), 1),
+        AccessConstraint("Likes", ("person",), ("interest",),
+                         scale.max_likes),
+    ])
+
+
+def relational_social(scale: SocialScale | None = None,
+                      backend_factory: BackendFactory = None) -> Database:
+    """The social graph of :func:`social_graph`, encoded relationally
+    so the bounded engine (rather than the graph matcher) serves
+    Graph-Search traffic.  ``backend_factory`` picks the storage
+    engine, e.g. ``lambda s: ShardedBackend(s, shards=16)``.
+    """
+    scale = scale or SocialScale()
+    graph = social_graph(scale)
+    schema = social_relational_schema()
+    db = Database(schema, social_relational_access(scale, schema),
+                  backend=backend_factory(schema) if backend_factory
+                  else None)
+    friends, lives, likes = [], [], []
+    for node in graph.nodes_by_label("person"):
+        person = f"p{node[1]}"
+        for other in graph.out_neighbors(node, "friend"):
+            friends.append((person, f"p{other[1]}"))
+        for city in graph.out_neighbors(node, "lives_in"):
+            lives.append((person, city[1]))
+        for interest in graph.out_neighbors(node, "likes"):
+            likes.append((person, interest[1]))
+    db.insert_many("Friend", friends)
+    db.insert_many("LivesIn", lives)
+    db.insert_many("Likes", likes)
+    return db
 
 
 def graph_search_pattern(me, city: str = "nyc",

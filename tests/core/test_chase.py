@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro import AccessConstraint, AccessSchema, Schema
 from repro.core import chase, chase_and_core, core_of
@@ -50,7 +49,7 @@ class TestChase:
         q = parse_cq("Q(z) :- R(x, y), R(x, z), x = 1, y = 5")
         result = chase(q, aschema)
         assert not result.unsatisfiable
-        from repro.query import analyze_variables, Var
+        from repro.query import analyze_variables
         analysis = analyze_variables(result.query)
         assert analysis.pinned_value(result.query.head[0]) == 5
 

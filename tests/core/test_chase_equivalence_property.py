@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import AccessConstraint, AccessSchema, Database, Schema

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro import AccessConstraint, AccessSchema, Schema
 from repro.core import (analyze_coverage, covered_variables, is_bounded_cq,
                         is_covered_cq)
-from repro.query import Var, analyze_variables, parse_cq
+from repro.query import Var, parse_cq
 
 
 class TestCovFixpoint:

@@ -5,8 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import AccessConstraint, AccessSchema, Database, Schema
-from repro.core import (a_contained, answer_count_bound,
-                        is_boundedly_evaluable, lower_envelope,
+from repro.core import (a_contained, answer_count_bound, lower_envelope,
                         upper_envelope)
 from repro.engine import evaluate, execute_plan
 from repro.query import parse_cq, parse_ucq

@@ -14,7 +14,7 @@ import pytest
 
 from repro import (AccessConstraint, AccessSchema, Database, LogCardinality,
                    PowerCardinality, Schema, Var)
-from repro.core import (analyze_coverage, is_boundedly_evaluable, is_covered,
+from repro.core import (analyze_coverage, is_boundedly_evaluable,
                         specialize_minimally)
 from repro.engine import evaluate, execute_plan, static_bounds
 from repro.query import parse_cq

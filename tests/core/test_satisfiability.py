@@ -6,7 +6,7 @@ import pytest
 
 from repro import AccessConstraint, AccessSchema, Schema
 from repro.core import Budget, a_instances, a_satisfiable
-from repro.query import parse_cq, parse_ucq
+from repro.query import parse_cq
 
 
 @pytest.fixture

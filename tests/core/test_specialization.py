@@ -4,8 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import (AccessConstraint, AccessSchema, Const, Database, Schema,
-                   Var)
+from repro import AccessConstraint, AccessSchema, Const, Schema, Var
 from repro.core import (analyze_coverage, fully_parameterized_specialization,
                         is_boundedly_evaluable, specialization_is_covered,
                         specialize_minimally)

@@ -10,7 +10,7 @@ This is invariant 1/2 of DESIGN.md Section 6.
 from __future__ import annotations
 
 import pytest
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro import (AccessConstraint, AccessSchema, Database, PlanError,
                    Schema)

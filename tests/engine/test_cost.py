@@ -10,7 +10,6 @@ from repro import (AccessConstraint, AccessSchema, Database, LogCardinality,
 from repro.core import analyze_coverage
 from repro.engine import (ConstOp, FetchOp, Plan, ProductOp,
                           build_bounded_plan, execute_plan, static_bounds)
-from repro.engine.cost import CostCertificate
 from repro.query import parse_cq
 
 

@@ -93,6 +93,34 @@ def test_run_falls_back_to_scan(db_dir, capsys):
     assert "5 answer(s)" in out
 
 
+def test_run_sharded_backend_same_answers(db_dir, capsys):
+    assert main(["run", "--db", db_dir, Q0]) == 0
+    memory_out = capsys.readouterr().out
+    assert "storage: memory" in memory_out
+    assert main(["run", "--db", db_dir, "--backend", "sharded",
+                 "--shards", "4", Q0]) == 0
+    sharded_out = capsys.readouterr().out
+    assert "storage: sharded(shards=4)" in sharded_out
+    # Identical answers and identical access accounting on both engines.
+    assert "(34,)" in sharded_out and "(51,)" in sharded_out
+    assert "2 answer(s)" in sharded_out
+    assert memory_out.split("storage: memory\n")[1].splitlines()[0] == \
+        sharded_out.split("storage: sharded(shards=4)\n")[1].splitlines()[0]
+
+
+def test_batch_sharded_backend(db_dir, tmp_path, capsys):
+    requests = tmp_path / "requests.json"
+    requests.write_text(json.dumps({
+        "requests": [
+            {"query": "Q(d) :- Accident(aid, d, t), aid = 'a4'"},
+        ],
+    }))
+    assert main(["batch", "--db", db_dir, "--backend", "sharded",
+                 str(requests)]) == 0
+    out = capsys.readouterr().out
+    assert "1 answer(s) [bounded" in out
+
+
 def test_discover_prints_constraints(db_dir, capsys):
     assert main(["discover", "--db", db_dir]) == 0
     out = capsys.readouterr().out

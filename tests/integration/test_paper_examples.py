@@ -10,8 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import (AccessConstraint, AccessSchema, Const, Database, Schema,
-                   Var)
+from repro import AccessConstraint, AccessSchema, Schema, Var
 from repro.core import (a_contained, analyze_coverage, is_boundedly_evaluable,
                         is_covered, lower_envelope, specialize_minimally,
                         upper_envelope)

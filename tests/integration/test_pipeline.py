@@ -14,10 +14,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Var
 from repro.core import (analyze_coverage, is_boundedly_evaluable,
-                        lower_envelope, specialize_minimally,
-                        upper_envelope)
+                        specialize_minimally, upper_envelope)
 from repro.engine import (ScanStats, evaluate, execute_plan, static_bounds)
 from repro.workload import (AccidentScale, accident_workload_config,
                             extended_access_schema, extended_accidents,

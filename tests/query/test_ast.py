@@ -5,9 +5,9 @@ from __future__ import annotations
 import pytest
 
 from repro import CQ, UCQ, Atom, Const, Equality, QueryError, Var
-from repro.query.ast import (FAnd, FAtom, FEq, FExists, FForAll, FNot,
-                             FOQuery, FOr, PositiveQuery, conjunction,
-                             cq_to_formula, disjunction)
+from repro.query.ast import (FAnd, FAtom, FExists, FForAll, FNot, FOQuery, FOr,
+                             PositiveQuery, conjunction, cq_to_formula,
+                             disjunction)
 
 
 class TestTerms:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import AccessConstraint, AccessSchema, Database, Schema
-from repro.engine import Executor, execute_plan
+from repro.engine import Executor
 from repro.engine.naive import evaluate
 from repro.query import parse_query
 from repro.service import BoundedQueryService, CachingExecutor, FetchCache
@@ -43,6 +43,32 @@ def test_insert_invalidates_exactly_via_generation(db, constraint):
     rows, hit = cache.lookup(db, constraint, (1,))
     assert not hit
     assert sorted(rows) == [(1, 10), (1, 11), (1, 12)]
+
+
+def test_delete_invalidates_via_generation(db, constraint):
+    cache = FetchCache(capacity=16)
+    cache.lookup(db, constraint, (1,))
+    assert db.delete("R", (1, 10))
+    rows, hit = cache.lookup(db, constraint, (1,))
+    assert not hit
+    assert sorted(rows) == [(1, 11)]
+
+
+def test_lookup_many_splits_hits_and_misses(db, constraint):
+    cache = FetchCache(capacity=16)
+    cache.lookup(db, constraint, (1,))
+    rows_per_x, hits = cache.lookup_many(
+        db, constraint, [(1,), (2,), (3,)])
+    assert hits == [True, False, False]
+    assert sorted(rows_per_x[0]) == [(1, 10), (1, 11)]
+    assert rows_per_x[1] == [(2, 20)]
+    assert rows_per_x[2] == []
+    # The whole batch hits the second time around.
+    _, hits = cache.lookup_many(db, constraint, [(1,), (2,), (3,)])
+    assert hits == [True, True, True]
+    info = cache.info()
+    # 1 miss from the warming lookup, 2 from the first batch; 1 + 3 hits.
+    assert info.hits == 4 and info.misses == 3
 
 
 def test_duplicate_insert_does_not_invalidate(db, constraint):
@@ -131,3 +157,64 @@ class TestServiceNeverServesStaleRows:
         assert report.errors == 0
         for outcome in report.outcomes:
             assert outcome.result.answers == {(10,), (11,), (99,)}
+
+    @pytest.mark.parametrize("backend_name", ["memory", "sharded"])
+    def test_deletes_interleaved_with_service_traffic(self, backend_name):
+        """Writes *and deletes* between requests are always visible on
+        both storage engines — cached fetches never outlive their
+        generation."""
+        from repro.storage.backend import make_backend
+        schema = Schema.from_dict({"R": ("A", "B")})
+        access = AccessSchema(schema,
+                              [AccessConstraint("R", ("A",), ("B",), 8)])
+        database = Database(
+            schema, access,
+            backend=make_backend(backend_name, schema, shards=4))
+        database.insert_many("R", [(1, 10), (1, 11), (2, 20)])
+        service = BoundedQueryService(database)
+        service.register_template("t", "Q(y) :- R(x, y), x = $a")
+        assert service.execute_template("t", {"a": 1}).answers == \
+            {(10,), (11,)}
+        database.delete("R", (1, 10))
+        assert service.execute_template("t", {"a": 1}).answers == {(11,)}
+        database.insert("R", (1, 12))
+        database.delete("R", (1, 11))
+        assert service.execute_template("t", {"a": 1}).answers == {(12,)}
+        assert service.execute_template("t", {"a": 2}).answers == {(20,)}
+
+    @pytest.mark.parametrize("backend_name", ["memory", "sharded"])
+    def test_concurrent_writer_and_batches_converge(self, backend_name):
+        """A writer racing concurrent service batches: every batch
+        answer reflects some prefix-consistent state, and once writes
+        stop the service observes the final rows exactly."""
+        import threading
+
+        from repro.service import BatchRequest
+        from repro.storage.backend import make_backend
+        schema = Schema.from_dict({"R": ("A", "B")})
+        access = AccessSchema(schema,
+                              [AccessConstraint("R", ("A",), ("B",), 256)])
+        database = Database(
+            schema, access,
+            backend=make_backend(backend_name, schema, shards=4))
+        database.insert("R", (1, 0))
+        service = BoundedQueryService(database)
+        service.register_template("t", "Q(y) :- R(x, y), x = $a")
+
+        def writer():
+            for i in range(1, 60):
+                database.insert("R", (1, i))
+                if i % 4 == 0:
+                    database.delete("R", (1, i - 3))
+        thread = threading.Thread(target=writer)
+        thread.start()
+        for _ in range(6):
+            report = service.execute_batch(
+                [BatchRequest(template="t", params={"a": 1})
+                 for _ in range(8)], max_workers=4)
+            assert report.errors == 0
+        thread.join(timeout=30)
+        expected = {(row[1],)
+                    for row in database.relation_tuples("R")
+                    if row[0] == 1}
+        assert service.execute_template("t", {"a": 1}).answers == expected

@@ -6,7 +6,7 @@ import pytest
 
 from repro import AccessConstraint, AccessSchema, Schema
 from repro.query import parse_query
-from repro.service.plancache import PlanCache, PlanCacheKey
+from repro.service.plancache import PlanCache
 
 
 @pytest.fixture

@@ -7,7 +7,7 @@ import pytest
 from repro import AccessConstraint, AccessSchema, Database, Schema
 from repro.engine import execute_plan
 from repro.engine.naive import evaluate
-from repro.engine.plan import ConstEq, ConstOp, SelectOp
+from repro.engine.plan import ConstOp, SelectOp
 from repro.errors import ServiceError
 from repro.query import Param, parse_query
 from repro.service import BoundedQueryService, bind_plan, bind_query

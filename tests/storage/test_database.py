@@ -54,6 +54,28 @@ class TestDatabaseBasics:
         assert db.active_domain() == {1, "x"}
         assert db.active_domain(extra=["q"]) == {1, "x", "q"}
 
+    def test_active_domain_memo_tracks_write_epoch(self, schema):
+        db = Database(schema)
+        db.insert("R", (1, "x"))
+        first = db.active_domain()
+        # Mutating the returned set must not corrupt the memo, and a
+        # same-epoch call must not rescan (observable via the memo).
+        first.add("junk")
+        assert db.active_domain() == {1, "x"}
+        assert db._adom_cache[0] == db.write_epoch()
+        db.insert("R", (2, "y"))
+        assert db.active_domain() == {1, "x", 2, "y"}
+        db.delete("R", (1, "x"))
+        assert db.active_domain() == {2, "y"}
+
+    def test_delete_and_delete_many(self, schema):
+        db = Database(schema)
+        db.insert_many("R", [(1, "x"), (2, "y"), (3, "z")])
+        assert db.delete("R", (1, "x"))
+        assert not db.delete("R", (1, "x"))
+        assert db.delete_many("R", [(2, "y"), (3, "z"), (9, "q")]) == 2
+        assert db.size() == 0
+
     def test_clear(self, schema, aschema):
         db = Database(schema, aschema)
         db.insert("R", (1, 2))

@@ -6,16 +6,14 @@ import random
 
 import pytest
 
-from repro.core import analyze_coverage, is_covered
+from repro.core import is_covered
 from repro.query.normalize import normalize_cq
 from repro.workload import (AccidentScale, SocialScale,
-                            accident_workload_config,
-                            canonical_access_schema, extended_access_schema,
+                            accident_workload_config, extended_access_schema,
                             extended_accidents, extended_schema,
                             generate_patterns, generate_workload,
                             graph_search_pattern, simple_accidents,
-                            simple_schema, social_access_schema,
-                            social_graph)
+                            social_access_schema, social_graph)
 
 
 class TestAccidents:
