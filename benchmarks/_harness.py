@@ -9,17 +9,31 @@ Experiments can additionally record *machine-readable* numbers with
 ``benchmarks/results/BENCH_<exp_id>.json`` so the perf trajectory
 (medians, speedups, tuples fetched, ...) can be diffed across PRs
 instead of eyeballing text tables.
+
+Setting ``BENCH_RESULTS_DIR`` redirects all outputs (text and JSON)
+to that directory: CI's trajectory job writes *fresh* numbers there
+and diffs them against the committed ``benchmarks/results`` baselines
+without ever dirtying the checked-out tree it is diffing.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import statistics
 import time
 from typing import Callable
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def results_dir() -> pathlib.Path:
+    """Where outputs land: ``$BENCH_RESULTS_DIR`` if set (read per
+    flush, so tests can monkeypatch it), else the committed baseline
+    directory."""
+    override = os.environ.get("BENCH_RESULTS_DIR")
+    return pathlib.Path(override) if override else RESULTS_DIR
 
 
 class ExperimentLog:
@@ -51,11 +65,12 @@ class ExperimentLog:
         self.metrics[name] = value
 
     def flush(self) -> None:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        path = RESULTS_DIR / f"{self.exp_id.lower()}.txt"
+        out_dir = results_dir()
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"{self.exp_id.lower()}.txt"
         path.write_text("\n".join(self.lines) + "\n")
         if self.metrics:  # experiments without metric() calls stay text-only
-            json_path = RESULTS_DIR / f"BENCH_{self.exp_id.lower()}.json"
+            json_path = out_dir / f"BENCH_{self.exp_id.lower()}.json"
             json_path.write_text(json.dumps(
                 {"experiment": self.exp_id, "title": self.title,
                  "metrics": self.metrics},

@@ -152,7 +152,7 @@ def replay(executor, batches):
     return replayed, stats
 
 
-def run_boundary(name, db, sharded, plans, log):
+def run_boundary(name, db, sharded, plans, log, failures):
     recorder = RecordingExecutor(db)
     for _, plan in plans:
         recorder.execute(plan)
@@ -177,15 +177,21 @@ def run_boundary(name, db, sharded, plans, log):
     # Bit-identical fetch results, batch for batch, on every path (row
     # order within a batch is storage-layout dependent and carries no
     # meaning under set semantics — compare as sets), and identical
-    # |D_Q| accounting.
+    # |D_Q| accounting.  Violations are collected here and asserted in
+    # the bench_correctness test.
     def canonical(replayed):
         return [frozenset(batch) for batch in replayed]
 
     reference, ref_stats = replays["memory/per-value"]
-    for rows, stats in replays.values():
-        assert canonical(rows) == canonical(reference)
-        assert stats.index_lookups == ref_stats.index_lookups
-        assert stats.tuples_fetched == ref_stats.tuples_fetched
+    for path_name, (rows, stats) in replays.items():
+        if canonical(rows) != canonical(reference):
+            failures.append(f"{name}/{path_name}: fetched rows differ")
+        if (stats.index_lookups != ref_stats.index_lookups
+                or stats.tuples_fetched != ref_stats.tuples_fetched):
+            failures.append(
+                f"{name}/{path_name}: accounting differs "
+                f"({stats.index_lookups}/{stats.tuples_fetched} vs "
+                f"{ref_stats.index_lookups}/{ref_stats.tuples_fetched})")
     tuples = sum(len(batch) for batch in reference)
 
     # The asserted claim: on each backend, the vectorized boundary vs
@@ -223,7 +229,7 @@ def run_boundary(name, db, sharded, plans, log):
 # -- the end-to-end comparison (identity + reported win) ----------------------
 
 
-def run_end_to_end(name, db, sharded, pooled, plans, log):
+def run_end_to_end(name, db, sharded, pooled, plans, log, failures):
     configs = [
         ("memory/per-value", PerValueExecutor(db)),
         ("memory/vectorized", Executor(db)),
@@ -243,11 +249,13 @@ def run_end_to_end(name, db, sharded, pooled, plans, log):
         else:
             # Bit-identical answers and identical |D_Q| accounting on
             # every backend and boundary shape.
-            assert answers == baseline_answers, config_name
-            assert stats.index_lookups == baseline_stats.index_lookups, \
-                config_name
-            assert stats.tuples_fetched == baseline_stats.tuples_fetched, \
-                config_name
+            if answers != baseline_answers:
+                failures.append(f"{name}/{config_name}: answers differ")
+            if (stats.index_lookups != baseline_stats.index_lookups
+                    or stats.tuples_fetched
+                    != baseline_stats.tuples_fetched):
+                failures.append(
+                    f"{name}/{config_name}: end-to-end accounting differs")
         rows.append([config_name, f"{seconds * 1e3:.2f}ms",
                      stats.index_lookups, stats.tuples_fetched])
 
@@ -267,25 +275,31 @@ def run_end_to_end(name, db, sharded, pooled, plans, log):
     return speedup
 
 
-def run_workload(name, db, queries, log):
+def run_workload(name, db, queries, log, failures):
     sharded = db.with_backend(ShardedBackend(db.schema, shards=SHARDS))
     pooled = db.with_backend(
         ShardedBackend(db.schema, shards=SHARDS, workers=SHARDS))
     plans = compile_plans(db, queries)
-    boundary = run_boundary(name, db, sharded, plans, log)
-    end_to_end = run_end_to_end(name, db, sharded, pooled, plans, log)
+    boundary = run_boundary(name, db, sharded, plans, log, failures)
+    end_to_end = run_end_to_end(name, db, sharded, pooled, plans, log,
+                                failures)
     pooled.backend.close()
     return boundary, end_to_end
 
 
-def test_vectorized_sharded_speedup_and_identical_answers(log):
+@pytest.fixture(scope="module")
+def measured(log):
+    """Both workloads, measured once; identity violations are collected
+    for the bench_correctness test, wall-clock ratios for the (noisy,
+    continue-on-error-smoked) speedup test."""
+    failures: list[str] = []
     accidents_db, accidents_queries = accident_workload()
     (acc_mem, acc_shard), acc_e2e = run_workload(
-        "accidents", accidents_db, accidents_queries, log)
+        "accidents", accidents_db, accidents_queries, log, failures)
 
     social, social_queries_ = social_workload()
     (soc_mem, soc_shard), soc_e2e = run_workload(
-        "social", social, social_queries_, log)
+        "social", social, social_queries_, log, failures)
 
     log.row("")
     log.row("claim: one vectorized fetch_many per fetch batch is >= 2x "
@@ -295,13 +309,24 @@ def test_vectorized_sharded_speedup_and_identical_answers(log):
             f"{acc_shard:.1f}x (end-to-end {acc_e2e:.2f}x), social "
             f"memory {soc_mem:.1f}x / sharded {soc_shard:.1f}x "
             f"(end-to-end {soc_e2e:.2f}x)")
-    for label, speedup in [("accidents memory", acc_mem),
-                           ("accidents sharded", acc_shard),
-                           ("social memory", soc_mem),
-                           ("social sharded", soc_shard)]:
+    return {"failures": failures,
+            "boundary": [("accidents memory", acc_mem),
+                         ("accidents sharded", acc_shard),
+                         ("social memory", soc_mem),
+                         ("social sharded", soc_shard)],
+            "end_to_end": [("accidents", acc_e2e), ("social", soc_e2e)]}
+
+
+@pytest.mark.bench_correctness
+def test_identical_rows_and_accounting_on_every_path(measured):
+    assert not measured["failures"], measured["failures"][:5]
+
+
+def test_vectorized_sharded_speedup(measured):
+    for label, speedup in measured["boundary"]:
         assert speedup >= MIN_SPEEDUP, \
             f"{label} boundary: only {speedup:.1f}x"
     # Vectorization must also be a clear end-to-end win, not just a
     # microbench one (joins/gathers put ~2x out of reach here).
-    assert acc_e2e >= 1.1, f"accidents end-to-end: only {acc_e2e:.2f}x"
-    assert soc_e2e >= 1.1, f"social end-to-end: only {soc_e2e:.2f}x"
+    for label, speedup in measured["end_to_end"]:
+        assert speedup >= 1.1, f"{label} end-to-end: only {speedup:.2f}x"

@@ -94,7 +94,7 @@ def social_queries(db: Database):
 # -- the experiment -----------------------------------------------------------
 
 
-def run_workload(name, db, queries, log):
+def run_workload(name, db, queries, log, failures):
     statistics = TableStatistics.from_database(db)
     rows = []
     deltas = defaultdict(lambda: [0, 0])  # rule -> [fired, steps removed]
@@ -115,9 +115,14 @@ def run_workload(name, db, queries, log):
         physical_s, optimized = timed(
             lambda: execute_plan(physical, db), repeat=REPEAT)
 
-        assert optimized.answers == reference.answers, label
-        assert (optimized.stats.tuples_fetched
-                <= reference.stats.tuples_fetched), label
+        if optimized.answers != reference.answers:
+            failures.append(f"{name}/{label}: answers differ")
+        if (optimized.stats.tuples_fetched
+                > reference.stats.tuples_fetched):
+            failures.append(
+                f"{name}/{label}: optimization added data access "
+                f"({optimized.stats.tuples_fetched} > "
+                f"{reference.stats.tuples_fetched} tuples)")
 
         total_logical += logical_s
         total_physical += physical_s
@@ -137,14 +142,19 @@ def run_workload(name, db, queries, log):
     return speedup, deltas
 
 
-def test_optimizer_speedup_and_identical_answers(log):
+@pytest.fixture(scope="module")
+def measured(log):
+    """Run both workloads once; identity violations are *collected*
+    here and asserted in the bench_correctness test, wall-clock
+    thresholds in the (noise-tolerant) speedup test."""
+    failures: list[str] = []
     accident_db, acc_queries = accident_queries()
     acc_speedup, acc_deltas = run_workload(
-        "accidents", accident_db, acc_queries, log)
+        "accidents", accident_db, acc_queries, log, failures)
 
     social = social_db()
     soc_speedup, soc_deltas = run_workload(
-        "social", social, social_queries(social), log)
+        "social", social, social_queries(social), log, failures)
 
     merged = defaultdict(lambda: [0, 0])
     for deltas in (acc_deltas, soc_deltas):
@@ -160,10 +170,22 @@ def test_optimizer_speedup_and_identical_answers(log):
     log.metric("social_speedup", round(soc_speedup, 2))
     log.metric("rule_firings",
                {rule: fired for rule, (fired, _) in merged.items()})
+    return {"failures": failures, "acc_speedup": acc_speedup,
+            "soc_speedup": soc_speedup, "merged": merged}
 
+
+@pytest.mark.bench_correctness
+def test_identical_answers_and_no_added_access(measured):
+    assert not measured["failures"], measured["failures"][:5]
+    # The tentpole rules actually fired (deterministic counters).
+    merged = measured["merged"]
+    assert merged["product-to-hash-join"][0] > 0
+    assert merged["select-into-fetch"][0] > 0
+
+
+def test_optimizer_speedup(measured):
+    acc_speedup = measured["acc_speedup"]
+    soc_speedup = measured["soc_speedup"]
     # The join-heavy workloads must show the headline win.
     assert acc_speedup >= MIN_SPEEDUP, f"accidents: only {acc_speedup:.1f}x"
     assert soc_speedup >= MIN_SPEEDUP, f"social: only {soc_speedup:.1f}x"
-    # The tentpole rules actually fired.
-    assert merged["product-to-hash-join"][0] > 0
-    assert merged["select-into-fetch"][0] > 0

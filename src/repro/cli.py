@@ -11,9 +11,11 @@ Usage (after ``pip install -e .`` the ``repro`` entry point is on PATH;
     repro bench-service --db DIR [--requests N] [--backend sharded] "Q(x) :- ..."
 
 ``run``, ``batch`` and ``bench-service`` accept ``--backend
-{memory,sharded}`` (plus ``--shards S``) to re-home the loaded
-instance onto a different storage engine; answers are identical on
-every backend.
+{memory,sharded,disk}`` (plus ``--shards S`` for the sharded engine and
+``--data-dir DIR`` / ``--fsync`` for the durable one) to re-home the
+loaded instance onto a different storage engine; answers are identical
+on every backend.  ``--backend disk`` recovers whatever the data
+directory already holds (latest snapshot + WAL replay) before loading.
 
 ``--db DIR`` points at a directory written by
 ``repro.storage.io.save_database`` (CSV files plus ``schema.json``).
@@ -66,7 +68,9 @@ def _load(args):
         # built once, not built in memory and re-homed.
         def factory(schema):
             return make_backend(backend_name, schema,
-                                shards=getattr(args, "shards", 8))
+                                shards=getattr(args, "shards", 8),
+                                data_dir=getattr(args, "data_dir", None),
+                                fsync=getattr(args, "fsync", False))
     db = load_database(args.db, backend_factory=factory)
     if db.access_schema is None or not len(db.access_schema):
         print("warning: no access constraints in schema.json",
@@ -80,6 +84,12 @@ def _add_backend_flags(parser) -> None:
                              "(default: memory)")
     parser.add_argument("--shards", type=int, default=8,
                         help="shard count for --backend sharded")
+    parser.add_argument("--data-dir", dest="data_dir", default=None,
+                        help="durable data directory for --backend disk "
+                             "(recovered on open: latest snapshot + WAL)")
+    parser.add_argument("--fsync", action="store_true",
+                        help="fsync the WAL after every write batch "
+                             "(--backend disk; power-loss durability)")
 
 
 def cmd_analyze(args) -> int:

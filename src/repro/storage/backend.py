@@ -708,11 +708,12 @@ class ShardedBackend(StorageBackend):
             pool.shutdown(wait=False)
 
 
-BACKENDS = ("memory", "sharded")
+BACKENDS = ("memory", "sharded", "disk")
 
 
 def make_backend(name: str, schema: Schema, *, shards: int = 8,
-                 workers: int = 0) -> StorageBackend:
+                 workers: int = 0, data_dir=None,
+                 fsync: bool = False) -> StorageBackend:
     """Build a backend by name — the CLI's ``--backend`` hook.
 
     Adding an engine means implementing :class:`StorageBackend` and
@@ -722,6 +723,13 @@ def make_backend(name: str, schema: Schema, *, shards: int = 8,
         return MemoryBackend(schema)
     if name == "sharded":
         return ShardedBackend(schema, shards=shards, workers=workers)
+    if name == "disk":
+        if data_dir is None:
+            raise StorageError(
+                "the disk backend needs a data directory; pass "
+                "data_dir=... (CLI: --data-dir DIR)")
+        from .disk import DiskBackend  # deferred: keeps backend.py cycle-free
+        return DiskBackend(schema, data_dir, fsync=fsync)
     raise StorageError(
         f"unknown storage backend {name!r}; available: "
         f"{', '.join(BACKENDS)}")

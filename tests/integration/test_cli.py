@@ -108,6 +108,38 @@ def test_run_sharded_backend_same_answers(db_dir, capsys):
         sharded_out.split("storage: sharded(shards=4)\n")[1].splitlines()[0]
 
 
+def test_run_disk_backend_same_answers_and_recovers(db_dir, tmp_path,
+                                                    capsys):
+    data_dir = str(tmp_path / "durable")
+    assert main(["run", "--db", db_dir, "--backend", "disk",
+                 "--data-dir", data_dir, Q0]) == 0
+    first = capsys.readouterr().out
+    assert "storage: disk(" in first
+    assert "(34,)" in first and "(51,)" in first
+    assert "2 answer(s)" in first
+    # Second run recovers the same directory (WAL replay + set-semantics
+    # reload) and answers identically.
+    assert main(["run", "--db", db_dir, "--backend", "disk",
+                 "--data-dir", data_dir, Q0]) == 0
+    second = capsys.readouterr().out
+    assert "(34,)" in second and "(51,)" in second
+    assert "2 answer(s)" in second
+
+
+def test_run_disk_backend_without_data_dir_is_actionable(db_dir, capsys):
+    assert main(["run", "--db", db_dir, "--backend", "disk", Q0]) == 2
+    assert "--data-dir" in capsys.readouterr().err
+
+
+def test_bench_service_disk_backend(db_dir, tmp_path, capsys):
+    assert main(["bench-service", "--db", db_dir, "--backend", "disk",
+                 "--data-dir", str(tmp_path / "durable"),
+                 "--requests", "3", Q0]) == 0
+    out = capsys.readouterr().out
+    assert "storage: disk(" in out
+    assert "2 answer(s)" in out
+
+
 def test_batch_sharded_backend(db_dir, tmp_path, capsys):
     requests = tmp_path / "requests.json"
     requests.write_text(json.dumps({

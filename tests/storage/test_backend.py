@@ -3,6 +3,7 @@ constraint resolution projections, and write/read races."""
 
 from __future__ import annotations
 
+import tempfile
 import threading
 
 import pytest
@@ -15,6 +16,17 @@ from repro.query import parse_query
 from repro.service import CachingExecutor, FetchCache
 from repro.storage.backend import (MemoryBackend, ShardedBackend,
                                    make_backend)
+from repro.storage.disk import DiskBackend
+
+
+def _disk_backend(schema):
+    """A DiskBackend on a throwaway directory; the TemporaryDirectory
+    is pinned to the backend so it is cleaned up when the backend is."""
+    tmp = tempfile.TemporaryDirectory(prefix="repro-disk-")
+    backend = DiskBackend(schema, tmp.name)
+    backend._test_tmpdir = tmp
+    return backend
+
 
 BACKEND_FACTORIES = [
     pytest.param(lambda schema: MemoryBackend(schema), id="memory"),
@@ -22,6 +34,7 @@ BACKEND_FACTORIES = [
                  id="sharded"),
     pytest.param(lambda schema: ShardedBackend(schema, shards=4, workers=2),
                  id="sharded-pool"),
+    pytest.param(_disk_backend, id="disk"),
 ]
 
 
@@ -231,11 +244,16 @@ class TestShardedLayout:
         with pytest.raises(StorageError, match="worker count"):
             ShardedBackend(schema, workers=-1)
 
-    def test_make_backend_factory(self, schema):
+    def test_make_backend_factory(self, schema, tmp_path):
         assert isinstance(make_backend("memory", schema), MemoryBackend)
         sharded = make_backend("sharded", schema, shards=3, workers=1)
         assert isinstance(sharded, ShardedBackend)
         assert sharded.shards == 3 and sharded.workers == 1
+        disk = make_backend("disk", schema, data_dir=tmp_path / "d")
+        assert isinstance(disk, DiskBackend)
+        disk.close()
+        with pytest.raises(StorageError, match="data directory"):
+            make_backend("disk", schema)
         with pytest.raises(StorageError, match="unknown storage backend"):
             make_backend("paper-tape", schema)
 
