@@ -44,6 +44,7 @@ class ExperimentLog:
         self.title = title
         self.lines: list[str] = [f"{exp_id}: {title}", "=" * 72]
         self.metrics: dict[str, object] = {}
+        self.gates: dict[str, dict] = {}
 
     def row(self, text: str) -> None:
         self.lines.append(text)
@@ -64,17 +65,31 @@ class ExperimentLog:
         for the JSON artifact."""
         self.metrics[name] = value
 
+    def gate(self, metric_path: str, *, max_increase_pct: float) -> None:
+        """Declare a *hard* trajectory gate on one metric path.
+
+        Written into the JSON artifact as ``gates``;
+        ``check_trajectory.py`` then FAILs (not warns) when the fresh
+        value exceeds the committed baseline by more than
+        ``max_increase_pct`` percent — even for wall-clock metrics,
+        which are otherwise warn-only.  Declare wall-clock gates only
+        where the baseline is regenerated on comparable hardware.
+        """
+        self.gates[metric_path] = {"max_increase_pct": max_increase_pct}
+
     def flush(self) -> None:
         out_dir = results_dir()
         out_dir.mkdir(parents=True, exist_ok=True)
         path = out_dir / f"{self.exp_id.lower()}.txt"
         path.write_text("\n".join(self.lines) + "\n")
         if self.metrics:  # experiments without metric() calls stay text-only
+            payload = {"experiment": self.exp_id, "title": self.title,
+                       "metrics": self.metrics}
+            if self.gates:
+                payload["gates"] = self.gates
             json_path = out_dir / f"BENCH_{self.exp_id.lower()}.json"
             json_path.write_text(json.dumps(
-                {"experiment": self.exp_id, "title": self.title,
-                 "metrics": self.metrics},
-                indent=2, sort_keys=True, default=str) + "\n")
+                payload, indent=2, sort_keys=True, default=str) + "\n")
 
 
 def timed(fn: Callable, repeat: int = 1) -> tuple[float, object]:

@@ -32,6 +32,7 @@ import pytest
 from repro import is_boundedly_evaluable
 from repro.engine import optimize
 from repro.engine.executor import AccessStats, Executor
+from repro.obs import MetricsRegistry
 from repro.query import parse_query
 from repro.storage.backend import ShardedBackend
 from repro.storage.statistics import TableStatistics
@@ -272,7 +273,7 @@ def run_end_to_end(name, db, sharded, pooled, plans, log, failures):
         for config, seconds in timings.items()})
     log.metric(f"{name}_tuples_fetched", baseline_stats.tuples_fetched)
     log.metric(f"{name}_index_lookups", baseline_stats.index_lookups)
-    return speedup
+    return speedup, baseline_stats
 
 
 def run_workload(name, db, queries, log, failures):
@@ -281,10 +282,28 @@ def run_workload(name, db, queries, log, failures):
         ShardedBackend(db.schema, shards=SHARDS, workers=SHARDS))
     plans = compile_plans(db, queries)
     boundary = run_boundary(name, db, sharded, plans, log, failures)
-    end_to_end = run_end_to_end(name, db, sharded, pooled, plans, log,
-                                failures)
+    end_to_end, stats = run_end_to_end(name, db, sharded, pooled, plans,
+                                       log, failures)
     pooled.backend.close()
-    return boundary, end_to_end
+    return boundary, end_to_end, stats
+
+
+def registry_dump(stats: AccessStats) -> dict:
+    """The workloads' access accounting mirrored through a
+    :class:`~repro.obs.metrics.MetricsRegistry`, so BENCH_exp-10.json
+    carries the same metric names (per-op batch counts included) a
+    scraped service exposes."""
+    registry = MetricsRegistry()
+    registry.counter("repro_fetch_calls_total").set_total(stats.fetch_calls)
+    registry.counter(
+        "repro_index_lookups_total").set_total(stats.index_lookups)
+    registry.counter(
+        "repro_tuples_fetched_total").set_total(stats.tuples_fetched)
+    ops = registry.counter("repro_executor_ops_total",
+                           label_names=("op",))
+    for op, count in sorted(stats.op_counts.items()):
+        ops.labels(op=op).set_total(count)
+    return registry.as_flat_dict()
 
 
 @pytest.fixture(scope="module")
@@ -294,12 +313,17 @@ def measured(log):
     continue-on-error-smoked) speedup test."""
     failures: list[str] = []
     accidents_db, accidents_queries = accident_workload()
-    (acc_mem, acc_shard), acc_e2e = run_workload(
+    (acc_mem, acc_shard), acc_e2e, acc_stats = run_workload(
         "accidents", accidents_db, accidents_queries, log, failures)
 
     social, social_queries_ = social_workload()
-    (soc_mem, soc_shard), soc_e2e = run_workload(
+    (soc_mem, soc_shard), soc_e2e, soc_stats = run_workload(
         "social", social, social_queries_, log, failures)
+
+    totals = AccessStats()
+    totals.merge(acc_stats)
+    totals.merge(soc_stats)
+    log.metric("observability", registry_dump(totals))
 
     log.row("")
     log.row("claim: one vectorized fetch_many per fetch batch is >= 2x "

@@ -30,6 +30,7 @@ import pytest
 from repro import Database, is_boundedly_evaluable
 from repro.engine import optimize
 from repro.engine.executor import AccessStats, Executor
+from repro.obs import MetricsRegistry, attach_storage_collector
 from repro.query import parse_query
 from repro.storage.disk import DiskBackend, disk_backend_factory
 from repro.storage.statistics import TableStatistics
@@ -229,4 +230,11 @@ def test_cold_open_and_fetch_overhead_report(setup, log):
     log.metric("cold_open_snapshot_ms", round(snap_s * 1e3, 3))
     log.metric("attach_index_build_ms", round(attach_s * 1e3, 3))
     log.metric("fetch_overhead_disk_vs_memory_ratio", round(overhead, 3))
+    # The recovered engine's own tallies (snapshot rows loaded, WAL
+    # tail replayed, torn bytes skipped), mirrored through the storage
+    # collector so BENCH_exp-11.json diffs the recovery trajectory
+    # under the same repro_storage_* names `repro stats` exposes.
+    registry = MetricsRegistry()
+    attach_storage_collector(registry, recovered.backend)
+    log.metric("observability", registry.as_flat_dict())
     recovered.backend.close()

@@ -21,10 +21,12 @@ Run with ``python -m pytest benchmarks/bench_exp8_service.py -x -q``.
 from __future__ import annotations
 
 import random
+import time
 
 import pytest
 
 from repro.engine.naive import evaluate_cq
+from repro.obs import MetricsRegistry
 from repro.query import parse_cq
 from repro.service import BatchRequest, BoundedQueryService
 from repro.workload.accidents import AccidentScale, simple_accidents
@@ -75,11 +77,24 @@ def cold_once(db, binding):
     return service.execute(bound_text(binding))
 
 
+def calibration_spin(iterations: int = 150_000) -> int:
+    """A fixed pure-interpreter workload (~5ms) timed back-to-back with
+    each warm repeat.  Machine speed and ambient load hit the spin and
+    the warm loop alike, so ``warm / spin`` is a load-normalized cost
+    the hard trajectory gate can hold to a tight bound where absolute
+    milliseconds (24% run-to-run spread on a busy host) cannot."""
+    total = 0
+    for i in range(iterations):
+        total += i & 7
+    return total
+
+
 @pytest.fixture(scope="module")
 def warm_run(db, bindings, log):
     """Measure the cold pipeline and the warm hot path once; the
     correctness test and the wall-clock test split its assertions."""
-    service = BoundedQueryService(db)
+    registry = MetricsRegistry()
+    service = BoundedQueryService(db, registry=registry)
     service.register_template("drivers", TEMPLATE)
 
     # Cold: every request pays parse + coverage + plan build + fetches.
@@ -87,12 +102,24 @@ def warm_run(db, bindings, log):
         lambda: [cold_once(db, b) for b in bindings[:10]], repeat=2)
     cold_per_request = cold_total / 10
 
-    # Prime, then measure the warm hot path.
+    # Prime, then measure the warm hot path, interleaving each repeat
+    # with a calibration spin so the gated metric is load-normalized.
     for binding in bindings[:DISTINCT_BINDINGS]:
         service.execute_template("drivers", binding)
-    warm_total, warm_results = timed(
-        lambda: [service.execute_template("drivers", b) for b in bindings],
-        repeat=3)
+    warm_total = float("inf")
+    spin_best = float("inf")
+    warm_results = None
+    for _ in range(15):
+        start = time.perf_counter()
+        calibration_spin()
+        spin_best = min(spin_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        warm_results = [service.execute_template("drivers", b)
+                        for b in bindings]
+        warm_total = min(warm_total, time.perf_counter() - start)
+    # Ratio of the two best-of-9s: each min dodges sporadic scheduler
+    # spikes, and sustained load inflates both sides alike.
+    spin_ratio = warm_total / spin_best
     warm_per_request = warm_total / len(bindings)
 
     speedup = cold_per_request / max(warm_per_request, 1e-9)
@@ -116,8 +143,19 @@ def warm_run(db, bindings, log):
     log.metric("db_size", db.size())
     log.metric("cold_ms_per_request", round(cold_per_request * 1e3, 4))
     log.metric("warm_ms_per_request", round(warm_per_request * 1e3, 4))
+    log.metric("warm_vs_spin_ratio", round(spin_ratio, 4))
     log.metric("warm_speedup", round(speedup, 2))
     log.metric("fetch_cache_hit_rate", round(info.hit_rate, 4))
+    # The warm service's whole registry (request/fetch/op counters,
+    # cache and storage collectors) rides into BENCH_exp-8.json, so the
+    # trajectory gate diffs the observability plane too.
+    log.metric("observability", registry.as_flat_dict())
+    # Hard gate: observability stays default-off, so the warm hot path
+    # must hold within 2% of the committed baseline.  Gated in
+    # load-normalized units (warm loop over calibration spin, best
+    # pairing of 9) — raw milliseconds swing ~24% run-to-run with
+    # ambient load and stay report-only.
+    log.gate("warm_vs_spin_ratio", max_increase_pct=2.0)
     return {"warm_results": warm_results, "speedup": speedup,
             "hit_rate": info.hit_rate}
 

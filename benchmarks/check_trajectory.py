@@ -25,6 +25,18 @@ A metric or experiment present in the baseline but missing from the
 fresh run FAILs (the gate must not pass by silently not measuring);
 fresh-only metrics WARN until their baseline is committed.
 
+A BENCH json may additionally carry a ``gates`` object declared by the
+experiment (``ExperimentLog.gate``)::
+
+    "gates": {"warm_ms_per_request": {"max_increase_pct": 2.0}}
+
+A gated metric is a *hard* bound that overrides the class policy: the
+run FAILs when the fresh value exceeds the baseline by more than the
+declared percentage — even for wall-clock metrics, which are otherwise
+warn-only.  Gate paths dot into nested metric dicts.  Declaring a
+wall-clock gate is a statement that its baseline is regenerated on
+hardware comparable to where the gate runs.
+
 Exit status: 0 = trajectory holds (warnings allowed), 1 = regression,
 2 = usage error.  Plain stdlib, no third-party imports — CI runs it
 before installing anything beyond the package itself.
@@ -139,22 +151,66 @@ def compare_metric(experiment: str, path: str, baseline, fresh,
                 "committed baseline in this PR"))
 
 
-def load_results(directory: pathlib.Path) -> dict[str, dict]:
-    results = {}
+def lookup(metrics, path: str):
+    """The value at a (possibly dotted) gate path.  Tries the whole
+    remaining path as a literal key first, so flat keys that themselves
+    contain dots (folded metric labels like ``...total.op=hash_join``)
+    stay addressable."""
+    if not isinstance(metrics, dict):
+        return None
+    if path in metrics:
+        return metrics[path]
+    head, _, rest = path.partition(".")
+    if rest and head in metrics:
+        return lookup(metrics[head], rest)
+    return None
+
+
+def check_gates(experiment: str, gates: dict, base_metrics: dict,
+                fresh_metrics: dict, issues: list[Issue]) -> None:
+    """Enforce the hard per-metric bounds a BENCH json declares."""
+    numeric = (int, float)
+    for path in sorted(gates):
+        spec = gates[path] if isinstance(gates[path], dict) else {}
+        pct = spec.get("max_increase_pct")
+        if not isinstance(pct, numeric) or isinstance(pct, bool):
+            issues.append(Issue("FAIL", experiment, path,
+                                "gate declares no numeric "
+                                f"max_increase_pct: {spec!r}"))
+            continue
+        baseline = lookup(base_metrics, path)
+        fresh = lookup(fresh_metrics, path)
+        if not (isinstance(baseline, numeric) and isinstance(fresh, numeric)):
+            issues.append(Issue("FAIL", experiment, path,
+                                "gated metric missing or non-numeric "
+                                f"(baseline {baseline!r}, fresh {fresh!r})"))
+            continue
+        if fresh > baseline * (1 + pct / 100):
+            issues.append(Issue("FAIL", experiment, path,
+                                f"hard gate (max +{pct:g}%) exceeded: "
+                                f"{_delta(baseline, fresh)}"))
+
+
+def load_payloads(directory: pathlib.Path) -> dict[str, dict]:
+    payloads = {}
     for path in sorted(directory.glob("BENCH_*.json")):
         try:
             payload = json.loads(path.read_text())
         except ValueError as error:
             raise SystemExit(f"{path} is not valid JSON: {error}")
-        results[payload.get("experiment", path.stem)] = \
-            payload.get("metrics", {})
-    return results
+        payloads[payload.get("experiment", path.stem)] = payload
+    return payloads
+
+
+def load_results(directory: pathlib.Path) -> dict[str, dict]:
+    return {experiment: payload.get("metrics", {})
+            for experiment, payload in load_payloads(directory).items()}
 
 
 def compare_dirs(baseline_dir: pathlib.Path,
                  fresh_dir: pathlib.Path) -> list[Issue]:
-    baselines = load_results(baseline_dir)
-    fresh = load_results(fresh_dir)
+    baselines = load_payloads(baseline_dir)
+    fresh = load_payloads(fresh_dir)
     issues: list[Issue] = []
     if not baselines:
         raise SystemExit(f"no BENCH_*.json baselines in {baseline_dir}")
@@ -163,7 +219,8 @@ def compare_dirs(baseline_dir: pathlib.Path,
             issues.append(Issue("FAIL", experiment, "(all)",
                                 "experiment missing from the fresh run"))
             continue
-        base_metrics, fresh_metrics = baselines[experiment], fresh[experiment]
+        base_metrics = baselines[experiment].get("metrics", {})
+        fresh_metrics = fresh[experiment].get("metrics", {})
         for metric in sorted(base_metrics):
             if metric not in fresh_metrics:
                 issues.append(Issue("FAIL", experiment, metric,
@@ -174,6 +231,13 @@ def compare_dirs(baseline_dir: pathlib.Path,
         for metric in sorted(set(fresh_metrics) - set(base_metrics)):
             issues.append(Issue("WARN", experiment, metric,
                                 "new metric; commit a baseline for it"))
+        # The committed baseline's gates are the contract; gates a fresh
+        # run adds apply too, until their baseline lands.
+        gates = {**fresh[experiment].get("gates", {}),
+                 **baselines[experiment].get("gates", {})}
+        if gates:
+            check_gates(experiment, gates, base_metrics, fresh_metrics,
+                        issues)
     for experiment in sorted(set(fresh) - set(baselines)):
         issues.append(Issue("WARN", experiment, "(all)",
                             "new experiment; commit its BENCH json"))

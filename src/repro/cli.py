@@ -9,6 +9,15 @@ Usage (after ``pip install -e .`` the ``repro`` entry point is on PATH;
     repro discover --db DIR [--max-bound N]
     repro batch    --db DIR [--workers K] [--backend sharded] requests.json
     repro bench-service --db DIR [--requests N] [--backend sharded] "Q(x) :- ..."
+    repro stats    --db DIR [--backend disk --data-dir D]
+
+``run``, ``batch`` and ``bench-service`` also take the observability
+flags (see README, "Observability"): ``--trace PATH`` records per-stage
+span trees (compile → bep_decision → optimize → bind → execute → fetch,
+plus the disk engine's wal_append/wal_fsync/snapshot) as JSON lines and
+prints them; ``--metrics-out PATH`` writes a Prometheus-style text
+exposition of the run's counters, gauges and latency histograms.
+``stats`` prints the storage-level snapshot for a database directory.
 
 ``run``, ``batch`` and ``bench-service`` accept ``--backend
 {memory,sharded,disk}`` (plus ``--shards S`` for the sharded engine and
@@ -43,18 +52,23 @@ The batch file format::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import pathlib
 import sys
+import time
 
 from .core import (analyze_coverage, is_boundedly_evaluable, lower_envelope,
                    specialize_minimally, upper_envelope)
 from .engine import (ScanStats, evaluate, execute_plan, optimize,
                      static_bounds)
 from .errors import ReproError, StorageError
+from .obs import (MetricsRegistry, RequestMetrics, Tracer,
+                  attach_database_collector, attach_storage_collector,
+                  render_exposition, span)
 from .query import CQ, parse_query
 from .schema.discovery import DiscoveryOptions, discover_access_schema
-from .service import BatchRequest, BoundedQueryService
+from .service import BatchRequest, BoundedQueryService, ServiceResult
 from .storage.backend import BACKENDS, make_backend
 from .storage.io import load_database
 from .storage.statistics import TableStatistics
@@ -76,6 +90,52 @@ def _load(args):
         print("warning: no access constraints in schema.json",
               file=sys.stderr)
     return db
+
+
+def _add_obs_flags(parser) -> None:
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record per-stage trace trees, write them as "
+                             "JSON lines to PATH and print the tree(s)")
+    parser.add_argument("--metrics-out", dest="metrics_out", default=None,
+                        metavar="PATH",
+                        help="write a Prometheus-style text exposition of "
+                             "the run's metrics to PATH")
+
+
+@contextlib.contextmanager
+def _maybe_trace(args):
+    """Activate a tracer when ``--trace`` was given; afterwards dump
+    the JSON-lines file and print the span tree(s)."""
+    if not getattr(args, "trace", None):
+        yield None
+        return
+    tracer = Tracer()
+    with tracer:
+        yield tracer
+    count = tracer.write_jsonl(args.trace)
+    print(f"trace: {count} root span(s) -> {args.trace}")
+    print(tracer.render())
+
+
+def _maybe_write_metrics(args, registry: MetricsRegistry | None) -> None:
+    if registry is None or not getattr(args, "metrics_out", None):
+        return
+    text = render_exposition(registry)
+    pathlib.Path(args.metrics_out).write_text(text)
+    families = sum(1 for line in text.splitlines()
+                   if line.startswith("# TYPE "))
+    print(f"metrics: {families} families -> {args.metrics_out}")
+
+
+def _registry_for(args, db) -> MetricsRegistry | None:
+    """A registry when ``--metrics-out`` was given (with the storage
+    and instance collectors attached), else ``None``."""
+    if not getattr(args, "metrics_out", None):
+        return None
+    registry = MetricsRegistry()
+    attach_storage_collector(registry, db.backend)
+    attach_database_collector(registry, db)
+    return registry
 
 
 def _add_backend_flags(parser) -> None:
@@ -156,25 +216,43 @@ def cmd_explain(args) -> int:
 def cmd_run(args) -> int:
     db = _load(args)
     print(f"storage: {db.backend.describe()}")
-    query = parse_query(args.query)
-    decision = is_boundedly_evaluable(query, db.access_schema)
-    if decision.is_yes:
-        result = execute_plan(decision.witness["plan"], db)
-        print(f"bounded plan: fetched {result.stats.tuples_fetched} of "
+    registry = _registry_for(args, db)
+    started = time.perf_counter()
+    with _maybe_trace(args):
+        # The "request" root scopes the pipeline only (compile ->
+        # decision -> execute); reporting happens outside it, so its
+        # children account for (within tolerance) all of its time.
+        with span("request"):
+            query = parse_query(args.query)
+            decision = is_boundedly_evaluable(query, db.access_schema)
+            if decision.is_yes:
+                result = execute_plan(decision.witness["plan"], db)
+                answers, stats, scan = result.answers, result.stats, None
+            else:
+                scan = ScanStats()
+                with span("execute"):
+                    answers = evaluate(query, db, scan)
+                stats = None
+        elapsed = time.perf_counter() - started
+    if stats is not None:
+        print(f"bounded plan: fetched {stats.tuples_fetched} of "
               f"{db.size()} tuples "
-              f"({result.stats.index_lookups} index lookups)")
-        answers = result.answers
+              f"({stats.index_lookups} index lookups)")
     else:
         print(f"not boundedly evaluable ({decision.reason}); "
               "falling back to a full scan")
-        stats = ScanStats()
-        answers = evaluate(query, db, stats)
-        print(f"baseline: scanned {stats.tuples_scanned} tuples")
+        print(f"baseline: scanned {scan.tuples_scanned} tuples")
     for row in sorted(answers, key=repr)[:args.limit]:
         print("  ", row)
     if len(answers) > args.limit:
         print(f"   ... {len(answers) - args.limit} more")
     print(f"{len(answers)} answer(s)")
+    if registry is not None:
+        RequestMetrics(registry).observe(ServiceResult(
+            answers=answers, bounded=decision.is_yes, plan_cached=False,
+            latency_s=elapsed, reason=decision.reason, stats=stats,
+            scan_stats=scan))
+        _maybe_write_metrics(args, registry)
     return 0
 
 
@@ -204,8 +282,10 @@ def _load_requests(path) -> tuple[dict[str, str], list[BatchRequest]]:
 
 def cmd_batch(args) -> int:
     db = _load(args)
+    registry = MetricsRegistry() if args.metrics_out else None
     service = BoundedQueryService(
-        db, plan_cache_size=args.plan_cache, fetch_cache_size=args.fetch_cache)
+        db, plan_cache_size=args.plan_cache,
+        fetch_cache_size=args.fetch_cache, registry=registry)
     templates, requests = _load_requests(args.requests)
     for name, text in templates.items():
         template = service.register_template(name, text)
@@ -215,7 +295,8 @@ def cmd_batch(args) -> int:
     if not requests:
         print("no requests in file", file=sys.stderr)
         return 1
-    report = service.execute_batch(requests, max_workers=args.workers)
+    with _maybe_trace(args):
+        report = service.execute_batch(requests, max_workers=args.workers)
     for outcome in report.outcomes:
         name = outcome.request.describe()
         if not outcome.ok:
@@ -227,22 +308,25 @@ def cmd_batch(args) -> int:
               f"{result.latency_ms:.2f}ms]")
     print(report.summary())
     print(service.stats())
+    _maybe_write_metrics(args, registry)
     return 1 if report.errors else 0
 
 
 def cmd_bench_service(args) -> int:
     db = _load(args)
     query = args.query
+    registry = MetricsRegistry() if args.metrics_out else None
 
     cold_service = BoundedQueryService(db)
     cold = cold_service.execute(query)
     cold_ms = cold.latency_ms
 
-    service = BoundedQueryService(db)
-    service.execute(query)  # prime the caches
-    warm_ms = []
-    for _ in range(max(1, args.requests)):
-        warm_ms.append(service.execute(query).latency_ms)
+    service = BoundedQueryService(db, registry=registry)
+    with _maybe_trace(args):
+        service.execute(query)  # prime the caches
+        warm_ms = []
+        for _ in range(max(1, args.requests)):
+            warm_ms.append(service.execute(query).latency_ms)
     warm_ms.sort()
     p50 = warm_ms[len(warm_ms) // 2]
     p95 = warm_ms[min(len(warm_ms) - 1, int(len(warm_ms) * 0.95))]
@@ -255,6 +339,29 @@ def cmd_bench_service(args) -> int:
           f"p50 {p50:.3f}ms  p95 {p95:.3f}ms  "
           f"speedup {cold_ms / max(p50, 1e-6):.0f}x")
     print(service.stats())
+    _maybe_write_metrics(args, registry)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Print a storage-level metrics snapshot for one database
+    directory: instance gauges (``repro_db_rows``, per-relation sizes
+    as text) plus whatever the chosen engine's internal counters report
+    (the disk engine: WAL/fsync/snapshot/recovery tallies)."""
+    db = _load(args)
+    print(f"storage: {db.backend.describe()}")
+    for name, size in db.summary().items():
+        print(f"  {name}: {size} rows (generation "
+              f"{db.generation(name)})")
+    registry = MetricsRegistry()
+    attach_storage_collector(registry, db.backend)
+    attach_database_collector(registry, db)
+    text = render_exposition(registry)
+    if args.metrics_out:
+        pathlib.Path(args.metrics_out).write_text(text)
+        print(f"metrics -> {args.metrics_out}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -292,8 +399,19 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--db", required=True)
     run.add_argument("--limit", type=int, default=20)
     _add_backend_flags(run)
+    _add_obs_flags(run)
     run.add_argument("query")
     run.set_defaults(func=cmd_run)
+
+    stats = sub.add_parser(
+        "stats", help="storage-level metrics snapshot for a database")
+    stats.add_argument("--db", required=True)
+    _add_backend_flags(stats)
+    stats.add_argument("--metrics-out", dest="metrics_out", default=None,
+                       metavar="PATH",
+                       help="write the exposition to PATH instead of "
+                            "stdout")
+    stats.set_defaults(func=cmd_stats)
 
     discover = sub.add_parser("discover",
                               help="mine access constraints from data")
@@ -309,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--fetch-cache", type=int, default=4096)
     batch.add_argument("--verbose", action="store_true")
     _add_backend_flags(batch)
+    _add_obs_flags(batch)
     batch.add_argument("requests", help="JSON file of templates + requests")
     batch.set_defaults(func=cmd_batch)
 
@@ -318,6 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--requests", type=int, default=100,
                        help="warm repetitions to measure")
     _add_backend_flags(bench)
+    _add_obs_flags(bench)
     bench.add_argument("query")
     bench.set_defaults(func=cmd_bench_service)
     return parser

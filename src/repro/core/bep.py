@@ -32,6 +32,7 @@ from ..engine.builder import (build_bounded_plan, build_empty_plan,
                               build_union_plan)
 from ..engine.naive import evaluate
 from ..errors import QueryError
+from ..obs.trace import span
 from ..query.ast import CQ, UCQ, FOQuery, PositiveQuery
 from ..query.normalize import as_ucq, normalize_cq
 from ..query.terms import Var
@@ -181,21 +182,23 @@ def is_boundedly_evaluable(query, access_schema: AccessSchema,
     A YES decision carries a ready-to-execute bounded plan in
     ``decision.witness["plan"]``.
     """
-    if isinstance(query, CQ):
-        return _cq_bounded(query, access_schema, budget)
-    if isinstance(query, UCQ):
-        return _ucq_bounded(query, access_schema, budget)
-    if isinstance(query, PositiveQuery):
-        return _ucq_bounded(as_ucq(query, access_schema.schema),
-                            access_schema, budget)
-    if isinstance(query, FOQuery):
-        if query.is_positive():
-            positive = PositiveQuery(query.name, query.head, query.body)
-            return is_boundedly_evaluable(positive, access_schema, budget)
-        return unknown(
-            "BEP is undecidable for FO (Table 1, [17]); this query uses "
-            "negation or universal quantification")
-    raise QueryError(f"cannot analyse {type(query).__name__}")
+    with span("bep_decision"):
+        if isinstance(query, CQ):
+            return _cq_bounded(query, access_schema, budget)
+        if isinstance(query, UCQ):
+            return _ucq_bounded(query, access_schema, budget)
+        if isinstance(query, PositiveQuery):
+            return _ucq_bounded(as_ucq(query, access_schema.schema),
+                                access_schema, budget)
+        if isinstance(query, FOQuery):
+            if query.is_positive():
+                positive = PositiveQuery(query.name, query.head, query.body)
+                return is_boundedly_evaluable(positive, access_schema,
+                                              budget)
+            return unknown(
+                "BEP is undecidable for FO (Table 1, [17]); this query "
+                "uses negation or universal quantification")
+        raise QueryError(f"cannot analyse {type(query).__name__}")
 
 
 def is_covered(query, access_schema: AccessSchema,

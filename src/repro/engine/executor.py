@@ -23,10 +23,12 @@ the optimized pipeline against it bit-for-bit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import re
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..errors import ExecutionError
+from ..obs.trace import span
 from ..storage.database import Database
 from ..storage.statistics import TableStatistics
 from .columns import column_index
@@ -99,6 +101,9 @@ class AccessStats:
     #: Largest intermediate batch (plan-side work, not data access).
     max_intermediate: int = 0
     ops_executed: int = 0
+    #: Batches executed per physical-op kind (``hash_join``,
+    #: ``batch_fetch``, ...) — the shape of the work, not its size.
+    op_counts: dict = field(default_factory=dict)
 
     def observe_table(self, table) -> None:
         self.max_intermediate = max(self.max_intermediate, len(table))
@@ -114,6 +119,8 @@ class AccessStats:
         self.max_intermediate = max(self.max_intermediate,
                                     other.max_intermediate)
         self.ops_executed += other.ops_executed
+        for key, count in other.op_counts.items():
+            self.op_counts[key] = self.op_counts.get(key, 0) + count
 
 
 @dataclass
@@ -143,6 +150,22 @@ def _deduped(columns: tuple[str, ...], cols: list[list],
     else:
         new_cols = [[] for _ in columns]
     return Batch(columns, new_cols, len(rows), True)
+
+
+#: Physical-op class -> metric label (``HashJoinOp`` -> ``hash_join``),
+#: filled lazily so new op kinds need no registration here.
+_OP_LABELS: dict[type, str] = {}
+
+
+def _op_label(op_type: type) -> str:
+    label = _OP_LABELS.get(op_type)
+    if label is None:
+        name = op_type.__name__
+        if name.endswith("Op"):
+            name = name[:-2]
+        label = re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
+        _OP_LABELS[op_type] = label
+    return label
 
 
 def _passes(row: tuple, checks) -> bool:
@@ -181,12 +204,16 @@ class Executor:
                 "logical Plan or a PhysicalPlan")
         stats = AccessStats()
         batches: list[Batch] = []
-        for op in physical.steps:
-            batch = self._run_op(op, batches, stats)
-            stats.ops_executed += 1
-            stats.max_intermediate = max(stats.max_intermediate,
-                                         batch.length)
-            batches.append(batch)
+        op_counts = stats.op_counts
+        with span("execute"):
+            for op in physical.steps:
+                batch = self._run_op(op, batches, stats)
+                stats.ops_executed += 1
+                kind = _op_label(type(op))
+                op_counts[kind] = op_counts.get(kind, 0) + 1
+                stats.max_intermediate = max(stats.max_intermediate,
+                                             batch.length)
+                batches.append(batch)
         final = batches[-1]
         return ExecutionResult(Table(final.columns, final.rows()), stats)
 
@@ -265,7 +292,8 @@ class Executor:
         # The whole batch of distinct X-values crosses the storage
         # boundary in ONE vectorized call — the executor never loops
         # single lookups against the backend.
-        fetched = self._fetch_flat(op.constraint, x_values, stats)
+        with span("fetch"):
+            fetched = self._fetch_flat(op.constraint, x_values, stats)
         checks = op.checks if isinstance(op, FusedFetchOp) else ()
         if checks:
             out_rows = [row for row in fetched if _passes(row, checks)]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ...obs.trace import span
 from ..plan import Plan
 from .graph import finalize, lower_plan
 from .physical import PhysicalPlan
@@ -103,19 +104,20 @@ def optimize(plan: Plan, statistics=None,
     (e.g. with ``()``) to get a direct, unoptimized lowering for A/B
     comparison.
     """
-    if callable(statistics):
-        statistics = statistics()
-    graph = lower_plan(plan)
-    trace = OptimizationTrace(logical_steps=len(plan))
-    for rule in _instantiate(rules, statistics):
-        before = len(graph.topo())
-        fired = rule.apply(graph)
-        trace.firings.append(RuleFiring(rule.name, fired, before,
-                                        len(graph.topo())))
-    physical = finalize(graph, logical=plan, trace=trace,
-                        statistics=statistics)
-    trace.physical_steps = len(physical)
-    return physical
+    with span("optimize"):
+        if callable(statistics):
+            statistics = statistics()
+        graph = lower_plan(plan)
+        trace = OptimizationTrace(logical_steps=len(plan))
+        for rule in _instantiate(rules, statistics):
+            before = len(graph.topo())
+            fired = rule.apply(graph)
+            trace.firings.append(RuleFiring(rule.name, fired, before,
+                                            len(graph.topo())))
+        physical = finalize(graph, logical=plan, trace=trace,
+                            statistics=statistics)
+        trace.physical_steps = len(physical)
+        return physical
 
 
 def ensure_physical(plan, statistics=None) -> PhysicalPlan:

@@ -1,0 +1,41 @@
+"""End-to-end observability: metrics, per-query tracing, exporters.
+
+The paper's headline claim — work proportional to ``|D_Q|``, not
+``|D|`` — is only demonstrable if the runtime can show *where* a
+query's time and accesses go.  This package is that surface:
+
+* :mod:`~repro.obs.metrics` — a thread-safe registry of counters,
+  gauges and fixed-bucket latency histograms (p50/p95/p99 without
+  keeping unbounded per-request lists);
+* :mod:`~repro.obs.trace` — structured per-query tracing: ``span``
+  context managers produce a trace tree over the pipeline stages
+  ``compile → bep_decision → optimize → bind → execute → fetch →
+  wal_append/wal_fsync/snapshot``.  Disabled by default via a shared
+  no-op span, so the un-traced hot path pays one global read per stage;
+* :mod:`~repro.obs.export` — Prometheus-style text exposition and a
+  JSON-lines trace dump (plus a parser/validator CI smoke-checks with);
+* :mod:`~repro.obs.instruments` — the pre-built instrument bundles the
+  service, the CLI and the benchmark harness share, so metric *names*
+  are defined once (see README, "Observability").
+
+The package imports nothing from the rest of ``repro`` — every layer
+(parser, core, engine, storage, service, CLI) may instrument itself
+without creating an import cycle.
+"""
+
+from .export import (parse_exposition, render_exposition,
+                     validate_exposition)
+from .instruments import (RequestMetrics, attach_cache_collector,
+                          attach_database_collector,
+                          attach_storage_collector)
+from .metrics import (Counter, Gauge, Histogram, LATENCY_BUCKETS,
+                      MetricsRegistry)
+from .trace import NULL_SPAN, Span, Tracer, annotate, current_tracer, span
+
+__all__ = [
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "LATENCY_BUCKETS",
+    "Tracer", "Span", "span", "annotate", "current_tracer", "NULL_SPAN",
+    "render_exposition", "parse_exposition", "validate_exposition",
+    "RequestMetrics", "attach_cache_collector", "attach_storage_collector",
+    "attach_database_collector",
+]

@@ -1,0 +1,10 @@
+"""``python -m repro.obs`` — the exposition validator CLI.
+
+Lives here (rather than running ``repro.obs.export`` directly) so the
+module executed is not one the package ``__init__`` already imported,
+which would trip runpy's double-import warning.
+"""
+
+from .export import main
+
+raise SystemExit(main())

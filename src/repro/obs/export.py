@@ -1,0 +1,180 @@
+"""Exporters: Prometheus-style text exposition, plus its validator.
+
+:func:`render_exposition` walks a
+:class:`~repro.obs.metrics.MetricsRegistry` and emits the Prometheus
+text format (``# HELP`` / ``# TYPE`` headers, ``name{labels} value``
+samples, histogram ``_bucket``/``_sum``/``_count`` expansion).
+
+:func:`parse_exposition` / :func:`validate_exposition` read it back —
+that is what the CI metrics-smoke step and the integration tests use
+to prove the exposition actually parses and carries the required
+metric names, instead of eyeballing text.
+
+Run as a module for the CI check::
+
+    python -m repro.obs.export --check metrics.prom \
+        --require repro_requests_total,repro_request_latency_seconds
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Iterable
+
+from .metrics import Histogram, MetricsRegistry
+
+_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _escape(value: str) -> str:
+    return "".join(_ESCAPES.get(ch, ch) for ch in str(value))
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def _labels_text(labels: dict) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{_escape(value)}"'
+                    for key, value in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def render_exposition(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition (format 0.0.4)."""
+    lines: list[str] = []
+    for instrument in registry.instruments():
+        name = instrument.name
+        if instrument.help:
+            lines.append(f"# HELP {name} {_escape(instrument.help)}")
+        lines.append(f"# TYPE {name} {instrument.kind}")
+        if isinstance(instrument, Histogram):
+            for bound, cumulative in instrument.bucket_counts():
+                le = _format_value(float(bound))
+                lines.append(f'{name}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f"{name}_sum {_format_value(instrument.sum)}")
+            lines.append(f"{name}_count {instrument.count}")
+            continue
+        for labels, value in instrument.samples():
+            lines.append(
+                f"{name}{_labels_text(labels)} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text: str) -> dict[str, dict]:
+    """Parse exposition text into ``{family: {"type": kind,
+    "samples": {sample_key: value}}}``.
+
+    ``sample_key`` is the sample name plus its literal label block
+    (e.g. ``latency_seconds_bucket{le="0.01"}``).  Histogram samples
+    are grouped under their family name.  Raises ``ValueError`` on any
+    malformed line — the validator leans on that.
+    """
+    families: dict[str, dict] = {}
+
+    def family_for(sample_name: str) -> dict:
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name[:-len(suffix)] \
+                if sample_name.endswith(suffix) else None
+            if base and families.get(base, {}).get("type") == "histogram":
+                return families[base]
+        return families.setdefault(sample_name,
+                                   {"type": "untyped", "samples": {}})
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                raise ValueError(f"line {lineno}: malformed TYPE: {raw!r}")
+            _, _, name, kind = parts
+            family = families.setdefault(name,
+                                         {"type": kind, "samples": {}})
+            family["type"] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        if "{" in line:
+            name = line[:line.index("{")]
+            close = line.rindex("}")
+            if close < line.index("{"):
+                raise ValueError(f"line {lineno}: unbalanced labels: "
+                                 f"{raw!r}")
+            key = line[:close + 1]
+            value_text = line[close + 1:].strip()
+        else:
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(
+                    f"line {lineno}: expected 'name value': {raw!r}")
+            name, value_text = parts
+            key = name
+        try:
+            value = float(value_text)
+        except ValueError as error:
+            raise ValueError(f"line {lineno}: bad sample value "
+                             f"{value_text!r}") from error
+        family_for(name)["samples"][key] = value
+    return families
+
+
+def validate_exposition(text: str,
+                        required: Iterable[str] = ()) -> list[str]:
+    """Problems with an exposition document: parse errors, required
+    families missing, or histogram families with no samples.  Empty
+    list = valid."""
+    try:
+        families = parse_exposition(text)
+    except ValueError as error:
+        return [f"exposition does not parse: {error}"]
+    problems = []
+    for name in required:
+        family = families.get(name)
+        if family is None:
+            problems.append(f"required metric {name!r} is missing")
+        elif not family["samples"]:
+            problems.append(f"required metric {name!r} has no samples")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.export",
+        description="validate a Prometheus-style exposition file")
+    parser.add_argument("--check", required=True,
+                        help="exposition file to validate")
+    parser.add_argument("--require", default="",
+                        help="comma-separated metric families that must "
+                             "be present with samples")
+    args = parser.parse_args(argv)
+    try:
+        with open(args.check) as handle:
+            text = handle.read()
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    required = [name for name in args.require.split(",") if name]
+    problems = validate_exposition(text, required)
+    for problem in problems:
+        print(f"INVALID: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    families = parse_exposition(text)
+    samples = sum(len(family["samples"]) for family in families.values())
+    print(f"ok: {len(families)} metric families, {samples} samples"
+          + (f", {len(required)} required present" if required else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

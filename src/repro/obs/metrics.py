@@ -1,0 +1,346 @@
+"""A thread-safe metrics registry: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` holds named instruments; callers get (or
+re-get — registration is idempotent) an instrument once and update it
+on the hot path without touching the registry again.  The registry is
+what exporters walk (:func:`repro.obs.export.render_exposition`) and
+what the benchmark harness embeds into ``BENCH_*.json``.
+
+Instruments:
+
+* :class:`Counter` — monotonic; optional label support via
+  :meth:`Counter.labels` for low-cardinality breakdowns (e.g. the
+  executor's per-op batch counts);
+* :class:`Gauge` — last-write-wins point-in-time values (cache sizes);
+* :class:`Histogram` — fixed upper-bound buckets with an exact running
+  sum/count, so p50/p95/p99 come from bucket interpolation instead of
+  an unbounded list of raw latencies (what
+  :class:`~repro.service.batch.BatchReport` used to keep).
+
+Collectors registered with :meth:`MetricsRegistry.register_collector`
+run at snapshot time; they pull numbers that live elsewhere (cache
+info structs, storage-engine counters) into instruments just before an
+export reads them, so the owning code never pays per-operation
+registry work.
+
+Naming follows the Prometheus conventions the trajectory gate's
+classifier already understands: ``*_total`` for counters, a
+``seconds`` token for durations, a ``rate`` token for ratios.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+import threading
+from typing import Callable, Iterable, Mapping, Sequence
+
+#: Default latency buckets (seconds): 50us .. 10s, log-ish spaced.
+#: The top bucket is +inf, implicitly.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"invalid metric name {name!r}; use [a-zA-Z_:][a-zA-Z0-9_:]*")
+    return name
+
+
+class Counter:
+    """A monotonically increasing count.
+
+    >>> c = Counter("requests_total")
+    >>> c.inc(); c.inc(2); c.value
+    3
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_: str = "",
+                 label_names: Sequence[str] = ()):
+        self.name = _check_name(name)
+        self.help = help_
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.label_names = tuple(label_names)
+        self._lock = threading.Lock()
+        self._value = 0
+        # label-values tuple -> child Counter (only when label_names).
+        self._children: dict[tuple, Counter] = {}
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    def set_total(self, value: int | float) -> None:
+        """Overwrite the running total — for *collectors* mirroring a
+        monotonic count kept elsewhere (e.g. a storage engine's
+        internal tallies), never for hot-path code."""
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+    def labels(self, **labels: str) -> "Counter":
+        """The child counter for one label-value combination."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name} expects labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}")
+        key = tuple(str(labels[name]) for name in self.label_names)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = Counter(self.name, self.help)
+                self._children[key] = child
+            return child
+
+    def samples(self) -> list[tuple[dict, int | float]]:
+        """``(labels, value)`` pairs — one unlabeled pair, or one per
+        observed label combination."""
+        with self._lock:
+            if not self.label_names:
+                return [({}, self._value)]
+            return [(dict(zip(self.label_names, key)), child.value)
+                    for key, child in sorted(self._children.items())]
+
+
+class Gauge:
+    """A point-in-time value: set, add, or subtract."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_: str = ""):
+        self.name = _check_name(name)
+        self.help = help_
+        self.label_names: tuple[str, ...] = ()
+        self._lock = threading.Lock()
+        self._value: int | float = 0
+
+    def set(self, value: int | float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, amount: int | float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+    def samples(self) -> list[tuple[dict, int | float]]:
+        return [({}, self.value)]
+
+
+class Histogram:
+    """Fixed-bucket distribution with exact sum/count.
+
+    Buckets are cumulative upper bounds (Prometheus ``le`` semantics);
+    an implicit +inf bucket catches the tail.  Quantiles interpolate
+    linearly inside the containing bucket — a bounded-memory estimate,
+    documented as such wherever it replaces exact nearest-rank math.
+
+    >>> h = Histogram("latency_seconds", buckets=(0.1, 1.0))
+    >>> for v in (0.05, 0.05, 0.5, 2.0): h.observe(v)
+    >>> h.count, round(h.sum, 2)
+    (4, 2.6)
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_: str = "",
+                 buckets: Sequence[float] = LATENCY_BUCKETS):
+        self.name = _check_name(name)
+        self.help = help_
+        self.label_names: tuple[str, ...] = ()
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)  # +1: the +inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        position = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[position] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ending at +inf."""
+        with self._lock:
+            counts = list(self._counts)
+        out = []
+        running = 0
+        for bound, count in zip(self.bounds, counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + counts[-1]))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """The estimated q-quantile (q in [0, 1]), interpolated within
+        the containing bucket; 0.0 when empty.  Values beyond the last
+        finite bound clamp to it (the +inf bucket has no width)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if not total:
+            return 0.0
+        target = q * total
+        running = 0.0
+        lower = 0.0
+        for bound, count in zip(self.bounds, counts):
+            if running + count >= target and count:
+                fraction = (target - running) / count
+                return lower + (bound - lower) * max(0.0, fraction)
+            running += count
+            lower = bound
+        return self.bounds[-1]
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+
+class MetricsRegistry:
+    """A named set of instruments plus snapshot-time collectors.
+
+    Registration is idempotent by name; re-registering with a
+    different instrument kind (or different labels/buckets) is a
+    programming error and raises.
+
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("requests_total").inc()
+    >>> registry.counter("requests_total").value
+    1
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._collectors: list[Callable[[], None]] = []
+
+    def _register(self, name: str, factory, kind: str, check):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+                return instrument
+        if instrument.kind != kind or not check(instrument):
+            raise ValueError(
+                f"metric {name!r} is already registered as a "
+                f"{instrument.kind} with a different shape")
+        return instrument
+
+    def counter(self, name: str, help_: str = "",
+                label_names: Sequence[str] = ()) -> Counter:
+        return self._register(
+            name, lambda: Counter(name, help_, label_names), "counter",
+            lambda i: i.label_names == tuple(label_names))
+
+    def gauge(self, name: str, help_: str = "") -> Gauge:
+        return self._register(name, lambda: Gauge(name, help_), "gauge",
+                              lambda i: True)
+
+    def histogram(self, name: str, help_: str = "",
+                  buckets: Sequence[float] = LATENCY_BUCKETS) -> Histogram:
+        return self._register(
+            name, lambda: Histogram(name, help_, buckets), "histogram",
+            lambda i: i.bounds == tuple(sorted(float(b) for b in buckets)))
+
+    def register_collector(self, collect: Callable[[], None]) -> None:
+        """``collect`` runs before every snapshot; it should push
+        externally owned numbers into instruments (``Gauge.set`` /
+        ``Counter.set_total``)."""
+        with self._lock:
+            self._collectors.append(collect)
+
+    def instruments(self) -> list:
+        """A snapshot of every instrument, collectors run first,
+        sorted by name — the exporters' input."""
+        with self._lock:
+            collectors = list(self._collectors)
+        for collect in collectors:
+            collect()
+        with self._lock:
+            return [self._instruments[name]
+                    for name in sorted(self._instruments)]
+
+    def get(self, name: str):
+        """The instrument registered under ``name``, or ``None``."""
+        with self._lock:
+            return self._instruments.get(name)
+
+    def as_flat_dict(self, prefix: str = "") -> dict[str, float]:
+        """Every sample as one flat ``name -> number`` mapping (labels
+        folded into the key) — what the benchmark harness embeds in
+        ``BENCH_*.json`` for the trajectory gate to diff.  Histograms
+        contribute ``<name>_count`` and ``<name>_sum`` only: bucket
+        shapes are an implementation detail, not a trajectory."""
+        flat: dict[str, float] = {}
+        for instrument in self.instruments():
+            name = prefix + instrument.name
+            if isinstance(instrument, Histogram):
+                flat[name + "_count"] = instrument.count
+                flat[name + "_sum"] = round(instrument.sum, 6)
+                continue
+            for labels, value in instrument.samples():
+                key = name
+                if labels:
+                    key += "." + ",".join(
+                        f"{k}={v}" for k, v in sorted(labels.items()))
+                flat[key] = value
+        return flat
+
+
+def merge_counts(target: dict, source: Mapping | Iterable) -> dict:
+    """Fold ``source``'s numeric values into ``target`` by key — the
+    helper per-request stat dicts merge with."""
+    items = source.items() if isinstance(source, Mapping) else source
+    for key, value in items:
+        target[key] = target.get(key, 0) + value
+    return target

@@ -28,6 +28,7 @@ from __future__ import annotations
 import re
 
 from ..errors import ParseError
+from ..obs.trace import span
 from .ast import (CQ, UCQ, Atom, Equality, FAnd, FAtom, FEq, FExists, FForAll,
                   FNot, FOQuery, FOr, Formula, PositiveQuery)
 from .terms import Const, Param, Term, Var
@@ -293,7 +294,8 @@ def parse_query(text: str):
     >>> type(q).__name__
     'CQ'
     """
-    return _Parser(text).parse_program()
+    with span("compile"):
+        return _Parser(text).parse_program()
 
 
 def parse_cq(text: str) -> CQ:

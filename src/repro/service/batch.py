@@ -15,7 +15,6 @@ and cache hit rates.
 
 from __future__ import annotations
 
-import math
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -23,6 +22,7 @@ from typing import Hashable, Mapping, Sequence
 
 from ..engine.executor import AccessStats
 from ..errors import ReproError
+from ..obs.metrics import Histogram, LATENCY_BUCKETS
 
 
 @dataclass(frozen=True)
@@ -66,18 +66,22 @@ class RequestOutcome:
         return self.result.latency_s if self.result is not None else 0.0
 
 
-def _percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (q in [0, 100]); 0.0 for empty input."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = max(1, min(len(ordered), math.ceil(q / 100.0 * len(ordered))))
-    return ordered[rank - 1]
-
-
 @dataclass
 class BatchReport:
-    """Aggregate view over one batch run."""
+    """Aggregate view over one batch run.
+
+    Latency summaries come from one fixed-bucket
+    :class:`~repro.obs.metrics.Histogram` over the successful requests
+    — the same estimator the service's metrics registry exports, so a
+    batch's p50/p95 and a scraped
+    ``repro_request_latency_seconds`` agree by construction.  Earlier
+    versions kept every raw latency and took *nearest-rank*
+    percentiles; the histogram instead interpolates linearly inside the
+    containing bucket, so values can differ from nearest-rank by up to
+    one bucket's width (sub-millisecond at service latencies).
+    ``mean_ms`` is exact either way (the histogram keeps an exact
+    sum/count).
+    """
 
     outcomes: list[RequestOutcome] = field(default_factory=list)
     wall_s: float = 0.0
@@ -98,21 +102,31 @@ class BatchReport:
         return sum(1 for o in self.outcomes
                    if o.ok and o.result.bounded)
 
-    def latencies_s(self) -> list[float]:
-        return [o.latency_s for o in self.outcomes if o.ok]
+    def latency_histogram(self) -> Histogram:
+        """The successful requests' latencies as one fixed-bucket
+        histogram (memoized until the outcome list grows)."""
+        cached = getattr(self, "_latency_hist", None)
+        if cached is not None and cached[0] == len(self.outcomes):
+            return cached[1]
+        histogram = Histogram("batch_latency_seconds",
+                              buckets=LATENCY_BUCKETS)
+        for outcome in self.outcomes:
+            if outcome.ok:
+                histogram.observe(outcome.latency_s)
+        self._latency_hist = (len(self.outcomes), histogram)
+        return histogram
 
     @property
     def p50_ms(self) -> float:
-        return _percentile(self.latencies_s(), 50) * 1e3
+        return self.latency_histogram().p50 * 1e3
 
     @property
     def p95_ms(self) -> float:
-        return _percentile(self.latencies_s(), 95) * 1e3
+        return self.latency_histogram().p95 * 1e3
 
     @property
     def mean_ms(self) -> float:
-        latencies = self.latencies_s()
-        return sum(latencies) / len(latencies) * 1e3 if latencies else 0.0
+        return self.latency_histogram().mean * 1e3
 
     @property
     def throughput_rps(self) -> float:

@@ -33,6 +33,11 @@ from typing import Hashable, Mapping, Sequence
 from ..engine.executor import AccessStats
 from ..engine.naive import ScanStats, evaluate
 from ..errors import ServiceError
+from ..obs.instruments import (RequestMetrics, attach_cache_collector,
+                               attach_database_collector,
+                               attach_storage_collector)
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import span
 from ..query.ast import CQ, UCQ, PositiveQuery
 from ..query.parser import parse_query
 from ..schema.access import AccessSchema
@@ -51,7 +56,7 @@ class ServiceResult:
 
     ``stats`` carries index-access accounting for bounded execution;
     ``scan_stats`` carries scan accounting for fallback execution.
-    Exactly one of the two is set.
+    Exactly one of the two is set (enforced at construction).
     """
 
     answers: set[tuple]
@@ -61,6 +66,13 @@ class ServiceResult:
     reason: str = ""
     stats: AccessStats | None = None
     scan_stats: ScanStats | None = None
+
+    def __post_init__(self):
+        if (self.stats is None) == (self.scan_stats is None):
+            raise ValueError(
+                "a ServiceResult carries exactly one of stats= (bounded "
+                "accounting) or scan_stats= (fallback accounting); got "
+                f"{'both' if self.stats is not None else 'neither'}")
 
     @property
     def latency_ms(self) -> float:
@@ -77,14 +89,24 @@ class ServiceStats:
     templates: int = 0
     plan_cache: CacheInfo = field(default_factory=CacheInfo)
     fetch_cache: CacheInfo = field(default_factory=CacheInfo)
+    #: The storage engine's internal tallies
+    #: (:meth:`~repro.storage.backend.StorageBackend.counters`) — empty
+    #: for engines with nothing to report; WAL/fsync/snapshot/recovery
+    #: counts for the disk engine.
+    storage: dict = field(default_factory=dict)
 
     def __str__(self) -> str:
-        return (f"requests: {self.requests} "
+        text = (f"requests: {self.requests} "
                 f"({self.bounded_requests} bounded, "
                 f"{self.fallback_requests} fallback); "
                 f"templates: {self.templates}; "
                 f"plan cache: {self.plan_cache}; "
                 f"fetch cache: {self.fetch_cache}")
+        if self.storage:
+            tallies = ", ".join(f"{key}: {value}"
+                                for key, value in self.storage.items())
+            text += f"; storage: {tallies}"
+        return text
 
 
 class BoundedQueryService:
@@ -102,7 +124,8 @@ class BoundedQueryService:
     def __init__(self, db: Database,
                  access_schema: AccessSchema | None = None,
                  plan_cache_size: int = 256,
-                 fetch_cache_size: int = 4096):
+                 fetch_cache_size: int = 4096,
+                 registry: MetricsRegistry | None = None):
         self.db = db
         if access_schema is None:
             access_schema = db.access_schema
@@ -131,6 +154,15 @@ class BoundedQueryService:
         self._requests = 0
         self._bounded_requests = 0
         self._fallback_requests = 0
+        # Observability is strictly opt-in: with no registry the hot
+        # path pays one attribute check per request, nothing more.
+        self.registry = registry
+        self._request_metrics: RequestMetrics | None = None
+        if registry is not None:
+            self._request_metrics = RequestMetrics(registry)
+            attach_cache_collector(registry, self)
+            attach_storage_collector(registry, db.backend)
+            attach_database_collector(registry, db)
 
     # -- compilation -------------------------------------------------------
 
@@ -203,23 +235,26 @@ class BoundedQueryService:
         """Answer one query (text or parsed), binding ``params`` if the
         query carries ``$name`` placeholders."""
         start = time.perf_counter()
-        if isinstance(query, str):
-            entry, cached = self.plan_cache.compile_text(
-                query, self.access_schema, parse_query, self._statistics)
-        else:
-            entry, cached = self.plan_cache.compile(query,
-                                                    self.access_schema,
-                                                    self._statistics)
-        return self._run(entry, cached, params or {}, start,
-                         where="execute")
+        with span("request"):
+            if isinstance(query, str):
+                entry, cached = self.plan_cache.compile_text(
+                    query, self.access_schema, parse_query,
+                    self._statistics)
+            else:
+                entry, cached = self.plan_cache.compile(query,
+                                                        self.access_schema,
+                                                        self._statistics)
+            return self._run(entry, cached, params or {}, start,
+                             where="execute")
 
     def execute_template(self, name: str,
                          params: Mapping[str, Hashable]) -> ServiceResult:
         """Answer one bound template request — the per-user hot path."""
         start = time.perf_counter()
-        template = self.template(name)
-        return self._run(template.compiled, True, params, start,
-                         where=f"template {name!r}")
+        with span("request"):
+            template = self.template(name)
+            return self._run(template.compiled, True, params, start,
+                             where=f"template {name!r}")
 
     def _run(self, entry: CompiledQuery, plan_cached: bool,
              params: Mapping[str, Hashable], start: float,
@@ -228,14 +263,17 @@ class BoundedQueryService:
             # The hot path runs the *optimized physical* plan straight
             # from the cache: binding is one constant-substitution pass,
             # never a re-parse, re-plan or re-optimize.
-            plan = self._bound_plan(entry, params, where)
+            with span("bind"):
+                plan = self._bound_plan(entry, params, where)
             result = CachingExecutor(self.db, self.fetch_cache).execute(plan)
             answers, stats, scan = result.answers, result.stats, None
         else:
-            query = bind_query(entry.query, entry.parameters, params,
-                               where=where)
+            with span("bind"):
+                query = bind_query(entry.query, entry.parameters, params,
+                                   where=where)
             scan = ScanStats()
-            answers = evaluate(query, self.db, scan)
+            with span("execute"):
+                answers = evaluate(query, self.db, scan)
             stats = None
         latency = time.perf_counter() - start
         with self._lock:
@@ -244,10 +282,13 @@ class BoundedQueryService:
                 self._bounded_requests += 1
             else:
                 self._fallback_requests += 1
-        return ServiceResult(answers=answers, bounded=entry.bounded,
-                             plan_cached=plan_cached, latency_s=latency,
-                             reason=entry.reason, stats=stats,
-                             scan_stats=scan)
+        outcome = ServiceResult(answers=answers, bounded=entry.bounded,
+                                plan_cached=plan_cached, latency_s=latency,
+                                reason=entry.reason, stats=stats,
+                                scan_stats=scan)
+        if self._request_metrics is not None:
+            self._request_metrics.observe(outcome)
+        return outcome
 
     def _bound_plan(self, entry: CompiledQuery,
                     params: Mapping[str, Hashable], where: str):
@@ -295,4 +336,5 @@ class BoundedQueryService:
                             fallback_requests=fallback,
                             templates=templates,
                             plan_cache=self.plan_cache.info(),
-                            fetch_cache=self.fetch_cache.info())
+                            fetch_cache=self.fetch_cache.info(),
+                            storage=self.db.backend.counters())

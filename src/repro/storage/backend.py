@@ -159,6 +159,14 @@ class StorageBackend(ABC):
         """Release engine resources (worker pools, file handles).
         Default: nothing to release."""
 
+    def counters(self) -> dict:
+        """The engine's internal tallies as a flat ``name -> number``
+        dict (``wal_records_total``-style keys).  Default: none — only
+        engines with interesting internals (the disk engine's WAL,
+        fsync, snapshot and recovery counts) report here; the service
+        and the observability collectors surface whatever appears."""
+        return {}
+
     # -- shared bookkeeping ------------------------------------------------
 
     def generation(self, relation_name: str) -> int:

@@ -49,6 +49,7 @@ import json
 import os
 import pathlib
 import shutil
+import time
 import zlib
 from typing import Callable, Iterable
 
@@ -58,6 +59,7 @@ except ImportError:  # non-POSIX: advisory single-owner locking disabled
     fcntl = None
 
 from ..errors import StorageError
+from ..obs.trace import span
 from ..schema.relation import Schema
 from .backend import MemoryBackend
 
@@ -129,6 +131,21 @@ class DiskBackend(MemoryBackend):
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self._wal_path = self.data_dir / "wal.log"
         self._snapshot_id = 0
+        # Internal tallies (plain numbers, mutated under self._lock):
+        # cheap enough to keep always-on, surfaced via counters().
+        self._counters: dict[str, int | float] = {
+            "wal_records_total": 0,
+            "wal_bytes_total": 0,
+            "wal_fsyncs_total": 0,
+            "wal_append_seconds_total": 0.0,
+            "wal_fsync_seconds_total": 0.0,
+            "snapshots_total": 0,
+            "snapshot_seconds_total": 0.0,
+            "replay_records_total": 0,
+            "replay_torn_bytes_total": 0,
+            "recovered_rows_total": 0,
+            "recover_seconds_total": 0.0,
+        }
         self._lock_handle = self._acquire_dir_lock()
         try:
             self._recover()
@@ -136,6 +153,13 @@ class DiskBackend(MemoryBackend):
         except BaseException:
             self._release_dir_lock()
             raise
+
+    def counters(self) -> dict:
+        """WAL/fsync/snapshot/recovery tallies (a point-in-time copy)."""
+        with self._lock:
+            return {key: round(value, 6) if isinstance(value, float)
+                    else value
+                    for key, value in self._counters.items()}
 
     def _acquire_dir_lock(self):
         """One live backend per directory: a second opener snapshotting
@@ -165,16 +189,25 @@ class DiskBackend(MemoryBackend):
     def _recover(self) -> None:
         """Load the latest snapshot, then replay the WAL over it,
         truncating any torn tail."""
-        current = self.data_dir / "CURRENT"
-        if current.is_file():
-            self._load_snapshot(current.read_text().strip())
-        if self._wal_path.is_file():
-            records, valid = scan_frames(self._wal_path)
-            for record in records:
-                self._replay(record)
-            if valid < self._wal_path.stat().st_size:
-                with open(self._wal_path, "r+b") as handle:
-                    handle.truncate(valid)
+        started = time.perf_counter()
+        with span("recover"):
+            current = self.data_dir / "CURRENT"
+            if current.is_file():
+                self._load_snapshot(current.read_text().strip())
+            if self._wal_path.is_file():
+                records, valid = scan_frames(self._wal_path)
+                for record in records:
+                    self._replay(record)
+                self._counters["replay_records_total"] += len(records)
+                torn = self._wal_path.stat().st_size - valid
+                if torn > 0:
+                    self._counters["replay_torn_bytes_total"] += torn
+                    with open(self._wal_path, "r+b") as handle:
+                        handle.truncate(valid)
+            self._counters["recovered_rows_total"] += sum(
+                len(store) for store in self._rows.values())
+        self._counters["recover_seconds_total"] += (
+            time.perf_counter() - started)
 
     def _load_snapshot(self, name: str) -> None:
         snap_dir = self.data_dir / name
@@ -267,10 +300,21 @@ class DiskBackend(MemoryBackend):
                 f"JSON-roundtrippable scalars "
                 f"({', '.join(t.__name__ for t in _DURABLE_TYPES)}): "
                 f"{error}") from error
-        self._wal.write(data)
-        self._wal.flush()
+        counters = self._counters
+        started = time.perf_counter()
+        with span("wal_append"):
+            self._wal.write(data)
+            self._wal.flush()
+        appended = time.perf_counter()
+        counters["wal_records_total"] += 1
+        counters["wal_bytes_total"] += len(data)
+        counters["wal_append_seconds_total"] += appended - started
         if self.fsync:
-            os.fsync(self._wal.fileno())
+            with span("wal_fsync"):
+                os.fsync(self._wal.fileno())
+            counters["wal_fsyncs_total"] += 1
+            counters["wal_fsync_seconds_total"] += (
+                time.perf_counter() - appended)
 
     @staticmethod
     def _check_rows(rows: list[Row]) -> None:
@@ -346,7 +390,8 @@ class DiskBackend(MemoryBackend):
         snapshot is live, and replaying it over the new snapshot would
         be a no-op anyway (records are absolute per-row assignments).
         """
-        with self._lock:
+        started = time.perf_counter()
+        with span("snapshot"), self._lock:
             if self._wal.closed:
                 raise StorageError(
                     f"{self.data_dir}: snapshot() on a closed backend — "
@@ -401,6 +446,9 @@ class DiskBackend(MemoryBackend):
             for stale in sorted(self.data_dir.glob("snap-*")):
                 if stale.name != name:
                     shutil.rmtree(stale, ignore_errors=True)
+            self._counters["snapshots_total"] += 1
+            self._counters["snapshot_seconds_total"] += (
+                time.perf_counter() - started)
             return self.data_dir / name
 
     def _sync_dir(self, directory: pathlib.Path) -> None:

@@ -165,6 +165,100 @@ class TestGate:
              "--fresh", str(baseline / "nope")]) == 2
 
 
+class TestHardGates:
+    def gated_baseline(self):
+        payload = copy.deepcopy(BASELINE)
+        payload["gates"] = {"warm_ms": {"max_increase_pct": 2.0}}
+        payload["metrics"]["warm_ms"] = 0.150
+        return payload
+
+    def test_gated_wallclock_within_bound_passes(self, tmp_path, capsys):
+        baseline, fresh = tmp_path / "b", tmp_path / "f"
+        write(baseline, self.gated_baseline())
+        payload = self.gated_baseline()
+        payload["metrics"]["warm_ms"] = 0.152  # +1.3%, inside the gate
+        write(fresh, payload)
+        code, out = run(baseline, fresh, capsys)
+        assert code == 0
+        assert "WARN EXP-T warm_ms: wall-clock delta" in out
+
+    def test_gated_wallclock_over_bound_fails(self, tmp_path, capsys):
+        baseline, fresh = tmp_path / "b", tmp_path / "f"
+        write(baseline, self.gated_baseline())
+        payload = self.gated_baseline()
+        payload["metrics"]["warm_ms"] = 0.160  # +6.7%: warns AND fails
+        write(fresh, payload)
+        code, out = run(baseline, fresh, capsys)
+        assert code == 1
+        assert "FAIL EXP-T warm_ms: hard gate (max +2%) exceeded" in out
+        assert "0.15 -> 0.16" in out
+
+    def test_gated_improvement_passes(self, tmp_path, capsys):
+        baseline, fresh = tmp_path / "b", tmp_path / "f"
+        write(baseline, self.gated_baseline())
+        payload = self.gated_baseline()
+        payload["metrics"]["warm_ms"] = 0.100
+        write(fresh, payload)
+        code, _ = run(baseline, fresh, capsys)
+        assert code == 0
+
+    def test_gate_on_missing_metric_fails(self, tmp_path, capsys):
+        baseline, fresh = tmp_path / "b", tmp_path / "f"
+        payload = self.gated_baseline()
+        del payload["metrics"]["warm_ms"]
+        write(baseline, payload)
+        write(fresh, payload)
+        code, out = run(baseline, fresh, capsys)
+        assert code == 1
+        assert "FAIL EXP-T warm_ms: gated metric missing" in out
+
+    def test_gate_without_bound_fails_loudly(self, tmp_path, capsys):
+        baseline, fresh = tmp_path / "b", tmp_path / "f"
+        payload = self.gated_baseline()
+        payload["gates"]["warm_ms"] = {}
+        write(baseline, payload)
+        write(fresh, payload)
+        code, out = run(baseline, fresh, capsys)
+        assert code == 1
+        assert "gate declares no numeric max_increase_pct" in out
+
+    def test_fresh_only_gate_is_enforced(self, tmp_path, capsys):
+        # A PR that adds a gate before its baseline lands still gets
+        # the check, against the baseline's existing metric value.
+        baseline, fresh = tmp_path / "b", tmp_path / "f"
+        base = copy.deepcopy(BASELINE)
+        base["metrics"]["warm_ms"] = 0.150
+        write(baseline, base)
+        payload = self.gated_baseline()
+        payload["metrics"]["warm_ms"] = 0.160
+        write(fresh, payload)
+        code, out = run(baseline, fresh, capsys)
+        assert code == 1
+        assert "hard gate" in out
+
+    def test_gate_paths_dot_into_nested_metrics(self, tmp_path, capsys):
+        baseline, fresh = tmp_path / "b", tmp_path / "f"
+        payload = copy.deepcopy(BASELINE)
+        payload["gates"] = {
+            "end_to_end_median_ms.sharded": {"max_increase_pct": 10.0}}
+        write(baseline, payload)
+        over = fresh_payload(
+            end_to_end_median_ms={"memory": 14.6, "sharded": 13.0})
+        write(fresh, over)
+        code, out = run(baseline, fresh, capsys)
+        assert code == 1
+        assert ("FAIL EXP-T end_to_end_median_ms.sharded: hard gate"
+                in out)
+
+    def test_lookup_prefers_literal_keys_with_dots(self):
+        metrics = {"observability": {"ops_total.op=hash_join": 5},
+                   "flat.key": 7}
+        assert check_trajectory.lookup(
+            metrics, "observability.ops_total.op=hash_join") == 5
+        assert check_trajectory.lookup(metrics, "flat.key") == 7
+        assert check_trajectory.lookup(metrics, "missing.path") is None
+
+
 class TestClassify:
     @pytest.mark.parametrize("name,expected", [
         ("tuples_fetched", "counter"),
@@ -179,6 +273,23 @@ class TestClassify:
     ])
     def test_metric_classes(self, name, expected):
         assert check_trajectory.classify(name) == expected
+
+
+def test_harness_gate_lands_in_bench_json(tmp_path, monkeypatch):
+    """ExperimentLog.gate declarations ride the flushed JSON, so a
+    baseline refresh keeps its gates."""
+    harness_spec = importlib.util.spec_from_file_location(
+        "_bench_harness", _SCRIPT.parent / "_harness.py")
+    harness = importlib.util.module_from_spec(harness_spec)
+    harness_spec.loader.exec_module(harness)
+    monkeypatch.setenv("BENCH_RESULTS_DIR", str(tmp_path))
+    log = harness.ExperimentLog("EXP-T", "synthetic")
+    log.metric("warm_ms", 0.15)
+    log.gate("warm_ms", max_increase_pct=2.0)
+    log.flush()
+    payload = json.loads((tmp_path / "BENCH_exp-t.json").read_text())
+    assert payload["gates"] == {"warm_ms": {"max_increase_pct": 2.0}}
+    assert payload["metrics"]["warm_ms"] == 0.15
 
 
 def test_real_committed_baselines_self_compare_clean(tmp_path, capsys):

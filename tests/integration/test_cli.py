@@ -219,3 +219,97 @@ def test_missing_database_directory_is_actionable(tmp_path, capsys):
     assert main(["analyze", "--db", missing, "Q(x) :- R(x)"]) == 2
     err = capsys.readouterr().err
     assert "no such database directory" in err
+
+
+# -- observability flags ------------------------------------------------------
+
+
+def test_run_trace_tree_spans_sum_to_request_total(db_dir, tmp_path,
+                                                   capsys):
+    """The acceptance property for --trace: the request root's direct
+    children (compile / bep_decision / execute ...) account for its
+    total duration within tolerance — no large untraced gap."""
+    trace_path = tmp_path / "trace.jsonl"
+    assert main(["run", "--db", db_dir, "--trace", str(trace_path),
+                 Q0]) == 0
+    out = capsys.readouterr().out
+    assert f"-> {trace_path}" in out
+    assert "request" in out and "compile" in out  # rendered tree
+
+    trees = [json.loads(line)
+             for line in trace_path.read_text().splitlines()]
+    assert len(trees) == 1
+    root = trees[0]
+    assert root["name"] == "request"
+    stages = [child["name"] for child in root["children"]]
+    assert stages[:2] == ["compile", "bep_decision"]
+    assert "execute" in stages
+    covered = sum(child["duration_ms"] for child in root["children"])
+    assert covered <= root["duration_ms"] * 1.001 + 0.01
+    assert covered >= root["duration_ms"] * 0.5, \
+        f"untraced gap: children {covered}ms of {root['duration_ms']}ms"
+
+
+def test_run_trace_fallback_has_execute_stage(db_dir, tmp_path, capsys):
+    trace_path = tmp_path / "trace.jsonl"
+    assert main(["run", "--db", db_dir, "--trace", str(trace_path),
+                 UNCOVERED]) == 0
+    capsys.readouterr()
+    root = json.loads(trace_path.read_text().splitlines()[0])
+    stages = [child["name"] for child in root["children"]]
+    assert "execute" in stages  # the scan fallback is traced too
+
+
+def test_run_metrics_out_writes_valid_exposition(db_dir, tmp_path,
+                                                 capsys):
+    from repro.obs import validate_exposition
+
+    metrics_path = tmp_path / "metrics.prom"
+    assert main(["run", "--db", db_dir, "--metrics-out",
+                 str(metrics_path), Q0]) == 0
+    capsys.readouterr()
+    text = metrics_path.read_text()
+    assert validate_exposition(text, [
+        "repro_requests_total", "repro_bounded_requests_total",
+        "repro_request_latency_seconds", "repro_db_rows"]) == []
+    assert "repro_requests_total 1" in text
+
+
+def test_bench_service_metrics_out_and_trace(db_dir, tmp_path, capsys):
+    from repro.obs import parse_exposition
+
+    metrics_path = tmp_path / "metrics.prom"
+    trace_path = tmp_path / "trace.jsonl"
+    assert main(["bench-service", "--db", db_dir, "--requests", "4",
+                 "--metrics-out", str(metrics_path),
+                 "--trace", str(trace_path), Q0]) == 0
+    capsys.readouterr()
+    families = parse_exposition(metrics_path.read_text())
+    # The cache-priming request plus the four measured ones.
+    assert families["repro_requests_total"]["samples"][
+        "repro_requests_total"] == 5.0
+    assert "repro_fetch_cache_hit_rate" in families
+    # One root span tree per traced request (prime + 4 warm).
+    assert len(trace_path.read_text().splitlines()) == 5
+
+
+def test_stats_subcommand_prints_exposition(db_dir, capsys):
+    assert main(["stats", "--db", db_dir]) == 0
+    out = capsys.readouterr().out
+    assert "storage: memory" in out
+    assert "repro_db_rows" in out
+
+
+def test_stats_disk_backend_reports_storage_counters(db_dir, tmp_path,
+                                                     capsys):
+    data_dir = str(tmp_path / "durable")
+    # First run materializes the disk directory via the WAL...
+    assert main(["run", "--db", db_dir, "--backend", "disk",
+                 "--data-dir", data_dir, Q0]) == 0
+    capsys.readouterr()
+    # ...and stats on a reopened engine shows the recovery counters.
+    assert main(["stats", "--db", db_dir, "--backend", "disk",
+                 "--data-dir", data_dir]) == 0
+    out = capsys.readouterr().out
+    assert "repro_storage_recovered_rows_total" in out
+    assert "repro_storage_replay_records_total" in out

@@ -1,0 +1,85 @@
+"""Unit tests for the exposition renderer, parser and validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.export import (main, parse_exposition, render_exposition,
+                              validate_exposition)
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("repro_requests_total", "Requests served").inc(5)
+    ops = registry.counter("repro_ops_total", label_names=("op",))
+    ops.labels(op="hash_join").inc(2)
+    histogram = registry.histogram("repro_latency_seconds",
+                                   "Latency", buckets=(0.1, 1.0))
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+    registry.gauge("repro_cache_size").set(3)
+    return registry
+
+
+def test_render_exposition_format(registry):
+    text = render_exposition(registry)
+    assert "# HELP repro_requests_total Requests served" in text
+    assert "# TYPE repro_requests_total counter" in text
+    assert "repro_requests_total 5" in text
+    assert 'repro_ops_total{op="hash_join"} 2' in text
+    assert "# TYPE repro_latency_seconds histogram" in text
+    assert 'repro_latency_seconds_bucket{le="0.1"} 1' in text
+    assert 'repro_latency_seconds_bucket{le="+Inf"} 2' in text
+    assert "repro_latency_seconds_count 2" in text
+    assert text.endswith("\n")
+
+
+def test_parse_round_trips_render(registry):
+    families = parse_exposition(render_exposition(registry))
+    assert families["repro_requests_total"]["type"] == "counter"
+    assert families["repro_requests_total"]["samples"] == {
+        "repro_requests_total": 5.0}
+    assert families["repro_ops_total"]["samples"] == {
+        'repro_ops_total{op="hash_join"}': 2.0}
+    # Histogram samples group under the family, including +Inf.
+    latency = families["repro_latency_seconds"]
+    assert latency["type"] == "histogram"
+    assert latency["samples"]['repro_latency_seconds_bucket{le="+Inf"}'] \
+        == 2.0
+    assert latency["samples"]["repro_latency_seconds_count"] == 2.0
+
+
+def test_parse_rejects_malformed_lines():
+    with pytest.raises(ValueError, match="expected 'name value'"):
+        parse_exposition("just_a_name\n")
+    with pytest.raises(ValueError, match="bad sample value"):
+        parse_exposition("metric not-a-number\n")
+    with pytest.raises(ValueError, match="malformed TYPE"):
+        parse_exposition("# TYPE incomplete\n")
+
+
+def test_validate_reports_missing_and_empty_requirements(registry):
+    text = render_exposition(registry)
+    assert validate_exposition(text, ["repro_requests_total"]) == []
+    problems = validate_exposition(text, ["repro_absent_total"])
+    assert problems == ["required metric 'repro_absent_total' is missing"]
+    assert validate_exposition("metric nan\n") == []  # nan parses as float
+    assert validate_exposition("broken line here\n")[0].startswith(
+        "exposition does not parse")
+
+
+def test_main_checks_file_and_requirements(registry, tmp_path, capsys):
+    path = tmp_path / "metrics.prom"
+    path.write_text(render_exposition(registry))
+    assert main(["--check", str(path),
+                 "--require", "repro_requests_total,repro_latency_seconds"
+                 ]) == 0
+    out = capsys.readouterr().out
+    assert "metric families" in out and "2 required present" in out
+
+    assert main(["--check", str(path), "--require", "nope_total"]) == 1
+    assert "INVALID" in capsys.readouterr().err
+
+    assert main(["--check", str(tmp_path / "missing.prom")]) == 2

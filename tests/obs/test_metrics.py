@@ -1,0 +1,218 @@
+"""Unit tests for the metrics registry and its instruments."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, LATENCY_BUCKETS,
+                               MetricsRegistry, merge_counts)
+
+
+# -- Counter ------------------------------------------------------------------
+
+
+def test_counter_inc_and_value():
+    counter = Counter("requests_total")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+
+
+def test_counter_rejects_negative_increment():
+    counter = Counter("requests_total")
+    with pytest.raises(ValueError, match="only go up"):
+        counter.inc(-1)
+
+
+def test_counter_set_total_overwrites():
+    counter = Counter("mirrored_total")
+    counter.inc(7)
+    counter.set_total(3)
+    assert counter.value == 3
+
+
+def test_counter_labels_children_and_samples():
+    counter = Counter("ops_total", label_names=("op",))
+    counter.labels(op="hash_join").inc(2)
+    counter.labels(op="fetch").inc()
+    counter.labels(op="hash_join").inc()
+    assert counter.samples() == [({"op": "fetch"}, 1),
+                                 ({"op": "hash_join"}, 3)]
+
+
+def test_counter_labels_shape_mismatch_raises():
+    counter = Counter("ops_total", label_names=("op",))
+    with pytest.raises(ValueError, match="expects labels"):
+        counter.labels(kind="fetch")
+
+
+def test_counter_rejects_bad_names():
+    with pytest.raises(ValueError, match="invalid metric name"):
+        Counter("bad name")
+    with pytest.raises(ValueError, match="invalid label name"):
+        Counter("ok_total", label_names=("bad-label",))
+
+
+# -- Gauge --------------------------------------------------------------------
+
+
+def test_gauge_set_and_add():
+    gauge = Gauge("cache_size")
+    gauge.set(10)
+    gauge.add(-3)
+    assert gauge.value == 7
+    assert gauge.samples() == [({}, 7)]
+
+
+# -- Histogram ----------------------------------------------------------------
+
+
+def test_histogram_count_sum_mean_exact():
+    histogram = Histogram("latency_seconds", buckets=(0.1, 1.0))
+    for value in (0.05, 0.05, 0.5, 2.0):
+        histogram.observe(value)
+    assert histogram.count == 4
+    assert histogram.sum == pytest.approx(2.6)
+    assert histogram.mean == pytest.approx(0.65)
+
+
+def test_histogram_bucket_counts_cumulative_with_inf_tail():
+    histogram = Histogram("latency_seconds", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 2.0):
+        histogram.observe(value)
+    assert histogram.bucket_counts() == [(0.1, 1), (1.0, 2),
+                                         (float("inf"), 3)]
+
+
+def test_histogram_quantile_interpolates_within_bucket():
+    histogram = Histogram("latency_seconds", buckets=(1.0, 2.0))
+    # Ten observations, all in the (1.0, 2.0] bucket: the median lands
+    # at the bucket's midpoint under linear interpolation.
+    for _ in range(10):
+        histogram.observe(1.5)
+    assert histogram.p50 == pytest.approx(1.5)
+    assert histogram.quantile(1.0) == pytest.approx(2.0)
+
+
+def test_histogram_quantile_clamps_to_last_finite_bound():
+    histogram = Histogram("latency_seconds", buckets=(0.1,))
+    histogram.observe(5.0)  # lands in the +inf bucket
+    assert histogram.p99 == pytest.approx(0.1)
+
+
+def test_histogram_empty_quantile_is_zero():
+    histogram = Histogram("latency_seconds")
+    assert histogram.p95 == 0.0
+
+
+def test_histogram_quantile_range_checked():
+    histogram = Histogram("latency_seconds")
+    with pytest.raises(ValueError, match=r"\[0, 1\]"):
+        histogram.quantile(1.5)
+
+
+def test_histogram_matches_nearest_rank_within_bucket_width():
+    # The documented contract for BatchReport's percentile swap: the
+    # interpolated estimate differs from exact nearest-rank by at most
+    # the width of the containing bucket.
+    import random
+    rng = random.Random(8)
+    values = [rng.uniform(0.0001, 0.3) for _ in range(500)]
+    histogram = Histogram("latency_seconds", buckets=LATENCY_BUCKETS)
+    for value in values:
+        histogram.observe(value)
+    ranked = sorted(values)
+    for q in (0.50, 0.95, 0.99):
+        exact = ranked[min(len(ranked) - 1, int(q * len(ranked)))]
+        estimate = histogram.quantile(q)
+        position = 0
+        while (position < len(LATENCY_BUCKETS)
+               and LATENCY_BUCKETS[position] < exact):
+            position += 1
+        lower = LATENCY_BUCKETS[position - 1] if position else 0.0
+        width = LATENCY_BUCKETS[min(position, len(LATENCY_BUCKETS) - 1)] \
+            - lower
+        assert abs(estimate - exact) <= width + 1e-12
+
+
+# -- MetricsRegistry ----------------------------------------------------------
+
+
+def test_registry_registration_is_idempotent():
+    registry = MetricsRegistry()
+    assert registry.counter("a_total") is registry.counter("a_total")
+    assert registry.gauge("b") is registry.gauge("b")
+    assert registry.histogram("c_seconds") is registry.histogram("c_seconds")
+
+
+def test_registry_shape_mismatch_raises():
+    registry = MetricsRegistry()
+    registry.counter("a_total")
+    with pytest.raises(ValueError, match="different shape"):
+        registry.gauge("a_total")
+    with pytest.raises(ValueError, match="different shape"):
+        registry.counter("a_total", label_names=("op",))
+    registry.histogram("h_seconds", buckets=(1.0,))
+    with pytest.raises(ValueError, match="different shape"):
+        registry.histogram("h_seconds", buckets=(2.0,))
+
+
+def test_registry_collector_runs_at_snapshot_time():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("external_size")
+    source = {"size": 0}
+    registry.register_collector(lambda: gauge.set(source["size"]))
+    source["size"] = 42
+    assert registry.as_flat_dict()["external_size"] == 42
+    source["size"] = 7
+    assert registry.as_flat_dict()["external_size"] == 7
+
+
+def test_registry_as_flat_dict_folds_labels_and_histograms():
+    registry = MetricsRegistry()
+    registry.counter("plain_total").inc(2)
+    ops = registry.counter("ops_total", label_names=("op",))
+    ops.labels(op="fetch").inc(3)
+    histogram = registry.histogram("latency_seconds", buckets=(1.0,))
+    histogram.observe(0.5)
+    flat = registry.as_flat_dict(prefix="repro_")
+    assert flat["repro_plain_total"] == 2
+    assert flat["repro_ops_total.op=fetch"] == 3
+    assert flat["repro_latency_seconds_count"] == 1
+    assert flat["repro_latency_seconds_sum"] == pytest.approx(0.5)
+    # Bucket shapes are an implementation detail, not a trajectory.
+    assert not any("bucket" in key for key in flat)
+
+
+def test_registry_get_returns_instrument_or_none():
+    registry = MetricsRegistry()
+    counter = registry.counter("a_total")
+    assert registry.get("a_total") is counter
+    assert registry.get("missing") is None
+
+
+def test_counter_is_thread_safe_under_contention():
+    counter = Counter("hits_total")
+
+    def spin():
+        for _ in range(10_000):
+            counter.inc()
+
+    threads = [threading.Thread(target=spin) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counter.value == 40_000
+
+
+# -- merge_counts -------------------------------------------------------------
+
+
+def test_merge_counts_folds_mappings_and_pairs():
+    totals: dict = {}
+    merge_counts(totals, {"a": 1, "b": 2})
+    merge_counts(totals, [("a", 3), ("c", 5)])
+    assert totals == {"a": 4, "b": 2, "c": 5}

@@ -1,0 +1,145 @@
+"""Unit tests for the ambient tracer: null path, nesting, threads."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (NULL_SPAN, Tracer, annotate, current_tracer,
+                             span)
+
+
+def test_span_is_noop_when_no_tracer_active():
+    assert current_tracer() is None
+    assert span("anything") is NULL_SPAN
+    # The shared null span is re-entrant and records nothing.
+    with span("outer"):
+        with span("inner"):
+            pass
+    assert current_tracer() is None
+
+
+def test_tracer_collects_nested_tree():
+    with Tracer() as tracer:
+        with span("request"):
+            with span("compile"):
+                pass
+            with span("execute"):
+                with span("fetch"):
+                    pass
+    assert [root.name for root in tracer.roots] == ["request"]
+    root = tracer.roots[0]
+    assert [child.name for child in root.children] == ["compile", "execute"]
+    assert [n.name for n in root.walk()] == ["request", "compile",
+                                             "execute", "fetch"]
+    assert root.find("fetch") is not None
+    assert tracer.find("missing") is None
+
+
+def test_sibling_roots_and_durations_nest():
+    with Tracer() as tracer:
+        with span("a"):
+            pass
+        with span("b"):
+            with span("c"):
+                pass
+    assert [root.name for root in tracer.roots] == ["a", "b"]
+    b = tracer.roots[1]
+    assert b.duration_s >= b.children[0].duration_s >= 0.0
+
+
+def test_span_attrs_and_annotate():
+    with Tracer() as tracer:
+        with span("request", query="Q0") as open_span:
+            assert open_span.attrs == {"query": "Q0"}
+            annotate(cached=True)
+    root = tracer.roots[0]
+    assert root.attrs == {"query": "Q0", "cached": True}
+    # annotate outside any tracer/span is a silent no-op.
+    annotate(ignored=1)
+
+
+def test_exception_marks_span_and_propagates():
+    with Tracer() as tracer:
+        with pytest.raises(KeyError):
+            with span("request"):
+                with span("execute"):
+                    raise KeyError("boom")
+    root = tracer.roots[0]
+    assert root.attrs["error"] == "KeyError"
+    assert root.children[0].attrs["error"] == "KeyError"
+
+
+def test_only_one_tracer_at_a_time():
+    with Tracer():
+        with pytest.raises(RuntimeError, match="already active"):
+            with Tracer():
+                pass
+    # The failed activation must not have deactivated the outer one's
+    # cleanup: a new tracer activates fine now.
+    with Tracer() as tracer:
+        with span("ok"):
+            pass
+    assert len(tracer.roots) == 1
+
+
+def test_threads_record_their_own_roots():
+    with Tracer() as tracer:
+        def work(name):
+            with span(name):
+                with span("inner"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(f"w{i}",))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    names = sorted(root.name for root in tracer.roots)
+    assert names == ["w0", "w1", "w2", "w3"]
+    assert all(root.children[0].name == "inner" for root in tracer.roots)
+
+
+def test_stage_totals_sums_across_trees():
+    with Tracer() as tracer:
+        for _ in range(3):
+            with span("request"):
+                with span("execute"):
+                    pass
+    totals = tracer.stage_totals()
+    assert set(totals) == {"request", "execute"}
+    assert totals["request"] >= totals["execute"] >= 0.0
+
+
+def test_to_dict_offsets_and_write_jsonl(tmp_path):
+    with Tracer() as tracer:
+        with span("request"):
+            with span("compile"):
+                pass
+    tree = tracer.to_dicts()[0]
+    assert tree["name"] == "request"
+    assert tree["start_ms"] >= 0.0  # offset from the tracer's epoch
+    child = tree["children"][0]
+    assert child["name"] == "compile"
+    assert child["duration_ms"] <= tree["duration_ms"]
+
+    path = tmp_path / "trace.jsonl"
+    assert tracer.write_jsonl(path) == 1
+    lines = path.read_text().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["name"] == "request"
+
+
+def test_render_is_indented_and_limited():
+    with Tracer() as tracer:
+        for _ in range(3):
+            with span("request"):
+                with span("compile"):
+                    pass
+    text = tracer.render(limit=2)
+    assert text.count("request") == 2
+    assert "  compile" in text
+    assert "1 more root span(s)" in text

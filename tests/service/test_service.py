@@ -247,3 +247,68 @@ class TestPhysicalPlanCaching:
         entry = service.compile("Q(x, y) :- R(x, y)")
         assert not entry.bounded
         assert entry.physical is None
+
+
+class TestObservability:
+    def test_service_result_requires_exactly_one_accounting(self):
+        from repro.engine.executor import AccessStats
+        from repro.engine.naive import ScanStats
+        from repro.service import ServiceResult
+
+        common = dict(answers=set(), bounded=True, plan_cached=False,
+                      latency_s=0.01)
+        ServiceResult(stats=AccessStats(), **common)  # bounded: ok
+        ServiceResult(scan_stats=ScanStats(), **common)  # fallback: ok
+        with pytest.raises(ValueError, match="got neither"):
+            ServiceResult(**common)
+        with pytest.raises(ValueError, match="got both"):
+            ServiceResult(stats=AccessStats(), scan_stats=ScanStats(),
+                          **common)
+
+    def test_registry_counts_requests_and_caches(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        db = make_db([(1, 10), (2, 11)], [(10, 0), (11, 1)])
+        service = BoundedQueryService(db, registry=registry)
+        service.register_template("t", TEMPLATE)
+        service.execute_template("t", {"a": 1})
+        service.execute_template("t", {"a": 1})
+        service.execute("Q(x, y) :- R(x, y)")  # scan fallback
+
+        flat = registry.as_flat_dict()
+        assert flat["repro_requests_total"] == 3
+        assert flat["repro_bounded_requests_total"] == 2
+        assert flat["repro_fallback_requests_total"] == 1
+        assert flat["repro_plan_cached_requests_total"] >= 2
+        assert flat["repro_request_latency_seconds_count"] == 3
+        assert flat["repro_scan_tuples_total"] > 0
+        assert flat["repro_tuples_fetched_total"] > 0
+        # Warm repeat was served from the fetch cache, and the cache
+        # collector mirrors the hit into the registry.
+        assert flat["repro_tuples_from_cache_total"] > 0
+        assert flat["repro_fetch_cache_hits_total"] > 0
+        assert flat["repro_db_rows"] == db.size()
+        # Per-op executor tallies surface as labeled counters.
+        assert any(key.startswith("repro_executor_ops_total.op=")
+                   for key in flat)
+
+    def test_stats_include_storage_counters(self, tmp_path):
+        from repro.storage.disk import DiskBackend
+
+        db = make_db([(1, 10)], [(10, 7)])
+        schema = db.schema
+        disk = Database(schema, db.access_schema,
+                        backend=DiskBackend(schema, tmp_path / "data"))
+        disk.insert_many("R", [(1, 10)])
+        disk.insert_many("S", [(10, 7)])
+        service = BoundedQueryService(disk)
+        service.execute("Q(z) :- R(x, y), S(y, z), x = 1")
+        storage = service.stats().storage
+        assert storage["wal_records_total"] > 0
+        assert "storage:" in str(service.stats())
+        # The memory backend has nothing to report — and says so.
+        memory_service = BoundedQueryService(db)
+        assert memory_service.stats().storage == {}
+        assert "storage:" not in str(memory_service.stats())
+        disk.backend.close()
