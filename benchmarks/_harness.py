@@ -65,17 +65,30 @@ class ExperimentLog:
         for the JSON artifact."""
         self.metrics[name] = value
 
-    def gate(self, metric_path: str, *, max_increase_pct: float) -> None:
+    def gate(self, metric_path: str, *,
+             max_increase_pct: float | None = None,
+             min_value: float | None = None) -> None:
         """Declare a *hard* trajectory gate on one metric path.
 
         Written into the JSON artifact as ``gates``;
         ``check_trajectory.py`` then FAILs (not warns) when the fresh
         value exceeds the committed baseline by more than
         ``max_increase_pct`` percent — even for wall-clock metrics,
-        which are otherwise warn-only.  Declare wall-clock gates only
-        where the baseline is regenerated on comparable hardware.
+        which are otherwise warn-only — or when it falls below the
+        absolute floor ``min_value`` (checked against the fresh value
+        alone, so floor gates hold even for brand-new metrics with no
+        baseline).  Declare wall-clock gates only where the baseline
+        is regenerated on comparable hardware.
         """
-        self.gates[metric_path] = {"max_increase_pct": max_increase_pct}
+        gate: dict = {}
+        if max_increase_pct is not None:
+            gate["max_increase_pct"] = max_increase_pct
+        if min_value is not None:
+            gate["min_value"] = min_value
+        if not gate:
+            raise ValueError(
+                "gate() needs max_increase_pct and/or min_value")
+        self.gates[metric_path] = gate
 
     def flush(self) -> None:
         out_dir = results_dir()

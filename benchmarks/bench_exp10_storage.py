@@ -18,7 +18,12 @@ X-value at a time (a Python-level ``db.fetch`` loop in
   tuples fetched — vectorization and sharding change topology, never
   ``|D_Q|``;
 * the end-to-end win of the vectorized boundary is reported alongside
-  (joins and gathers bound it below the boundary-level speedup).
+  (joins and gathers bound it below the boundary-level speedup);
+* replaying the same traffic in *code space*, pre-encoded column
+  fetches (``fetch_flat_encoded``) beat tuple fetch + per-batch
+  dictionary encoding by **>= 3x** (hard ``min_value`` gate);
+  dictionary sizes and encode/decode times ride along as recorded
+  metrics.
 
 Run with ``python -m pytest benchmarks/bench_exp10_storage.py -x -q``.
 """
@@ -26,12 +31,14 @@ Run with ``python -m pytest benchmarks/bench_exp10_storage.py -x -q``.
 from __future__ import annotations
 
 import random
+import time
 
 import pytest
 
 from repro import is_boundedly_evaluable
 from repro.engine import optimize
-from repro.engine.executor import AccessStats, Executor
+from repro.engine.executor import (AccessStats, Executor,
+                                   LegacyTupleExecutor)
 from repro.obs import MetricsRegistry
 from repro.query import parse_query
 from repro.storage.backend import ShardedBackend
@@ -44,6 +51,9 @@ from _harness import ExperimentLog, timed, timed_median
 REPEAT = 5
 BOUNDARY_REPEAT = 15
 MIN_SPEEDUP = 2.0
+#: Pre-encoded column fetches vs tuple fetch + per-batch encoding on
+#: the same replayed traffic (the PR 7 columnar boundary claim).
+MIN_ENCODED_SPEEDUP = 3.0
 SHARDS = 8
 
 
@@ -55,9 +65,12 @@ def log():
     experiment.flush()
 
 
-class PerValueExecutor(Executor):
-    """The PR 2 storage boundary, preserved as the baseline: one
-    ``db.fetch`` round-trip (and its accounting) per distinct X-value."""
+class PerValueExecutor(LegacyTupleExecutor):
+    """The PR 2 stack, preserved as the baseline: tuple batches end to
+    end, with one ``db.fetch`` round-trip (and its accounting) per
+    distinct X-value.  Must stay on the tuple executor — the columnar
+    ``Executor.execute`` never touches ``_fetch_flat``, so basing this
+    on it would silently benchmark nothing."""
 
     def _fetch_flat(self, constraint, x_values, stats):
         out_rows = []
@@ -69,9 +82,12 @@ class PerValueExecutor(Executor):
         return out_rows
 
 
-class RecordingExecutor(Executor):
+class RecordingExecutor(LegacyTupleExecutor):
     """Harvests the (constraint, x-value batch) pairs a plan issues, so
-    the boundary benchmark replays *real* traffic, not synthetic keys."""
+    the boundary benchmark replays *real* traffic, not synthetic keys.
+    Rides the tuple executor for the same reason as above; the
+    columnar path issues the same batches in code space (the
+    accounting identity the correctness test enforces)."""
 
     def __init__(self, db):
         super().__init__(db)
@@ -153,6 +169,106 @@ def replay(executor, batches):
     return replayed, stats
 
 
+def encode_batches(db, batches):
+    """The harvested value-space batches translated into the code-space
+    keys the specialized fetch closures issue (bare codes for scalar X,
+    code tuples otherwise)."""
+    encode = db.dictionary.encode
+    coded = []
+    for constraint, x_values in batches:
+        if len(constraint.x) == 1:
+            keys = [encode(x_value[0]) for x_value in x_values]
+        else:
+            keys = [tuple(encode(value) for value in x_value)
+                    for x_value in x_values]
+        coded.append((constraint, keys))
+    return coded
+
+
+def replay_columnarized(executor, batches):
+    """What the columnar operators would pay per batch *without*
+    insert-time encoding: fetch value tuples, then dictionary-encode
+    and transpose them into code columns."""
+    stats = AccessStats()
+    encode_row = executor.db.dictionary.encode_row
+    out = []
+    for constraint, x_values in batches:
+        rows = executor._fetch_flat(constraint, x_values, stats)
+        coded = list(map(encode_row, rows))
+        out.append((list(zip(*coded)), len(coded)))
+    return out, stats
+
+
+def replay_encoded(executor, coded_batches):
+    """The PR 7 boundary: pre-encoded column slices straight out of
+    the access indexes, no per-batch encoding at all."""
+    stats = AccessStats()
+    out = [executor._fetch_flat_encoded(constraint, keys, stats)
+           for constraint, keys in coded_batches]
+    return out, stats
+
+
+def run_encoded_boundary(name, db, batches, log, failures):
+    executor = Executor(db)
+    coded_batches = encode_batches(db, batches)
+    legacy_s, (legacy_out, legacy_stats) = timed(
+        lambda: replay_columnarized(executor, batches),
+        repeat=BOUNDARY_REPEAT)
+    encoded_s, (encoded_out, encoded_stats) = timed(
+        lambda: replay_encoded(executor, coded_batches),
+        repeat=BOUNDARY_REPEAT)
+
+    # Same rows and same |D_Q| accounting, batch for batch — the
+    # dictionary is a bijection, so decoding must restore exactly the
+    # value tuples the tuple path fetched.
+    dictionary = db.dictionary
+    decode_s = 0.0
+    for (legacy_cols, n_rows), (cols, length) in zip(legacy_out,
+                                                     encoded_out):
+        start = time.perf_counter()
+        decoded = dictionary.decode_rows(cols, length)
+        decode_s += time.perf_counter() - start
+        if (length != n_rows
+                or decoded != dictionary.decode_rows(legacy_cols,
+                                                     n_rows)):
+            failures.append(
+                f"{name}/encoded-boundary: decoded rows differ")
+            break
+    if (encoded_stats.index_lookups != legacy_stats.index_lookups
+            or encoded_stats.tuples_fetched
+            != legacy_stats.tuples_fetched):
+        failures.append(
+            f"{name}/encoded-boundary: accounting differs "
+            f"({encoded_stats.index_lookups}/"
+            f"{encoded_stats.tuples_fetched} vs "
+            f"{legacy_stats.index_lookups}/"
+            f"{legacy_stats.tuples_fetched})")
+
+    speedup = legacy_s / max(encoded_s, 1e-9)
+    tuples = encoded_stats.tuples_fetched
+    log.row("")
+    log.row(f"-- {name} columnar boundary: tuple fetch + encode vs "
+            f"pre-encoded columns ({tuples} tuples, best of "
+            f"{BOUNDARY_REPEAT}) --")
+    log.table(["boundary", "time", "rows/sec"],
+              [["tuple fetch + encode", f"{legacy_s * 1e3:.2f}ms",
+                f"{int(tuples / max(legacy_s, 1e-9)):,}"],
+               ["pre-encoded columns", f"{encoded_s * 1e3:.2f}ms",
+                f"{int(tuples / max(encoded_s, 1e-9)):,}"]])
+    log.row(f"encoded boundary speedup: {speedup:.1f}x "
+            f"(decode of all fetched rows: {decode_s * 1e3:.2f}ms, "
+            f"dictionary: {len(dictionary)} entries)")
+    log.metric(f"{name}_encoded_boundary_speedup", round(speedup, 2))
+    log.metric(f"{name}_encoded_boundary_ms", round(encoded_s * 1e3, 3))
+    log.metric(f"{name}_encode_overhead_ms",
+               round((legacy_s - encoded_s) * 1e3, 3))
+    log.metric(f"{name}_decode_time_ms", round(decode_s * 1e3, 3))
+    log.metric(f"{name}_dictionary_size", len(dictionary))
+    log.gate(f"{name}_encoded_boundary_speedup",
+             min_value=MIN_ENCODED_SPEEDUP)
+    return speedup
+
+
 def run_boundary(name, db, sharded, plans, log, failures):
     recorder = RecordingExecutor(db)
     for _, plan in plans:
@@ -224,7 +340,7 @@ def run_boundary(name, db, sharded, plans, log, failures):
         for path_name, seconds in timings.items()})
     log.metric(f"{name}_boundary_x_values", x_total)
     log.metric(f"{name}_boundary_tuples", tuples)
-    return memory_speedup, sharded_speedup
+    return memory_speedup, sharded_speedup, batches
 
 
 # -- the end-to-end comparison (identity + reported win) ----------------------
@@ -281,11 +397,13 @@ def run_workload(name, db, queries, log, failures):
     pooled = db.with_backend(
         ShardedBackend(db.schema, shards=SHARDS, workers=SHARDS))
     plans = compile_plans(db, queries)
-    boundary = run_boundary(name, db, sharded, plans, log, failures)
+    mem_speedup, shard_speedup, batches = run_boundary(
+        name, db, sharded, plans, log, failures)
+    encoded = run_encoded_boundary(name, db, batches, log, failures)
     end_to_end, stats = run_end_to_end(name, db, sharded, pooled, plans,
                                        log, failures)
     pooled.backend.close()
-    return boundary, end_to_end, stats
+    return (mem_speedup, shard_speedup), encoded, end_to_end, stats
 
 
 def registry_dump(stats: AccessStats) -> dict:
@@ -313,11 +431,11 @@ def measured(log):
     continue-on-error-smoked) speedup test."""
     failures: list[str] = []
     accidents_db, accidents_queries = accident_workload()
-    (acc_mem, acc_shard), acc_e2e, acc_stats = run_workload(
+    (acc_mem, acc_shard), acc_enc, acc_e2e, acc_stats = run_workload(
         "accidents", accidents_db, accidents_queries, log, failures)
 
     social, social_queries_ = social_workload()
-    (soc_mem, soc_shard), soc_e2e, soc_stats = run_workload(
+    (soc_mem, soc_shard), soc_enc, soc_e2e, soc_stats = run_workload(
         "social", social, social_queries_, log, failures)
 
     totals = AccessStats()
@@ -338,6 +456,7 @@ def measured(log):
                          ("accidents sharded", acc_shard),
                          ("social memory", soc_mem),
                          ("social sharded", soc_shard)],
+            "encoded": [("accidents", acc_enc), ("social", soc_enc)],
             "end_to_end": [("accidents", acc_e2e), ("social", soc_e2e)]}
 
 
@@ -354,3 +473,12 @@ def test_vectorized_sharded_speedup(measured):
     # microbench one (joins/gathers put ~2x out of reach here).
     for label, speedup in measured["end_to_end"]:
         assert speedup >= 1.1, f"{label} end-to-end: only {speedup:.2f}x"
+
+
+def test_encoded_boundary_speedup(measured):
+    """Pre-encoded column fetches must beat tuple fetch + per-batch
+    dictionary encoding by >= 3x on replayed real traffic — the PR 7
+    columnar claim, also enforced as a min_value trajectory gate."""
+    for label, speedup in measured["encoded"]:
+        assert speedup >= MIN_ENCODED_SPEEDUP, \
+            f"{label} encoded boundary: only {speedup:.1f}x"

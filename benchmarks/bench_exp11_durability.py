@@ -29,7 +29,8 @@ import pytest
 
 from repro import Database, is_boundedly_evaluable
 from repro.engine import optimize
-from repro.engine.executor import AccessStats, Executor
+from repro.engine.executor import (AccessStats, Executor,
+                                   LegacyTupleExecutor)
 from repro.obs import MetricsRegistry, attach_storage_collector
 from repro.query import parse_query
 from repro.storage.disk import DiskBackend, disk_backend_factory
@@ -52,9 +53,12 @@ def log():
     experiment.flush()
 
 
-class RecordingExecutor(Executor):
+class RecordingExecutor(LegacyTupleExecutor):
     """Harvests the (constraint, x-value batch) pairs a plan issues so
-    the overhead comparison replays *real* traffic (as in EXP-10)."""
+    the overhead comparison replays *real* traffic (as in EXP-10).
+    Based on the tuple executor because the columnar ``execute`` never
+    crosses the ``_fetch_flat`` hook; the batches are the same either
+    way (the accounting identity EXP-9 enforces)."""
 
     def __init__(self, db):
         super().__init__(db)

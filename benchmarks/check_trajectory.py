@@ -28,12 +28,16 @@ fresh-only metrics WARN until their baseline is committed.
 A BENCH json may additionally carry a ``gates`` object declared by the
 experiment (``ExperimentLog.gate``)::
 
-    "gates": {"warm_ms_per_request": {"max_increase_pct": 2.0}}
+    "gates": {"warm_ms_per_request": {"max_increase_pct": 2.0},
+              "columnar_boundary_speedup": {"min_value": 3.0}}
 
 A gated metric is a *hard* bound that overrides the class policy: the
 run FAILs when the fresh value exceeds the baseline by more than the
-declared percentage — even for wall-clock metrics, which are otherwise
-warn-only.  Gate paths dot into nested metric dicts.  Declaring a
+declared ``max_increase_pct`` percentage — even for wall-clock
+metrics, which are otherwise warn-only — or falls below the absolute
+``min_value`` floor.  Floor gates compare the fresh value against the
+declared constant, so they bind even before a baseline for the metric
+is committed.  Gate paths dot into nested metric dicts.  Declaring a
 wall-clock gate is a statement that its baseline is regenerated on
 hardware comparable to where the gate runs.
 
@@ -50,7 +54,8 @@ import pathlib
 import sys
 from dataclasses import dataclass
 
-WALLCLOCK_TOKENS = {"ms", "speedup", "ratio", "overhead", "time", "seconds"}
+WALLCLOCK_TOKENS = {"ms", "speedup", "ratio", "overhead", "time", "seconds",
+                    "sec", "second", "throughput"}
 RATE_TOKENS = {"rate"}
 
 #: Absolute slack for rate drops (hit rates jitter slightly with the
@@ -170,25 +175,41 @@ def check_gates(experiment: str, gates: dict, base_metrics: dict,
                 fresh_metrics: dict, issues: list[Issue]) -> None:
     """Enforce the hard per-metric bounds a BENCH json declares."""
     numeric = (int, float)
+
+    def good(value) -> bool:
+        return isinstance(value, numeric) and not isinstance(value, bool)
+
     for path in sorted(gates):
         spec = gates[path] if isinstance(gates[path], dict) else {}
         pct = spec.get("max_increase_pct")
-        if not isinstance(pct, numeric) or isinstance(pct, bool):
+        floor = spec.get("min_value")
+        if not (good(pct) or good(floor)):
             issues.append(Issue("FAIL", experiment, path,
                                 "gate declares no numeric "
-                                f"max_increase_pct: {spec!r}"))
+                                f"max_increase_pct or min_value: {spec!r}"))
             continue
-        baseline = lookup(base_metrics, path)
         fresh = lookup(fresh_metrics, path)
-        if not (isinstance(baseline, numeric) and isinstance(fresh, numeric)):
+        if not good(fresh):
             issues.append(Issue("FAIL", experiment, path,
                                 "gated metric missing or non-numeric "
-                                f"(baseline {baseline!r}, fresh {fresh!r})"))
+                                f"in the fresh run: {fresh!r}"))
             continue
-        if fresh > baseline * (1 + pct / 100):
+        if good(floor) and fresh < floor:
             issues.append(Issue("FAIL", experiment, path,
-                                f"hard gate (max +{pct:g}%) exceeded: "
-                                f"{_delta(baseline, fresh)}"))
+                                f"hard floor gate (min {floor:g}) broken: "
+                                f"fresh value is {fresh}"))
+        if good(pct):
+            baseline = lookup(base_metrics, path)
+            if not good(baseline):
+                issues.append(Issue(
+                    "FAIL", experiment, path,
+                    "gated metric missing or non-numeric in the "
+                    f"baseline: {baseline!r}"))
+                continue
+            if fresh > baseline * (1 + pct / 100):
+                issues.append(Issue("FAIL", experiment, path,
+                                    f"hard gate (max +{pct:g}%) exceeded: "
+                                    f"{_delta(baseline, fresh)}"))
 
 
 def load_payloads(directory: pathlib.Path) -> dict[str, dict]:

@@ -3,8 +3,9 @@ optimizer, the batch-oriented physical executor, and cost bounds."""
 
 from .builder import build_bounded_plan, build_empty_plan, build_union_plan
 from .cost import FetchBound, PlanCost, static_bounds
-from .executor import (AccessStats, Batch, ExecutionResult, Executor, Table,
-                       execute_plan, interpret_logical)
+from .executor import (AccessStats, Batch, ExecutionResult, Executor,
+                       LegacyTupleExecutor, Table, execute_plan,
+                       interpret_logical)
 from .naive import (ScanStats, evaluate, evaluate_cq, evaluate_fo,
                     evaluate_positive, evaluate_ucq)
 from .optimizer import (OptimizationTrace, PhysicalPlan, ensure_physical,
@@ -17,8 +18,8 @@ __all__ = [
     "SelectOp", "RenameOp", "ProductOp", "UnionOp", "DiffOp",
     "ColEq", "ConstEq",
     "PhysicalPlan", "OptimizationTrace", "optimize", "ensure_physical",
-    "Executor", "ExecutionResult", "AccessStats", "Table", "Batch",
-    "execute_plan", "interpret_logical",
+    "Executor", "LegacyTupleExecutor", "ExecutionResult", "AccessStats",
+    "Table", "Batch", "execute_plan", "interpret_logical",
     "build_bounded_plan", "build_union_plan", "build_empty_plan",
     "static_bounds", "PlanCost", "FetchBound",
     "ScanStats", "evaluate", "evaluate_cq", "evaluate_ucq",

@@ -1,20 +1,30 @@
-"""Batch-oriented physical-plan execution with access accounting.
+"""Columnar physical-plan execution with access accounting.
 
 The executor runs :class:`~repro.engine.optimizer.physical.PhysicalPlan`
-steps batch-at-a-time: each intermediate result is a columnar
-:class:`Batch` (one Python list per column), so projections and renames
-are column-list reuse, filters are vectorized position scans, and joins
-build index arrays instead of materializing row sets per step.  Handed
-a *logical* :class:`~repro.engine.plan.Plan`, it first runs the
-one-time optimizer (memoized on the plan object) — execution itself
-never pattern-matches the plan again.
+steps batch-at-a-time over *encoded* columns: every intermediate is a
+:class:`~repro.engine.columns.Batch` of dictionary codes (see
+:class:`~repro.storage.encoding.ValueDictionary`), fetched rows arrive
+from storage as pre-encoded ``array('q')`` columns, joins hash int
+codes instead of value tuples, and the only Python-value work in a
+request is decoding the final batch.  Before its first run a plan is
+*specialized* (:mod:`~repro.engine.optimizer.specialize`): one closure
+per op with positions, key widths and constant codes baked in, so the
+warm path interprets nothing per batch.  Handed a *logical*
+:class:`~repro.engine.plan.Plan`, it first runs the one-time optimizer
+(memoized on the plan object).
 
 Crucially, the accounting semantics are unchanged from the
-tuple-at-a-time executor this replaces: every tuple that crosses the
+tuple-at-a-time executors this replaces: every tuple that crosses the
 storage boundary is counted, so the numbers reported here — fetch
 calls, index lookups, tuples fetched — are still the paper's
 ``|D_Q|``-style quantities (Section 2) and what EXP-1/EXP-4 plot.
+Code-distinctness equals value-distinctness (the dictionary is a
+bijection), so per-distinct-X lookup counts are identical too.
 
+:class:`LegacyTupleExecutor` keeps the previous value-tuple batch
+implementation on the unencoded ``fetch_flat`` surface — benchmarks
+use it as the columnar path's wall-clock baseline, and recording
+harnesses that interpose on ``_fetch_flat`` subclass it.
 :func:`interpret_logical` keeps the direct tuple-at-a-time
 interpretation of the logical IR (no optimizer, no fusion) as the
 reference semantics — property tests and the EXP-9 benchmark compare
@@ -23,7 +33,6 @@ the optimized pipeline against it bit-for-bit.
 
 from __future__ import annotations
 
-import re
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -31,16 +40,23 @@ from ..errors import ExecutionError
 from ..obs.trace import span
 from ..storage.database import Database
 from ..storage.statistics import TableStatistics
-from .columns import column_index
+from .columns import Batch, column_index, deduped_batch
 from .optimizer.physical import (BatchFetchOp, ConstCheck, ConstScanOp,
                                  CrossJoinOp, DifferenceOp,
                                  DistinctUnionOp, EmptyScanOp, FilterOp,
                                  FusedFetchOp, GatherOp, HashJoinOp,
-                                 PhysicalOp, PhysicalPlan, UnitScanOp)
+                                 PhysicalOp, PhysicalPlan, UnitScanOp,
+                                 op_label)
 from .optimizer.pipeline import ensure_physical
+from .optimizer.specialize import specialized_plan
 from .plan import (ColEq, ConstEq, ConstOp, DiffOp, EmptyOp, FetchOp, Op,
                    Plan, ProductOp, ProjectOp, RenameOp, SelectOp, UnionOp,
                    UnitOp)
+
+__all__ = [
+    "AccessStats", "Batch", "ExecutionResult", "Executor",
+    "LegacyTupleExecutor", "Table", "execute_plan", "interpret_logical",
+]
 
 
 @dataclass
@@ -55,29 +71,6 @@ class Table:
 
     def __len__(self) -> int:
         return len(self.rows)
-
-
-@dataclass
-class Batch:
-    """A columnar intermediate: one list per column, row-aligned.
-
-    ``distinct`` records whether the rows are known duplicate-free;
-    ops that cannot introduce duplicates propagate it, so deduplication
-    runs only where projection or union may actually have merged rows.
-    """
-
-    columns: tuple[str, ...]
-    cols: list[list]
-    length: int
-    distinct: bool
-
-    def rows(self) -> set[tuple]:
-        if not self.columns:
-            return {()} if self.length else set()
-        return set(zip(*self.cols))
-
-    def __len__(self) -> int:
-        return self.length
 
 
 @dataclass
@@ -140,34 +133,6 @@ class ExecutionResult:
         return bool(self.table.rows)
 
 
-def _deduped(columns: tuple[str, ...], cols: list[list],
-             length: int) -> Batch:
-    if not columns:
-        return Batch(columns, [], 1 if length else 0, True)
-    rows = list(dict.fromkeys(zip(*cols)))
-    if rows:
-        new_cols = [list(column) for column in zip(*rows)]
-    else:
-        new_cols = [[] for _ in columns]
-    return Batch(columns, new_cols, len(rows), True)
-
-
-#: Physical-op class -> metric label (``HashJoinOp`` -> ``hash_join``),
-#: filled lazily so new op kinds need no registration here.
-_OP_LABELS: dict[type, str] = {}
-
-
-def _op_label(op_type: type) -> str:
-    label = _OP_LABELS.get(op_type)
-    if label is None:
-        name = op_type.__name__
-        if name.endswith("Op"):
-            name = name[:-2]
-        label = re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
-        _OP_LABELS[op_type] = label
-    return label
-
-
 def _passes(row: tuple, checks) -> bool:
     for check in checks:
         if isinstance(check, ConstCheck):
@@ -180,28 +145,93 @@ def _passes(row: tuple, checks) -> bool:
 
 
 class Executor:
-    """Executes plans against one database instance.
+    """Executes plans against one database instance — the columnar path.
 
     Accepts a logical :class:`Plan` (optimized once, memoized on the
     plan) or a ready :class:`PhysicalPlan` (e.g. from a service's plan
-    cache — no optimizer work at all).
+    cache — no optimizer work at all).  The plan is specialized against
+    the database's value dictionary on first contact; warm executions
+    run pre-built closures over encoded batches and decode only the
+    final result.
     """
 
     def __init__(self, db: Database):
         self.db = db
 
-    def execute(self, plan) -> ExecutionResult:
+    def _resolve(self, plan) -> PhysicalPlan:
         if isinstance(plan, Plan):
             if not plan.steps:
                 raise ExecutionError("cannot execute an empty plan")
-            physical = ensure_physical(
+            return ensure_physical(
                 plan, lambda: TableStatistics.from_database(self.db))
-        elif isinstance(plan, PhysicalPlan):
-            physical = plan
-        else:
-            raise ExecutionError(
-                f"cannot execute a {type(plan).__name__}; expected a "
-                "logical Plan or a PhysicalPlan")
+        if isinstance(plan, PhysicalPlan):
+            return plan
+        raise ExecutionError(
+            f"cannot execute a {type(plan).__name__}; expected a "
+            "logical Plan or a PhysicalPlan")
+
+    def execute(self, plan) -> ExecutionResult:
+        physical = self._resolve(plan)
+        dictionary = self.db.dictionary
+        spec = specialized_plan(physical, dictionary)
+        stats = AccessStats()
+        op_counts = stats.op_counts
+        batches: list[Batch] = []
+        append = batches.append
+        largest = 0
+        with span("execute"):
+            for step, label in zip(spec.steps, spec.labels):
+                batch = step(batches, self, stats)
+                op_counts[label] = op_counts.get(label, 0) + 1
+                if batch.length > largest:
+                    largest = batch.length
+                append(batch)
+        stats.ops_executed += len(spec.steps)
+        stats.max_intermediate = max(stats.max_intermediate, largest)
+        final = batches[-1]
+        with span("decode"):
+            rows = dictionary.decode_rows(final.cols, final.length)
+        return ExecutionResult(Table(final.columns, rows), stats)
+
+    # -- the storage boundary -------------------------------------------------
+
+    def _fetch_flat(self, constraint, x_values: Sequence[tuple],
+                    stats: AccessStats) -> list[tuple]:
+        """One batched trip to storage in the *value* domain: every row
+        for the batch of distinct X-values, in one unordered list.
+        Accounting is unchanged from the per-value days: one index
+        lookup per distinct X-value, every returned tuple counted.
+        Subclasses may interpose a per-X cache here (see
+        ``repro.service.fetchcache.CachingExecutor``)."""
+        rows = self.db.fetch_flat(constraint, x_values)
+        stats.index_lookups += len(x_values)
+        stats.tuples_fetched += len(rows)
+        return rows
+
+    def _fetch_flat_encoded(self, constraint, keys: Sequence,
+                            stats: AccessStats):
+        """The encoded twin of :meth:`_fetch_flat`: code keys in,
+        concatenated ``(code columns, length)`` out.  Identical
+        accounting — the dictionary is a bijection, so the batch of
+        distinct codes is exactly the batch of distinct X-values."""
+        cols, length = self.db.fetch_flat_encoded(constraint, keys)
+        stats.index_lookups += len(keys)
+        stats.tuples_fetched += length
+        return cols, length
+
+
+class LegacyTupleExecutor(Executor):
+    """The pre-columnar batch executor: value tuples end to end.
+
+    Kept as the wall-clock baseline the columnar path is benchmarked
+    against (EXP-9/EXP-10) and as the harness base class for recorders
+    that interpose on the unencoded ``_fetch_flat`` boundary.  Answers
+    and :class:`AccessStats` are identical to the columnar path's by
+    construction — property tests enforce it.
+    """
+
+    def execute(self, plan) -> ExecutionResult:
+        physical = self._resolve(plan)
         stats = AccessStats()
         batches: list[Batch] = []
         op_counts = stats.op_counts
@@ -209,7 +239,7 @@ class Executor:
             for op in physical.steps:
                 batch = self._run_op(op, batches, stats)
                 stats.ops_executed += 1
-                kind = _op_label(type(op))
+                kind = op_label(type(op))
                 op_counts[kind] = op_counts.get(kind, 0) + 1
                 stats.max_intermediate = max(stats.max_intermediate,
                                              batch.length)
@@ -265,7 +295,7 @@ class Executor:
             # Reorder/rename of distinct rows: column lists are shared,
             # nothing is copied, distinctness is preserved.
             return Batch(op.out_columns, cols, source.length, True)
-        return _deduped(op.out_columns, cols, source.length)
+        return deduped_batch(op.out_columns, cols, source.length)
 
     @staticmethod
     def _run_filter(op: FilterOp, source: Batch) -> Batch:
@@ -306,19 +336,6 @@ class Executor:
         # Per-X results are distinct and carry their X-prefix, so the
         # concatenation over distinct X-values is duplicate-free.
         return Batch(op.out_columns, cols, len(out_rows), True)
-
-    def _fetch_flat(self, constraint, x_values: Sequence[tuple],
-                    stats: AccessStats) -> list[tuple]:
-        """One batched trip to storage: every row for the batch of
-        distinct X-values, in one unordered list.  Accounting is
-        unchanged from the per-value days: one index lookup per
-        distinct X-value, every returned tuple counted.  Subclasses may
-        interpose a per-X cache here (see
-        ``repro.service.fetchcache.CachingExecutor``)."""
-        rows = self.db.fetch_flat(constraint, x_values)
-        stats.index_lookups += len(x_values)
-        stats.tuples_fetched += len(rows)
-        return rows
 
     @staticmethod
     def _run_hash_join(op: HashJoinOp, left: Batch, right: Batch) -> Batch:
@@ -376,7 +393,7 @@ class Executor:
             for position in range(width):
                 cols[position].extend(source.cols[position])
             total += source.length
-        return _deduped(op.out_columns, cols, total)
+        return deduped_batch(op.out_columns, cols, total)
 
 
 # -- the logical reference interpreter ---------------------------------------

@@ -31,6 +31,7 @@ from .physical import (BatchFetchOp, ColCheck, ConstCheck, ConstScanOp,
                        HashJoinOp, PhysicalOp, PhysicalPlan, UnitScanOp)
 from .pipeline import (DEFAULT_RULES, OptimizationTrace, RuleFiring,
                        ensure_physical, optimize)
+from .specialize import SpecializedPlan, specialized_plan
 
 __all__ = [
     "PhysicalPlan", "PhysicalOp", "UnitScanOp", "EmptyScanOp",
@@ -39,4 +40,5 @@ __all__ = [
     "ConstCheck", "ColCheck",
     "optimize", "ensure_physical", "OptimizationTrace", "RuleFiring",
     "DEFAULT_RULES",
+    "SpecializedPlan", "specialized_plan",
 ]

@@ -16,11 +16,28 @@ directly into the *optimized* plan — the warm path never re-optimizes.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, replace
 from typing import Hashable, Union
 
 from ...errors import PlanError
 from ...schema.access import AccessConstraint
+
+#: Physical-op class -> metric label (``HashJoinOp`` -> ``hash_join``),
+#: filled lazily so new op kinds need no registration here.
+_OP_LABELS: dict[type, str] = {}
+
+
+def op_label(op_type: type) -> str:
+    """The metric/profiling label for a physical-op class."""
+    label = _OP_LABELS.get(op_type)
+    if label is None:
+        name = op_type.__name__
+        if name.endswith("Op"):
+            name = name[:-2]
+        label = re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
+        _OP_LABELS[op_type] = label
+    return label
 
 
 @dataclass(frozen=True)
@@ -291,9 +308,15 @@ class PhysicalPlan:
                 if checks != op.checks:
                     op = replace(op, checks=checks)
             steps.append(op)
-        return PhysicalPlan(self.name, steps, logical=self.logical,
-                            certificate=self.certificate, trace=self.trace,
-                            estimates=self.estimates)
+        mapped = PhysicalPlan(self.name, steps, logical=self.logical,
+                              certificate=self.certificate, trace=self.trace,
+                              estimates=self.estimates)
+        # Bound copies share the template's specialized program: the
+        # op shapes are identical, only constant values differ, and the
+        # specializer resolves constants per plan (see
+        # ``optimizer.specialize``).  Chains collapse to the root.
+        mapped._spec_template = getattr(self, "_spec_template", None) or self
+        return mapped
 
     def constant_values(self) -> list[Hashable]:
         """Every constant the plan mentions, in step order with repeats."""

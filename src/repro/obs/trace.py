@@ -21,8 +21,14 @@ The stage vocabulary used across the repo (see README,
       bep_decision          the coverage/boundedness verdict (repro.core.bep)
       optimize              logical -> physical (repro.engine.optimizer)
       bind                  per-request constant substitution (service)
+        specialize          plan -> per-op closures + constant codes
+                            (repro.engine.optimizer.specialize; also
+                            fires under execute on first direct runs)
       execute               physical-plan execution (repro.engine.executor)
         fetch               one vectorized storage crossing
+        decode              final batch codes -> Python values
+    encode                  bulk row encoding at index (re)build
+                            (repro.storage.backend)
     wal_append / wal_fsync / snapshot / recover   (repro.storage.disk)
 """
 

@@ -26,6 +26,7 @@ from typing import Sequence
 from ..engine.executor import AccessStats, Executor
 from ..schema.access import AccessConstraint
 from ..storage.database import Database
+from ..storage.encoding import extend_column, int_column, readonly_view
 from .lru import LruDict
 from .plancache import CacheInfo
 
@@ -33,6 +34,15 @@ from .plancache import CacheInfo
 class FetchCache:
     """Thread-safe LRU from ``(constraint, x_value, generation)`` to the
     fetched ``X∪Y`` rows.
+
+    Two entry families share the LRU: *legacy* entries (value X-keys →
+    row-tuple lists, the pre-columnar surface) and *encoded* entries
+    (dictionary-code keys → readonly ``array('q')`` column views plus a
+    length).  Encoded entries are what the columnar executor consumes:
+    a warm hit hands back zero-copy views that flow straight into a
+    batch — no re-encoding, no row materialization.  Key shapes differ
+    (3-tuples vs 4-tuples) so the families can never collide even when
+    a code tuple equals a value tuple.
 
     >>> cache = FetchCache(capacity=128)
     >>> cache.info().size
@@ -45,6 +55,10 @@ class FetchCache:
         #: Largest cached entry seen, for the memory-bound report
         #: (advisory: updated without a lock).
         self.max_entry_rows = 0
+        #: Hits served as encoded column views vs decoded row lists
+        #: (advisory counters; the obs layer exports both).
+        self.encoded_hits = 0
+        self.legacy_hits = 0
 
     def lookup(self, db: Database, constraint: AccessConstraint,
                x_value: tuple) -> tuple[list[tuple], bool]:
@@ -77,18 +91,59 @@ class FetchCache:
         hits = [value is not None for value in cached]
         miss_positions = [i for i, value in enumerate(cached)
                           if value is None]
+        self.legacy_hits += len(x_values) - len(miss_positions)
         if miss_positions:
             fetched = db.fetch_many(
                 constraint, [x_values[i] for i in miss_positions])
             largest = self.max_entry_rows
             for position, rows in zip(miss_positions, fetched):
                 rows_per_x[position] = rows
-                largest = max(largest, len(rows))
+                if len(rows) > largest:
+                    largest = len(rows)
             self.max_entry_rows = largest
             self._entries.put_many(
                 (keys[i], rows)
                 for i, rows in zip(miss_positions, fetched))
         return rows_per_x, hits
+
+    def lookup_many_encoded(self, db: Database,
+                            constraint: AccessConstraint, keys: Sequence
+                            ) -> tuple[list, list[bool]]:
+        """Encoded twin of :meth:`lookup_many`: dictionary-code keys in,
+        per-key ``(column views, length)`` entries out, aligned with
+        ``keys``.
+
+        Cached columns are readonly memoryviews over arrays built once
+        at miss time — warm hits share them by reference, and all
+        bookkeeping (entry sizing included) runs on code columns and
+        plain lengths; no decoded row is ever materialized here.
+        """
+        generation = db.generation(constraint.relation_name)
+        # 4-tuple keys: legacy keys are 3-tuples, so a code key can
+        # never alias a value key (the code tuple (3,) IS the value
+        # tuple (3,) under ==).
+        cache_keys = [(constraint, key, generation, 0) for key in keys]
+        cached = self._entries.get_many(cache_keys)
+        entries: list = list(cached)
+        hits = [value is not None for value in cached]
+        miss_positions = [i for i, value in enumerate(cached)
+                          if value is None]
+        self.encoded_hits += len(keys) - len(miss_positions)
+        if miss_positions:
+            fetched = db.fetch_many_encoded(
+                constraint, [keys[i] for i in miss_positions])
+            largest = self.max_entry_rows
+            puts = []
+            for position, (cols, length) in zip(miss_positions, fetched):
+                entry = (tuple(readonly_view(column) for column in cols),
+                         length)
+                entries[position] = entry
+                if length > largest:
+                    largest = length
+                puts.append((cache_keys[position], entry))
+            self.max_entry_rows = largest
+            self._entries.put_many(puts)
+        return entries, hits
 
     def clear(self) -> None:
         self._entries.clear()
@@ -134,3 +189,37 @@ class CachingExecutor(Executor):
                 stats.tuples_fetched += len(rows)
             flat.extend(rows)
         return flat
+
+    def _fetch_flat_encoded(self, constraint, keys: Sequence,
+                            stats: AccessStats):
+        if self.fetch_cache is None:
+            return super()._fetch_flat_encoded(constraint, keys, stats)
+        entries, hits = self.fetch_cache.lookup_many_encoded(
+            self.db, constraint, keys)
+        stats.index_lookups += len(keys)
+        if len(entries) == 1:
+            # Single-key fast path: the cached views flow into the
+            # batch directly — zero copies on the warmest path.
+            cols, length = entries[0]
+            if hits[0]:
+                stats.fetch_cache_hits += 1
+                stats.tuples_from_cache += length
+            else:
+                stats.fetch_cache_misses += 1
+                stats.tuples_fetched += length
+            return list(cols), length
+        width = len(constraint.x) + len(constraint.y)
+        out = [int_column() for _ in range(width)]
+        total = 0
+        for (cols, length), hit in zip(entries, hits):
+            if hit:
+                stats.fetch_cache_hits += 1
+                stats.tuples_from_cache += length
+            else:
+                stats.fetch_cache_misses += 1
+                stats.tuples_fetched += length
+            if length:
+                for position in range(width):
+                    extend_column(out[position], cols[position])
+                total += length
+        return out, total

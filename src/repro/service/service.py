@@ -32,6 +32,7 @@ from typing import Hashable, Mapping, Sequence
 
 from ..engine.executor import AccessStats
 from ..engine.naive import ScanStats, evaluate
+from ..engine.optimizer.specialize import specialized_plan
 from ..errors import ServiceError
 from ..obs.instruments import (RequestMetrics, attach_cache_collector,
                                attach_database_collector,
@@ -293,20 +294,31 @@ class BoundedQueryService:
     def _bound_plan(self, entry: CompiledQuery,
                     params: Mapping[str, Hashable], where: str):
         """The compiled *physical* plan with ``params`` substituted,
-        memoized per (compiled query, binding)."""
+        memoized per (compiled query, binding).
+
+        Each plan is eagerly *specialized* here (memoized on the plan
+        object, see :mod:`repro.engine.optimizer.specialize`), so the
+        closure compilation and constant encoding happen at bind time —
+        the execute span runs pre-built steps only.
+        """
+        dictionary = self.db.dictionary
         if not entry.parameters and not params:
+            specialized_plan(entry.physical, dictionary)
             return entry.physical
         try:
             key = (entry.serial, tuple(sorted(params.items())))
             hash(key)
         except TypeError:  # unhashable binding value: bind uncached
-            return bind_physical_plan(entry.physical, entry.parameters,
+            plan = bind_physical_plan(entry.physical, entry.parameters,
                                       params, where=where)
+            specialized_plan(plan, dictionary)
+            return plan
         plan = self._bound_plans.get(key, count=False)
         if plan is not None:
             return plan
         plan = bind_physical_plan(entry.physical, entry.parameters, params,
                                   where=where)
+        specialized_plan(plan, dictionary)
         self._bound_plans.put(key, plan)
         return plan
 

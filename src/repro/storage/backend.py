@@ -40,8 +40,10 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Hashable, Iterable, Iterator, Sequence
 
 from ..errors import ExecutionError, StorageError
+from ..obs.trace import span
 from ..schema.access import AccessConstraint, AccessSchema
 from ..schema.relation import Schema
+from .encoding import ValueDictionary, int_column
 from .indexes import AccessIndex
 
 Row = tuple
@@ -81,6 +83,11 @@ class StorageBackend(ABC):
     def __init__(self, schema: Schema):
         self.schema = schema
         self.access_schema: AccessSchema | None = None
+        #: One dictionary per backend — NOT per relation: hash-join keys
+        #: compare columns from *different* relations, so code equality
+        #: must mean value equality database-wide.  Append-only; rows
+        #: are encoded once, when they first reach an index.
+        self.dictionary = ValueDictionary()
         self._generations: dict[str, int] = {
             name: 0 for name in schema.relation_names()}
         # id(requested constraint) -> resolution against the attached
@@ -132,6 +139,53 @@ class StorageBackend(ABC):
                 for rows in self.fetch_many(constraint, x_values)
                 for row in rows]
 
+    # -- the encoded fetch surface (columnar executor) ---------------------
+
+    def _decoded_keys(self, constraint: AccessConstraint,
+                      keys: Sequence) -> list[Row]:
+        """Code keys back to X-value tuples — bare int codes for
+        scalar-X constraints, code tuples otherwise (the columnar
+        executor's key convention)."""
+        decode = self.dictionary.decode
+        if len(constraint.x) == 1:
+            return [(decode(key),) for key in keys]
+        return [tuple(decode(code) for code in key) for key in keys]
+
+    def fetch_many_encoded(self, constraint: AccessConstraint,
+                           keys: Sequence) -> list[tuple[tuple, int]]:
+        """Index lookups for a batch of *code* keys, aligned with the
+        input: ``result[i]`` is ``(columns, length)`` where ``columns``
+        is one freshly built ``array('q')`` of dictionary codes per
+        requested ``X∪Y`` attribute.
+
+        This default round-trips through the value-level
+        :meth:`fetch_many` so any conforming engine works unmodified;
+        the shipped engines override it with index-native encoded
+        lookups that never build row tuples at all.
+        """
+        encode = self.dictionary.encode
+        width = len(constraint.x) + len(constraint.y)
+        entries = []
+        for rows in self.fetch_many(constraint,
+                                    self._decoded_keys(constraint, keys)):
+            cols = tuple(int_column(encode(row[i]) for row in rows)
+                         for i in range(width))
+            entries.append((cols, len(rows)))
+        return entries
+
+    def fetch_flat_encoded(self, constraint: AccessConstraint,
+                           keys: Sequence) -> tuple[list, int]:
+        """The alignment-free form of :meth:`fetch_many_encoded`:
+        ``(columns, total_rows)`` concatenated over the key batch, in
+        any order."""
+        encode = self.dictionary.encode
+        rows = self.fetch_flat(constraint,
+                               self._decoded_keys(constraint, keys))
+        width = len(constraint.x) + len(constraint.y)
+        cols = [int_column(encode(row[i]) for row in rows)
+                for i in range(width)]
+        return cols, len(rows)
+
     @abstractmethod
     def relation_size(self, relation_name: str) -> int:
         ...
@@ -161,11 +215,13 @@ class StorageBackend(ABC):
 
     def counters(self) -> dict:
         """The engine's internal tallies as a flat ``name -> number``
-        dict (``wal_records_total``-style keys).  Default: none — only
-        engines with interesting internals (the disk engine's WAL,
-        fsync, snapshot and recovery counts) report here; the service
-        and the observability collectors surface whatever appears."""
-        return {}
+        dict (``wal_records_total``-style keys).  Every engine reports
+        its dictionary size (the interned-value count the columnar
+        plane rides on); engines with more interesting internals (the
+        disk engine's WAL, fsync, snapshot and recovery counts) extend
+        this; the service and the observability collectors surface
+        whatever appears."""
+        return {"dictionary_size": len(self.dictionary)}
 
     # -- shared bookkeeping ------------------------------------------------
 
@@ -294,12 +350,22 @@ class MemoryBackend(StorageBackend):
             # assignments: lock-free readers (_resolved_indexes) never
             # observe a partially filled index map.
             indexes: dict[int, AccessIndex] = {}
+            by_relation: dict[str, list[AccessIndex]] = {}
             for constraint in access_schema:
                 relation = constraint.validate_against(self.schema)
-                index = AccessIndex(constraint, relation)
-                for row in self._rows[constraint.relation_name]:
-                    index.add(row)
+                index = AccessIndex(constraint, relation, self.dictionary)
                 indexes[id(constraint)] = index
+                by_relation.setdefault(constraint.relation_name,
+                                       []).append(index)
+            # Bulk-encode each relation's rows exactly once, no matter
+            # how many constraints index it.
+            with span("encode"):
+                encode_row = self.dictionary.encode_row
+                for name, relation_indexes in by_relation.items():
+                    for row in self._rows[name]:
+                        coded = encode_row(row)
+                        for index in relation_indexes:
+                            index.add(row, coded)
             self._indexes = indexes
             self.access_schema = access_schema
             self._reset_resolutions()
@@ -312,12 +378,16 @@ class MemoryBackend(StorageBackend):
             # attach_access_schema swaps in rebuilt indexes, and rows
             # registered on the discarded ones would be lost.
             indexes = self.indexes_for(relation_name)
+            encode_row = self.dictionary.encode_row
             for row in rows:
                 if row in store:
                     continue
                 store[row] = None
-                for index in indexes:
-                    index.add(row)
+                if indexes:
+                    # Encode once per row, not once per index.
+                    coded = encode_row(row)
+                    for index in indexes:
+                        index.add(row, coded)
                 added += 1
             if added:
                 self._generations[relation_name] += 1
@@ -384,6 +454,22 @@ class MemoryBackend(StorageBackend):
         keys = self._permute_keys(x_values, key_perm)
         with self._lock:
             return index.lookup_flat(keys)
+
+    def fetch_many_encoded(self, constraint: AccessConstraint,
+                           keys: Sequence) -> list[tuple[tuple, int]]:
+        (_, _, key_perm, row_proj, dedup), index = \
+            self._resolved_indexes(constraint)
+        keys = self._permute_keys(keys, key_perm)
+        with self._lock:
+            return index.lookup_many_encoded(keys, row_proj, dedup)
+
+    def fetch_flat_encoded(self, constraint: AccessConstraint,
+                           keys: Sequence) -> tuple[list, int]:
+        (_, _, key_perm, row_proj, dedup), index = \
+            self._resolved_indexes(constraint)
+        keys = self._permute_keys(keys, key_perm)
+        with self._lock:
+            return index.lookup_flat_encoded(keys, row_proj, dedup)
 
     def constraint_groups(self, constraint: AccessConstraint
                           ) -> Iterator[tuple[Row, int]]:
@@ -464,19 +550,22 @@ class ShardedBackend(StorageBackend):
     # -- writes ------------------------------------------------------------
 
     def attach_access_schema(self, access_schema: AccessSchema) -> None:
-        with self._all_locks():
+        with self._all_locks(), span("encode"):
             # Build fully, then publish with single assignments, as in
             # MemoryBackend: lock-free readers never see a partial map.
             indexes: dict[int, list[AccessIndex]] = {}
+            encode_row = self.dictionary.encode_row
             for constraint in access_schema:
                 relation = constraint.validate_against(self.schema)
-                shard_indexes = [AccessIndex(constraint, relation)
+                shard_indexes = [AccessIndex(constraint, relation,
+                                             self.dictionary)
                                  for _ in range(self.shards)]
                 x_positions = shard_indexes[0].x_positions
                 for shard in self._rows[constraint.relation_name]:
                     for row in shard:
                         x_value = tuple(row[i] for i in x_positions)
-                        shard_indexes[self._shard_of(x_value)].add(row)
+                        shard_indexes[self._shard_of(x_value)].add(
+                            row, encode_row(row))
                 indexes[id(constraint)] = shard_indexes
             self._indexes = indexes
             self.access_schema = access_schema
@@ -546,6 +635,7 @@ class ShardedBackend(StorageBackend):
             # planned index objects.  Verify and replan if so.
             if self._indexes_by_relation(relation_name) != index_families:
                 return None
+            encode_row = self.dictionary.encode_row
             for row, row_shard, index_targets in placements:
                 store = shards[row_shard]
                 if deleting:
@@ -558,8 +648,10 @@ class ShardedBackend(StorageBackend):
                     if row in store:
                         continue
                     store[row] = None
-                    for shard_indexes, index_shard in index_targets:
-                        shard_indexes[index_shard].add(row)
+                    if index_targets:
+                        coded = encode_row(row)  # once per row, all indexes
+                        for shard_indexes, index_shard in index_targets:
+                            shard_indexes[index_shard].add(row, coded)
                 changed += 1
             if changed:
                 # Post-index bump, same contract as MemoryBackend; the
@@ -688,6 +780,114 @@ class ShardedBackend(StorageBackend):
                            shard_id: int, keys: list[Row]) -> list[Row]:
         with self._locks[shard_id]:
             return shard_indexes[shard_id].lookup_flat(keys)
+
+    # -- the encoded fetch surface -----------------------------------------
+
+    def _shard_of_code_key(self, key, scalar: bool) -> int:
+        """Shard placement for a *code* key.  Writers place groups by
+        X-*value* hash, so readers decode the (few, distinct) keys back
+        to values purely for placement — group data itself stays
+        encoded end to end."""
+        decode = self.dictionary.decode
+        x_value = ((decode(key),) if scalar
+                   else tuple(decode(code) for code in key))
+        return hash(x_value) % self.shards
+
+    def fetch_many_encoded(self, constraint: AccessConstraint,
+                           keys: Sequence) -> list[tuple[tuple, int]]:
+        (_, _, key_perm, row_proj, dedup), shard_indexes = \
+            self._resolved_indexes(constraint)
+        keys = self._permute_keys(keys, key_perm)
+        scalar = shard_indexes[0].scalar_key
+        count = len(keys)
+        if count == 1:
+            shard_id = self._shard_of_code_key(keys[0], scalar)
+            with self._locks[shard_id]:
+                return shard_indexes[shard_id].lookup_many_encoded(
+                    keys, row_proj, dedup)
+        buckets: list[list[int]] = [[] for _ in range(self.shards)]
+        for position, key in enumerate(keys):
+            buckets[self._shard_of_code_key(key, scalar)].append(position)
+        touched = [shard_id for shard_id in range(self.shards)
+                   if buckets[shard_id]]
+        out: list = [None] * count
+        if len(touched) == 1:
+            shard_id = touched[0]
+            with self._locks[shard_id]:
+                return shard_indexes[shard_id].lookup_many_encoded(
+                    keys, row_proj, dedup)
+        if self.workers:
+            pool = self._pool_instance()
+            futures = [
+                pool.submit(self._lookup_shard_encoded, shard_indexes,
+                            shard_id, keys, buckets[shard_id], out,
+                            row_proj, dedup)
+                for shard_id in touched]
+            for future in futures:
+                future.result()
+        else:
+            for shard_id in touched:
+                self._lookup_shard_encoded(shard_indexes, shard_id, keys,
+                                           buckets[shard_id], out,
+                                           row_proj, dedup)
+        return out
+
+    def _lookup_shard_encoded(self, shard_indexes: list[AccessIndex],
+                              shard_id: int, keys: Sequence,
+                              positions: list[int], out: list,
+                              row_proj, dedup) -> None:
+        with self._locks[shard_id]:
+            shard_indexes[shard_id].lookup_scatter_encoded(
+                keys, positions, out, row_proj, dedup)
+
+    def fetch_flat_encoded(self, constraint: AccessConstraint,
+                           keys: Sequence) -> tuple[list, int]:
+        (_, _, key_perm, row_proj, dedup), shard_indexes = \
+            self._resolved_indexes(constraint)
+        keys = self._permute_keys(keys, key_perm)
+        scalar = shard_indexes[0].scalar_key
+        if len(keys) == 1:
+            shard_id = self._shard_of_code_key(keys[0], scalar)
+            with self._locks[shard_id]:
+                return shard_indexes[shard_id].lookup_flat_encoded(
+                    keys, row_proj, dedup)
+        buckets: list[list] = [[] for _ in range(self.shards)]
+        for key in keys:
+            buckets[self._shard_of_code_key(key, scalar)].append(key)
+        touched = [shard_id for shard_id in range(self.shards)
+                   if buckets[shard_id]]
+        if self.workers:
+            pool = self._pool_instance()
+            futures = [
+                pool.submit(self._lookup_shard_flat_encoded, shard_indexes,
+                            shard_id, buckets[shard_id], row_proj, dedup)
+                for shard_id in touched]
+            parts = [future.result() for future in futures]
+        else:
+            parts = [self._lookup_shard_flat_encoded(
+                shard_indexes, shard_id, buckets[shard_id], row_proj, dedup)
+                for shard_id in touched]
+        width = (shard_indexes[0].width if row_proj is None
+                 else len(row_proj))
+        out = [int_column() for _ in range(width)]
+        total = 0
+        for cols, length in parts:
+            if not length:
+                continue
+            if not total:
+                out = cols  # adopt the first non-empty shard's arrays
+            else:
+                for i in range(width):
+                    out[i].extend(cols[i])
+            total += length
+        return out, total
+
+    def _lookup_shard_flat_encoded(self, shard_indexes: list[AccessIndex],
+                                   shard_id: int, keys: list,
+                                   row_proj, dedup) -> tuple[list, int]:
+        with self._locks[shard_id]:
+            return shard_indexes[shard_id].lookup_flat_encoded(
+                keys, row_proj, dedup)
 
     def constraint_groups(self, constraint: AccessConstraint
                           ) -> Iterator[tuple[Row, int]]:

@@ -66,6 +66,12 @@ class Database:
         """The storage engine behind this instance."""
         return self._backend
 
+    @property
+    def dictionary(self):
+        """The backend's :class:`~repro.storage.encoding.ValueDictionary`
+        — the value/code bijection the columnar executor plans against."""
+        return self._backend.dictionary
+
     def with_backend(self, backend: StorageBackend) -> "Database":
         """A new :class:`Database` holding the same rows (and access
         schema) on a different engine — how the CLI's ``--backend``
@@ -249,6 +255,20 @@ class Database:
         except TypeError:  # mixed batch: a non-tuple past position 0
             return self._backend.fetch_flat(
                 constraint, self._normalized_keys(x_values))
+
+    def fetch_many_encoded(self, constraint: AccessConstraint,
+                           keys: Sequence) -> list:
+        """Batched *encoded* index lookups: code keys in, per-key
+        ``(code columns, length)`` entries out.  Keys are produced by
+        the columnar executor from this database's own dictionary —
+        no normalization, by construction."""
+        return self._backend.fetch_many_encoded(constraint, keys)
+
+    def fetch_flat_encoded(self, constraint: AccessConstraint,
+                           keys: Sequence) -> tuple[list, int]:
+        """Alignment-free :meth:`fetch_many_encoded`: the concatenated
+        ``(code columns, total length)`` for a key batch."""
+        return self._backend.fetch_flat_encoded(constraint, keys)
 
     @staticmethod
     def _normalized_keys(x_values: Sequence[Row]) -> list[Row]:

@@ -155,11 +155,14 @@ class DiskBackend(MemoryBackend):
             raise
 
     def counters(self) -> dict:
-        """WAL/fsync/snapshot/recovery tallies (a point-in-time copy)."""
+        """WAL/fsync/snapshot/recovery tallies (a point-in-time copy),
+        plus the base backend's dictionary size."""
         with self._lock:
-            return {key: round(value, 6) if isinstance(value, float)
-                    else value
-                    for key, value in self._counters.items()}
+            merged = super().counters()
+            merged.update({key: round(value, 6) if isinstance(value, float)
+                           else value
+                           for key, value in self._counters.items()})
+            return merged
 
     def _acquire_dir_lock(self):
         """One live backend per directory: a second opener snapshotting
@@ -341,10 +344,13 @@ class DiskBackend(MemoryBackend):
             self._log(["i", relation_name, generation,
                        [list(row) for row in fresh]])
             indexes = self.indexes_for(relation_name)
+            encode_row = self.dictionary.encode_row
             for row in fresh:
                 store[row] = None
-                for index in indexes:
-                    index.add(row)
+                if indexes:
+                    coded = encode_row(row)  # once per row, all indexes
+                    for index in indexes:
+                        index.add(row, coded)
             self._generations[relation_name] = generation
         return len(fresh)
 

@@ -236,6 +236,64 @@ class TestHardGates:
         assert code == 1
         assert "hard gate" in out
 
+    def test_floor_gate_fails_below_min_value(self, tmp_path, capsys):
+        baseline, fresh = tmp_path / "b", tmp_path / "f"
+        payload = copy.deepcopy(BASELINE)
+        payload["gates"] = {"boundary_speedup": {"min_value": 3.0}}
+        payload["metrics"]["boundary_speedup"] = 12.0
+        write(baseline, payload)
+        below = copy.deepcopy(payload)
+        below["metrics"]["boundary_speedup"] = 2.4
+        write(fresh, below)
+        code, out = run(baseline, fresh, capsys)
+        assert code == 1
+        assert ("FAIL EXP-T boundary_speedup: hard floor gate (min 3) "
+                "broken: fresh value is 2.4") in out
+
+    def test_floor_gate_passes_at_or_above_min_value(self, tmp_path,
+                                                     capsys):
+        baseline, fresh = tmp_path / "b", tmp_path / "f"
+        payload = copy.deepcopy(BASELINE)
+        payload["gates"] = {"boundary_speedup": {"min_value": 3.0}}
+        payload["metrics"]["boundary_speedup"] = 12.0
+        write(baseline, payload)
+        write(fresh, payload)
+        code, out = run(baseline, fresh, capsys)
+        assert code == 0
+
+    def test_floor_gate_binds_without_a_baseline_metric(self, tmp_path,
+                                                        capsys):
+        # min_value checks the fresh value against the declared
+        # constant, so a brand-new gated metric is enforced on the very
+        # PR that introduces it.
+        baseline, fresh = tmp_path / "b", tmp_path / "f"
+        write(baseline, copy.deepcopy(BASELINE))
+        payload = copy.deepcopy(BASELINE)
+        payload["gates"] = {"boundary_speedup": {"min_value": 3.0}}
+        payload["metrics"]["boundary_speedup"] = 1.1
+        write(fresh, payload)
+        code, out = run(baseline, fresh, capsys)
+        assert code == 1
+        assert "FAIL EXP-T boundary_speedup: hard floor gate" in out
+
+    def test_combined_pct_and_floor_gate(self, tmp_path, capsys):
+        baseline, fresh = tmp_path / "b", tmp_path / "f"
+        payload = copy.deepcopy(BASELINE)
+        payload["gates"] = {"warm_speedup": {"max_increase_pct": 500.0,
+                                             "min_value": 3.0}}
+        write(baseline, payload)
+        ok = copy.deepcopy(payload)
+        ok["metrics"]["warm_speedup"] = 5.0
+        write(fresh, ok)
+        code, _ = run(baseline, fresh, capsys)
+        assert code == 0
+        bad = copy.deepcopy(payload)
+        bad["metrics"]["warm_speedup"] = 2.0
+        write(fresh, bad)
+        code, out = run(baseline, fresh, capsys)
+        assert code == 1
+        assert "hard floor gate" in out
+
     def test_gate_paths_dot_into_nested_metrics(self, tmp_path, capsys):
         baseline, fresh = tmp_path / "b", tmp_path / "f"
         payload = copy.deepcopy(BASELINE)
@@ -270,6 +328,8 @@ class TestClassify:
         ("accidents_end_to_end_median_ms.memory/per-value", "wallclock"),
         ("fetch_overhead_disk_vs_memory_ratio", "wallclock"),
         ("fetch_cache_hit_rate", "rate"),
+        ("boundary_rows_per_sec", "wallclock"),
+        ("operator_throughput", "wallclock"),
     ])
     def test_metric_classes(self, name, expected):
         assert check_trajectory.classify(name) == expected
@@ -286,10 +346,15 @@ def test_harness_gate_lands_in_bench_json(tmp_path, monkeypatch):
     log = harness.ExperimentLog("EXP-T", "synthetic")
     log.metric("warm_ms", 0.15)
     log.gate("warm_ms", max_increase_pct=2.0)
+    log.metric("boundary_speedup", 12.0)
+    log.gate("boundary_speedup", min_value=3.0)
     log.flush()
     payload = json.loads((tmp_path / "BENCH_exp-t.json").read_text())
-    assert payload["gates"] == {"warm_ms": {"max_increase_pct": 2.0}}
+    assert payload["gates"] == {"warm_ms": {"max_increase_pct": 2.0},
+                                "boundary_speedup": {"min_value": 3.0}}
     assert payload["metrics"]["warm_ms"] == 0.15
+    with pytest.raises(ValueError):
+        log.gate("warm_ms")
 
 
 def test_real_committed_baselines_self_compare_clean(tmp_path, capsys):

@@ -1,0 +1,155 @@
+"""Per-plan operator specialization: memoization, template sharing via
+``map_constants``, and invalidation when the plan meets a different
+database (dictionary) or a changed access schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AccessConstraint, AccessSchema, Database, Schema
+from repro.core import analyze_coverage
+from repro.engine import (Executor, LegacyTupleExecutor, build_bounded_plan,
+                          execute_plan, interpret_logical, optimize)
+from repro.engine.optimizer.specialize import (SpecializedPlan,
+                                               specialized_plan)
+from repro.query import parse_cq
+from repro.query.terms import Param
+
+
+def build_world(rows_r, rows_s):
+    schema = Schema.from_dict({"R": ("A", "B"), "S": ("B", "C")})
+    aschema = AccessSchema(schema, [
+        AccessConstraint("R", ("A",), ("B",), 3),
+        AccessConstraint("S", ("B",), ("C",), 2)])
+    db = Database(schema, aschema)
+    db.insert_many("R", rows_r)
+    db.insert_many("S", rows_s)
+    return aschema, db
+
+
+@pytest.fixture
+def world():
+    return build_world([(1, 10), (1, 11), (2, 12)],
+                       [(10, "x"), (11, "y"), (12, "z")])
+
+
+def bounded_physical(text, aschema):
+    coverage = analyze_coverage(parse_cq(text), aschema)
+    return optimize(build_bounded_plan(coverage))
+
+
+class TestMemoization:
+    def test_same_plan_and_dictionary_hit_the_memo(self, world):
+        aschema, db = world
+        physical = bounded_physical("Q(z) :- R(x, y), S(y, z), x = 1",
+                                    aschema)
+        first = specialized_plan(physical, db.dictionary)
+        assert isinstance(first, SpecializedPlan)
+        assert specialized_plan(physical, db.dictionary) is first
+        assert len(first) == len(physical)
+
+    def test_other_dictionary_respecializes_with_its_codes(self, world):
+        aschema, db = world
+        # Same rows, inserted in a different order: the same values
+        # carry *different* codes in the second database.
+        _, other = build_world([(2, 12), (1, 11), (1, 10)],
+                               [(12, "z"), (11, "y"), (10, "x")])
+        physical = bounded_physical("Q(z) :- R(x, y), S(y, z), x = 1",
+                                    aschema)
+        first = specialized_plan(physical, db.dictionary)
+        second = specialized_plan(physical, other.dictionary)
+        assert second is not first
+        # The memo is a single slot holding the latest pair.
+        assert specialized_plan(physical, other.dictionary) is second
+        assert specialized_plan(physical, db.dictionary) is not second
+        # Both executions are correct — constants were re-encoded into
+        # each database's own code space.
+        assert execute_plan(physical, db).answers == {("x",), ("y",)}
+        assert execute_plan(physical, other).answers == {("x",), ("y",)}
+
+    def test_bound_plans_share_the_template_program(self, world):
+        aschema, db = world
+        template = bounded_physical("Q(y) :- R(x, y), x = $who", aschema)
+        program = getattr(template, "_spec_program", None)
+        if program is None:
+            specialized_plan(template.map_constants(
+                lambda v: 1 if isinstance(v, Param) else v),
+                db.dictionary)
+            program = template._spec_program
+        for who, expected in [(1, {(10,), (11,)}), (2, {(12,)}),
+                              (99, set())]:
+            bound = template.map_constants(
+                lambda v, who=who: who if isinstance(v, Param) else v)
+            assert bound._spec_template is template
+            assert execute_plan(bound, db).answers == expected
+        # Binding specialized three plans without recompiling a single
+        # op shape: the template's program object never changed.
+        assert template._spec_program is program
+
+    def test_rebinding_a_bound_plan_keeps_the_original_template(
+            self, world):
+        aschema, db = world
+        template = bounded_physical("Q(y) :- R(x, y), x = $who", aschema)
+        bound = template.map_constants(
+            lambda v: 1 if isinstance(v, Param) else v)
+        rebound = bound.map_constants(lambda v: v)
+        assert rebound._spec_template is template
+
+
+class TestInvalidation:
+    def test_access_schema_change_respecializes_recompiled_plans(
+            self, world):
+        """Changing the access schema recompiles plans (new constraint
+        objects); specialization follows the new plan while the
+        append-only dictionary keeps every existing code valid."""
+        aschema, db = world
+        text = "Q(z) :- R(x, y), S(y, z), x = 1"
+        physical = bounded_physical(text, aschema)
+        spec = specialized_plan(physical, db.dictionary)
+        before = len(db.dictionary)
+
+        wider = AccessSchema(db.schema, [
+            AccessConstraint("R", ("A",), ("B",), 5),
+            AccessConstraint("S", ("B",), ("C",), 2),
+            AccessConstraint("S", ("C",), ("B",), 2)])
+        db.attach_access_schema(wider)
+        # Rebuilding indexes re-encodes rows into the *same* dictionary:
+        # append-only, so no code moved and the old spec still answers.
+        assert len(db.dictionary) == before
+        assert specialized_plan(physical, db.dictionary) is spec
+        assert execute_plan(physical, db).answers == {("x",), ("y",)}
+
+        recompiled = bounded_physical(text, wider)
+        fresh = specialized_plan(recompiled, db.dictionary)
+        assert fresh is not spec
+        assert execute_plan(recompiled, db).answers == {("x",), ("y",)}
+
+    def test_program_rebuilds_if_steps_changed_length(self, world):
+        aschema, db = world
+        physical = bounded_physical("Q(y) :- R(x, y), x = 1", aschema)
+        specialized_plan(physical, db.dictionary)
+        length, program = physical._spec_program
+        # Simulate a stale memo from a differently-shaped template (the
+        # guard is the step count, re-checked on every build).
+        physical._spec_program = (length + 1, program)
+        physical._spec_cache = None
+        rebuilt = specialized_plan(physical, db.dictionary)
+        assert physical._spec_program[0] == length
+        assert execute_plan(physical, db).answers == {(10,), (11,)}
+        assert len(rebuilt) == length
+
+
+class TestColumnarIdentity:
+    def test_columnar_matches_legacy_and_oracle(self, world):
+        aschema, db = world
+        coverage = analyze_coverage(
+            parse_cq("Q(z) :- R(x, y), S(y, z), x = 1"), aschema)
+        plan = build_bounded_plan(coverage)
+        physical = optimize(plan)
+        columnar = Executor(db).execute(physical)
+        legacy = LegacyTupleExecutor(db).execute(physical)
+        oracle = interpret_logical(plan, db)
+        assert columnar.answers == legacy.answers == oracle.answers
+        assert columnar.stats == legacy.stats
+        assert (columnar.stats.tuples_fetched
+                <= oracle.stats.tuples_fetched)

@@ -89,6 +89,82 @@ def test_lru_bound_holds(db, constraint):
     assert info.evictions == 32
 
 
+class TestEncodedEntries:
+    """The columnar entry family: code keys, readonly column views,
+    no row materialization, and no collisions with legacy entries."""
+
+    def test_lookup_many_encoded_reads_through_then_hits(
+            self, db, constraint):
+        cache = FetchCache(capacity=16)
+        code = db.dictionary.encode(1)
+        entries, hits = cache.lookup_many_encoded(
+            db, constraint, [code])
+        assert hits == [False]
+        (cols, length), = entries
+        assert length == 2
+        assert db.dictionary.decode_rows(cols, length) == \
+            {(1, 10), (1, 11)}
+        # Warm: the very same readonly views come back by reference.
+        entries2, hits2 = cache.lookup_many_encoded(
+            db, constraint, [code])
+        assert hits2 == [True]
+        assert entries2[0] is entries[0]
+        assert all(isinstance(column, memoryview) and column.readonly
+                   for column in entries2[0][0])
+        assert cache.encoded_hits == 1 and cache.legacy_hits == 0
+
+    def test_encoded_and_legacy_families_never_collide(
+            self, db, constraint):
+        # The code for some value can equal an unrelated X-value's
+        # content; distinct key shapes keep the entries apart.
+        cache = FetchCache(capacity=16)
+        code = db.dictionary.encode(1)
+        cache.lookup(db, constraint, (code,))
+        _, hits = cache.lookup_many_encoded(db, constraint, [code])
+        assert hits == [False]  # the legacy entry must not satisfy it
+        _, legacy_hit = cache.lookup(db, constraint, (code,))
+        assert legacy_hit
+        assert cache.legacy_hits == 1 and cache.encoded_hits == 0
+
+    def test_writes_invalidate_encoded_entries_via_generation(
+            self, db, constraint):
+        cache = FetchCache(capacity=16)
+        code = db.dictionary.encode(1)
+        cache.lookup_many_encoded(db, constraint, [code])
+        db.insert("R", (1, 12))
+        entries, hits = cache.lookup_many_encoded(
+            db, constraint, [code])
+        assert hits == [False]
+        cols, length = entries[0]
+        assert db.dictionary.decode_rows(cols, length) == \
+            {(1, 10), (1, 11), (1, 12)}
+
+    def test_max_entry_rows_tracks_encoded_lengths(self, db, constraint):
+        cache = FetchCache(capacity=16)
+        codes = [db.dictionary.encode(value) for value in (1, 2, 3)]
+        cache.lookup_many_encoded(db, constraint, codes)
+        assert cache.max_entry_rows == 2  # x=1 holds two rows
+
+    def test_caching_executor_concatenates_mixed_hits_and_misses(
+            self, db, constraint):
+        from repro.engine.executor import AccessStats
+        executor = CachingExecutor(db, FetchCache(capacity=16))
+        codes = [db.dictionary.encode(value) for value in (1, 9)]
+        stats = AccessStats()
+        executor._fetch_flat_encoded(constraint, codes[:1], stats)  # miss
+        single_cols, single_total = executor._fetch_flat_encoded(
+            constraint, codes[:1], stats)  # single-key zero-copy hit
+        assert db.dictionary.decode_rows(single_cols, single_total) == \
+            {(1, 10), (1, 11)}
+        cols, total = executor._fetch_flat_encoded(
+            constraint, codes + [db.dictionary.encode(2)], stats)
+        assert db.dictionary.decode_rows(cols, total) == \
+            {(1, 10), (1, 11), (2, 20)}
+        assert stats.fetch_cache_hits == 2  # single-key warm + batch hit
+        assert stats.tuples_from_cache == 4
+        assert stats.tuples_fetched == 3
+
+
 def test_caching_executor_matches_plain_executor(db):
     from repro.core import is_boundedly_evaluable
     decision = is_boundedly_evaluable(parse_query("Q(y) :- R(x, y), x = 1"),

@@ -306,9 +306,10 @@ class TestObservability:
         service.execute("Q(z) :- R(x, y), S(y, z), x = 1")
         storage = service.stats().storage
         assert storage["wal_records_total"] > 0
+        assert storage["dictionary_size"] > 0  # from the base backend
         assert "storage:" in str(service.stats())
-        # The memory backend has nothing to report — and says so.
+        # The memory backend reports only the shared dictionary size.
         memory_service = BoundedQueryService(db)
-        assert memory_service.stats().storage == {}
-        assert "storage:" not in str(memory_service.stats())
+        assert memory_service.stats().storage == {
+            "dictionary_size": len(db.dictionary)}
         disk.backend.close()

@@ -184,9 +184,9 @@ class TestWriteGenerations:
         observed = []
         original_add = index.add
 
-        def recording_add(row):
+        def recording_add(row, coded_row=None):
             observed.append(db.generation("R"))
-            original_add(row)
+            original_add(row, coded_row)
 
         index.add = recording_add
         before = db.generation("R")
