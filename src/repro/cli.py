@@ -20,11 +20,16 @@ exposition of the run's counters, gauges and latency histograms.
 ``stats`` prints the storage-level snapshot for a database directory.
 
 ``run``, ``batch`` and ``bench-service`` accept ``--backend
-{memory,sharded,disk}`` (plus ``--shards S`` for the sharded engine and
-``--data-dir DIR`` / ``--fsync`` for the durable one) to re-home the
-loaded instance onto a different storage engine; answers are identical
-on every backend.  ``--backend disk`` recovers whatever the data
+{memory,sharded,disk,procshard}`` (plus ``--shards S`` /
+``--shard-threads T`` for the sharded engine, ``--data-dir DIR`` /
+``--fsync`` for the durable one, and ``--shard-workers N`` /
+``--replicas R`` for the process-sharded one) to re-home the loaded
+instance onto a different storage engine; answers are identical on
+every backend.  ``--backend disk`` recovers whatever the data
 directory already holds (latest snapshot + WAL replay) before loading.
+``--backend procshard`` runs each shard as a worker *process* speaking
+the encoded fetch protocol, and — with ``--replicas R --data-dir DIR``
+— load-balances bounded fetches across WAL-shipped read replicas.
 
 ``--db DIR`` points at a directory written by
 ``repro.storage.io.save_database`` (CSV files plus ``schema.json``).
@@ -79,10 +84,18 @@ def _load(args):
     factory = None
     if backend_name != "memory":
         # Load straight onto the target engine: rows and indexes are
-        # built once, not built in memory and re-homed.
+        # built once, not built in memory and re-homed.  ``workers``
+        # means pool threads for the sharded engine and shard worker
+        # *processes* for procshard (see make_backend).
+        workers = (getattr(args, "shard_workers", 0)
+                   if backend_name == "procshard"
+                   else getattr(args, "shard_threads", 0))
+
         def factory(schema):
             return make_backend(backend_name, schema,
                                 shards=getattr(args, "shards", 8),
+                                workers=workers,
+                                replicas=getattr(args, "replicas", 0),
                                 data_dir=getattr(args, "data_dir", None),
                                 fsync=getattr(args, "fsync", False))
     db = load_database(args.db, backend_factory=factory)
@@ -144,9 +157,22 @@ def _add_backend_flags(parser) -> None:
                              "(default: memory)")
     parser.add_argument("--shards", type=int, default=8,
                         help="shard count for --backend sharded")
+    parser.add_argument("--shard-threads", dest="shard_threads", type=int,
+                        default=0,
+                        help="thread-pool size for --backend sharded "
+                             "(0 = sequential; fan-out only kicks in "
+                             "above the per-shard key threshold)")
+    parser.add_argument("--shard-workers", dest="shard_workers", type=int,
+                        default=4,
+                        help="shard worker processes for "
+                             "--backend procshard (default: 4)")
+    parser.add_argument("--replicas", type=int, default=0,
+                        help="WAL-shipped read replica processes for "
+                             "--backend procshard (requires --data-dir)")
     parser.add_argument("--data-dir", dest="data_dir", default=None,
                         help="durable data directory for --backend disk "
-                             "(recovered on open: latest snapshot + WAL)")
+                             "or procshard (recovered on open: latest "
+                             "snapshot + WAL)")
     parser.add_argument("--fsync", action="store_true",
                         help="fsync the WAL after every write batch "
                              "(--backend disk; power-loss durability)")

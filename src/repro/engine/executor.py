@@ -213,7 +213,16 @@ class Executor:
         """The encoded twin of :meth:`_fetch_flat`: code keys in,
         concatenated ``(code columns, length)`` out.  Identical
         accounting — the dictionary is a bijection, so the batch of
-        distinct codes is exactly the batch of distinct X-values."""
+        distinct codes is exactly the batch of distinct X-values.
+
+        This call is also the process-sharding RPC surface: under a
+        :class:`~repro.storage.procshard.ProcessShardedBackend` the key
+        batch fans out to shard worker processes and the columns come
+        back over pipes — with the same answers and the same
+        ``AccessStats``, because accounting happens here and in the
+        specialized fetch step, never inside an engine.  (``fetch_calls``
+        and the ``fetch`` span are counted at the call sites: the
+        specialized step closures and ``_run_fetch``.)"""
         cols, length = self.db.fetch_flat_encoded(constraint, keys)
         stats.index_lookups += len(keys)
         stats.tuples_fetched += length

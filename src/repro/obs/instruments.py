@@ -137,11 +137,20 @@ def attach_storage_collector(registry: MetricsRegistry, backend) -> None:
 
     ``backend.counters()`` returns a flat ``name -> number`` dict (the
     :class:`~repro.storage.backend.StorageBackend` default is empty;
-    ``DiskBackend`` reports WAL/fsync/snapshot/recovery tallies).  Keys
+    ``DiskBackend`` reports WAL/fsync/snapshot/recovery tallies;
+    ``ProcessShardedBackend`` adds RPC and replication tallies).  Keys
     become ``repro_storage_<key>``; instruments are created lazily on
     first sight of each key so the collector works for any backend.
+
+    Backends may additionally expose point-in-time levels via a
+    ``gauges()`` dict (``dictionary_bytes``, live worker counts, ...)
+    — mirrored the same way — and engine-owned histograms via
+    ``histograms()`` (e.g. RPC round trips), which are *adopted* into
+    the registry as-is so the engine keeps its lock-cheap hot path.
     """
     cache: dict[str, object] = {}
+    for histogram in getattr(backend, "histograms", lambda: [])():
+        registry.register_instrument(histogram)
 
     def collect() -> None:
         for key, value in backend.counters().items():
@@ -151,6 +160,12 @@ def attach_storage_collector(registry: MetricsRegistry, backend) -> None:
                 cache[key] = counter
             counter.set_total(round(value, 6)
                               if isinstance(value, float) else value)
+        for key, value in getattr(backend, "gauges", dict)().items():
+            gauge = cache.get("gauge:" + key)
+            if gauge is None:
+                gauge = registry.gauge(f"repro_storage_{key}")
+                cache["gauge:" + key] = gauge
+            gauge.set(value)
 
     registry.register_collector(collect)
 

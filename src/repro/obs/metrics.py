@@ -292,6 +292,23 @@ class MetricsRegistry:
             name, lambda: Histogram(name, help_, buckets), "histogram",
             lambda i: i.bounds == tuple(sorted(float(b) for b in buckets)))
 
+    def register_instrument(self, instrument):
+        """Adopt an externally built instrument under its own name —
+        how engine-owned instruments (e.g. a storage backend's RPC
+        round-trip histogram) join an exposition without the registry
+        owning their hot path.  Idempotent for the same object;
+        adopting a *different* instrument under a taken name raises."""
+        with self._lock:
+            existing = self._instruments.get(instrument.name)
+            if existing is None:
+                self._instruments[instrument.name] = instrument
+                return instrument
+        if existing is not instrument:
+            raise ValueError(
+                f"metric {instrument.name!r} is already registered "
+                "with a different instrument object")
+        return existing
+
     def register_collector(self, collect: Callable[[], None]) -> None:
         """``collect`` runs before every snapshot; it should push
         externally owned numbers into instruments (``Gauge.set`` /

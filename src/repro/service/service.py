@@ -93,8 +93,14 @@ class ServiceStats:
     #: The storage engine's internal tallies
     #: (:meth:`~repro.storage.backend.StorageBackend.counters`) — empty
     #: for engines with nothing to report; WAL/fsync/snapshot/recovery
-    #: counts for the disk engine.
+    #: counts for the disk engine; RPC and replication tallies for the
+    #: process-sharded one.
     storage: dict = field(default_factory=dict)
+    #: Point-in-time storage levels
+    #: (:meth:`~repro.storage.backend.StorageBackend.gauges`):
+    #: dictionary footprint bytes for every engine, live worker and
+    #: replica counts for the process-sharded one.
+    storage_gauges: dict = field(default_factory=dict)
 
     def __str__(self) -> str:
         text = (f"requests: {self.requests} "
@@ -343,10 +349,13 @@ class BoundedQueryService:
             bounded = self._bounded_requests
             fallback = self._fallback_requests
             templates = len(self._templates)
+        backend = self.db.backend
         return ServiceStats(requests=requests,
                             bounded_requests=bounded,
                             fallback_requests=fallback,
                             templates=templates,
                             plan_cache=self.plan_cache.info(),
                             fetch_cache=self.fetch_cache.info(),
-                            storage=self.db.backend.counters())
+                            storage=backend.counters(),
+                            storage_gauges=getattr(
+                                backend, "gauges", dict)())

@@ -223,6 +223,19 @@ class StorageBackend(ABC):
         whatever appears."""
         return {"dictionary_size": len(self.dictionary)}
 
+    def gauges(self) -> dict:
+        """Point-in-time *levels* (as opposed to the monotone tallies
+        of :meth:`counters`): a flat ``name -> number`` dict surfaced
+        as ``repro_storage_<name>`` gauges.  Every engine reports the
+        resident footprint of its value dictionary."""
+        return {"dictionary_bytes": self.dictionary.footprint_bytes()}
+
+    def histograms(self) -> list:
+        """Engine-owned :class:`~repro.obs.metrics.Histogram`
+        instruments (already named ``repro_storage_...``) for the
+        collector to adopt into the registry.  Default: none."""
+        return []
+
     # -- shared bookkeeping ------------------------------------------------
 
     def generation(self, relation_name: str) -> int:
@@ -502,7 +515,14 @@ class ShardedBackend(StorageBackend):
     bulk writers can never deadlock).
     """
 
-    def __init__(self, schema: Schema, shards: int = 8, workers: int = 0):
+    #: Pool fan-out pays a submit/wake/result round trip per shard; for
+    #: small per-shard batches the sequential loop wins outright (the
+    #: EXP-10 regression this bound fixes).  Fan out only when every
+    #: touched shard has at least this many keys to look up.
+    FANOUT_THRESHOLD = 32
+
+    def __init__(self, schema: Schema, shards: int = 8, workers: int = 0,
+                 fanout_threshold: int | None = None):
         if shards < 1:
             raise StorageError(f"shard count must be >= 1, got {shards}")
         if workers < 0:
@@ -510,6 +530,9 @@ class ShardedBackend(StorageBackend):
         super().__init__(schema)
         self.shards = shards
         self.workers = workers
+        self.fanout_threshold = (self.FANOUT_THRESHOLD
+                                 if fanout_threshold is None
+                                 else max(0, fanout_threshold))
         self._rows: dict[str, list[dict[Row, None]]] = {
             name: [{} for _ in range(shards)]
             for name in schema.relation_names()}
@@ -538,6 +561,12 @@ class ShardedBackend(StorageBackend):
                 for shard_indexes in self._indexes.values()
                 if shard_indexes[0].constraint.relation_name
                 == relation_name]
+
+    def _use_pool(self, key_count: int, touched: int) -> bool:
+        """Fan out to the thread pool only when the batch is big enough
+        to amortize the per-shard submit/result round trips."""
+        return (self.workers > 0 and touched > 1
+                and key_count >= self.fanout_threshold * touched)
 
     def _pool_instance(self) -> ThreadPoolExecutor:
         with self._pool_lock:
@@ -720,7 +749,7 @@ class ShardedBackend(StorageBackend):
                 shard_id = touched[0]
                 with self._locks[shard_id]:
                     results = shard_indexes[shard_id].lookup_many(keys)
-            elif self.workers:
+            elif self._use_pool(count, len(touched)):
                 pool = self._pool_instance()
                 futures = [
                     pool.submit(self._lookup_shard, shard_indexes,
@@ -758,22 +787,22 @@ class ShardedBackend(StorageBackend):
         buckets: list[list[Row]] = [[] for _ in range(shards)]
         for key in keys:
             buckets[hash(key) % shards].append(key)
-        if self.workers:
+        touched = [shard_id for shard_id in range(shards)
+                   if buckets[shard_id]]
+        if self._use_pool(len(keys), len(touched)):
             pool = self._pool_instance()
             futures = [pool.submit(self._lookup_shard_flat, shard_indexes,
                                    shard_id, buckets[shard_id])
-                       for shard_id in range(shards) if buckets[shard_id]]
+                       for shard_id in touched]
             rows: list[Row] = []
             for future in futures:
                 rows.extend(future.result())
             return rows
         rows = []
-        for shard_id in range(shards):
-            bucket = buckets[shard_id]
-            if bucket:
-                with self._locks[shard_id]:
-                    rows.extend(
-                        shard_indexes[shard_id].lookup_flat(bucket))
+        for shard_id in touched:
+            with self._locks[shard_id]:
+                rows.extend(
+                    shard_indexes[shard_id].lookup_flat(buckets[shard_id]))
         return rows
 
     def _lookup_shard_flat(self, shard_indexes: list[AccessIndex],
@@ -816,7 +845,7 @@ class ShardedBackend(StorageBackend):
             with self._locks[shard_id]:
                 return shard_indexes[shard_id].lookup_many_encoded(
                     keys, row_proj, dedup)
-        if self.workers:
+        if self._use_pool(count, len(touched)):
             pool = self._pool_instance()
             futures = [
                 pool.submit(self._lookup_shard_encoded, shard_indexes,
@@ -856,7 +885,7 @@ class ShardedBackend(StorageBackend):
             buckets[self._shard_of_code_key(key, scalar)].append(key)
         touched = [shard_id for shard_id in range(self.shards)
                    if buckets[shard_id]]
-        if self.workers:
+        if self._use_pool(len(keys), len(touched)):
             pool = self._pool_instance()
             futures = [
                 pool.submit(self._lookup_shard_flat_encoded, shard_indexes,
@@ -916,13 +945,18 @@ class ShardedBackend(StorageBackend):
             pool.shutdown(wait=False)
 
 
-BACKENDS = ("memory", "sharded", "disk")
+BACKENDS = ("memory", "sharded", "disk", "procshard")
 
 
 def make_backend(name: str, schema: Schema, *, shards: int = 8,
-                 workers: int = 0, data_dir=None,
+                 workers: int = 0, replicas: int = 0, data_dir=None,
                  fsync: bool = False) -> StorageBackend:
     """Build a backend by name — the CLI's ``--backend`` hook.
+
+    ``workers`` means the lookup thread-pool size for ``sharded``
+    (CLI: ``--shard-threads``) and the shard *process* count for
+    ``procshard`` (CLI: ``--shard-workers``); ``replicas`` is the
+    WAL-shipped read-replica process count for ``procshard``.
 
     Adding an engine means implementing :class:`StorageBackend` and
     registering it here (see README, "Adding a storage backend").
@@ -938,6 +972,11 @@ def make_backend(name: str, schema: Schema, *, shards: int = 8,
                 "data_dir=... (CLI: --data-dir DIR)")
         from .disk import DiskBackend  # deferred: keeps backend.py cycle-free
         return DiskBackend(schema, data_dir, fsync=fsync)
+    if name == "procshard":
+        from .procshard import ProcessShardedBackend  # deferred, as above
+        return ProcessShardedBackend(
+            schema, workers=workers or 4, replicas=replicas,
+            data_dir=data_dir, fsync=fsync)
     raise StorageError(
         f"unknown storage backend {name!r}; available: "
         f"{', '.join(BACKENDS)}")

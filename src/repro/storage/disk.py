@@ -87,7 +87,17 @@ def scan_frames(path) -> tuple[list, int]:
     discard.  Exposed as a plain function so recovery tests and
     diagnostics can inspect a log without a backend.
     """
-    data = pathlib.Path(path).read_bytes()
+    return scan_frame_bytes(pathlib.Path(path).read_bytes())
+
+
+def scan_frame_bytes(data: bytes) -> tuple[list, int]:
+    """:func:`scan_frames` over an in-memory chunk.
+
+    Replication ships WAL byte ranges between processes; the receiver
+    parses them with exactly the recovery scanner, so a chunk that ends
+    mid-record (a torn tail in transit) is consumed only up to its last
+    intact frame and the remainder is re-shipped later.
+    """
     records: list = []
     offset = 0
     valid = 0

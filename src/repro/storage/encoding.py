@@ -25,6 +25,7 @@ direction cycles.
 
 from __future__ import annotations
 
+import sys
 import threading
 from array import array
 from typing import Hashable, Iterable, Sequence
@@ -122,6 +123,25 @@ class ValueDictionary:
             return {()} if length else set()
         values = self._values
         return set(zip(*([values[code] for code in col] for col in cols)))
+
+    def values_from(self, start: int) -> list:
+        """The interned values with codes ``start..len-1`` — the *delta*
+        a coordinator ships to workers/replicas that already know the
+        first ``start`` codes.  Codes are assigned densely in insertion
+        order, so the slice alone reconstructs the mapping remotely."""
+        return self._values[start:]
+
+    def footprint_bytes(self) -> int:
+        """An estimate of the resident size of the interning table:
+        container overhead plus the values themselves (interned once,
+        shared by ``_codes`` keys and ``_values`` slots).  Surfaced as
+        the ``repro_storage_dictionary_bytes`` gauge."""
+        values = self._values
+        total = sys.getsizeof(self._codes) + sys.getsizeof(values)
+        total += sum(sys.getsizeof(value) for value in values)
+        # each dict entry also interns an int code object
+        total += 28 * len(values)
+        return total
 
     def __len__(self) -> int:
         return len(self._values)

@@ -1,0 +1,240 @@
+"""The shard worker: a pure code-space index server in its own process.
+
+A worker never sees a Python *value*: the coordinator owns the
+:class:`~repro.storage.encoding.ValueDictionary`, encodes every row at
+insert time, projects it into each attached constraint's ``X∪Y``
+layout and ships only the resulting code tuples.  Requests cross the
+pipe as ``(constraint id, code keys)``; responses come back as flat
+``array('q')`` code columns — exactly the encoded fetch boundary from
+the in-process engines, reused as the RPC surface.
+
+:class:`CodeIndex` mirrors :class:`~repro.storage.indexes.AccessIndex`
+witness-count semantics in code space: an ``X∪Y`` projection survives
+until its last witness row is deleted, and lookups return freshly
+built arrays with the same ``row_proj``/``dedup`` behaviour, so a
+worker answer is bit-identical to the in-process index's.
+
+``worker_main`` is the spawn-safe process entry point: a plain
+module-level request loop over a :class:`multiprocessing.Connection`.
+Every reply is ``("ok", payload)`` or ``("err", message)``; the worker
+exits when the pipe closes (coordinator death) or on ``("stop",)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..encoding import int_column
+from ..indexes import _EncodedGroup
+
+Codes = tuple  # one stored row as a tuple of X∪Y dictionary codes
+
+
+class CodeIndex:
+    """One constraint's shard-local index, keyed and stored as codes.
+
+    Keys follow the encoded-boundary convention: a bare int code when
+    ``|X| == 1``, a code tuple otherwise.
+    """
+
+    __slots__ = ("x_len", "width", "scalar_key", "_counts", "_encoded")
+
+    def __init__(self, x_len: int, width: int):
+        self.x_len = x_len
+        self.width = width
+        self.scalar_key = x_len == 1
+        # key -> {y-code tuple -> witness count}; the count makes
+        # deletion exact when X∪Y projects several stored rows onto
+        # one code tuple (same contract as AccessIndex._groups).
+        self._counts: dict = {}
+        self._encoded: dict[object, _EncodedGroup] = {}
+
+    def key_of(self, row_codes: Sequence[int]):
+        return (row_codes[0] if self.scalar_key
+                else tuple(row_codes[:self.x_len]))
+
+    def add(self, row_codes: Codes) -> None:
+        key = self.key_of(row_codes)
+        y_key = tuple(row_codes[self.x_len:])
+        group = self._counts.setdefault(key, {})
+        count = group.get(y_key, 0)
+        group[y_key] = count + 1
+        if count:
+            return
+        entry = self._encoded.get(key)
+        if entry is None:
+            entry = self._encoded[key] = _EncodedGroup(self.width)
+        entry.append(row_codes, y_key)
+
+    def remove(self, row_codes: Codes) -> None:
+        key = self.key_of(row_codes)
+        y_key = tuple(row_codes[self.x_len:])
+        group = self._counts.get(key)
+        if group is None:
+            return
+        count = group.get(y_key)
+        if count is None:
+            return
+        if count > 1:
+            group[y_key] = count - 1
+            return
+        del group[y_key]
+        if not group:
+            del self._counts[key]
+        entry = self._encoded.get(key)
+        if entry is not None:
+            entry.discard(y_key, self.x_len)
+            if not entry.pos:
+                del self._encoded[key]
+
+    def remove_all(self) -> None:
+        self._counts.clear()
+        self._encoded.clear()
+
+    # Lookup semantics are copied from AccessIndex.lookup_*_encoded so
+    # a worker's answer matches the in-process index bit for bit.
+
+    def lookup_flat_encoded(self, keys: Sequence, row_proj, dedup
+                            ) -> tuple[list, int]:
+        encoded = self._encoded
+        width = self.width if row_proj is None else len(row_proj)
+        out = [int_column() for _ in range(width)]
+        if not width:
+            return out, 0
+        if row_proj is None:
+            # The no-projection gather is the RPC fast path (every
+            # flat boundary replay lands here); zip over bound
+            # columns beats indexed access per key.
+            get = encoded.get
+            for key in keys:
+                entry = get(key)
+                if entry is not None:
+                    for out_col, col in zip(out, entry.cols):
+                        out_col.extend(col)
+            return out, len(out[0])
+        for key in keys:
+            entry = encoded.get(key)
+            if entry is None:
+                continue
+            projected = [entry.cols[p] for p in row_proj]
+            if dedup:
+                if width == 1:
+                    for code in dict.fromkeys(projected[0]):
+                        out[0].append(code)
+                else:
+                    for row in dict.fromkeys(zip(*projected)):
+                        for i in range(width):
+                            out[i].append(row[i])
+            else:
+                for i in range(width):
+                    out[i].extend(projected[i])
+        return out, len(out[0])
+
+    def lookup_one_encoded(self, key, row_proj, dedup) -> tuple[tuple, int]:
+        entry = self._encoded.get(key)
+        if entry is None:
+            return tuple(int_column() for _ in range(
+                self.width if row_proj is None else len(row_proj))), 0
+        if row_proj is None:
+            cols = tuple(column[:] for column in entry.cols)
+            return cols, len(entry)
+        projected = [entry.cols[p] for p in row_proj]
+        if dedup:
+            if len(projected) == 1:
+                column = int_column(dict.fromkeys(projected[0]))
+                return (column,), len(column)
+            rows = list(dict.fromkeys(zip(*projected)))
+            return (tuple(int_column(row[i] for row in rows)
+                          for i in range(len(projected))), len(rows))
+        return tuple(column[:] for column in projected), len(projected[0])
+
+    def lookup_many_encoded(self, keys: Sequence, row_proj, dedup
+                            ) -> list[tuple[tuple, int]]:
+        return [self.lookup_one_encoded(key, row_proj, dedup)
+                for key in keys]
+
+    def group_count(self) -> int:
+        return len(self._counts)
+
+
+class WorkerState:
+    """The request dispatcher — importable so tests can drive the
+    protocol in-process, without a child."""
+
+    def __init__(self) -> None:
+        self.indexes: dict[int, CodeIndex] = {}
+        # Mirror of the coordinator dictionary's value list.  Workers
+        # never decode (everything stays in code space); the mirror
+        # exists so ``stats`` can report coherence with the
+        # coordinator's dictionary, which ships deltas per write batch.
+        self.values: list = []
+
+    def handle(self, request: tuple):
+        op = request[0]
+        if op == "ff":
+            _, cid, keys, row_proj, dedup = request
+            return self.indexes[cid].lookup_flat_encoded(
+                keys, row_proj, dedup)
+        if op == "fm":
+            _, cid, keys, row_proj, dedup = request
+            return self.indexes[cid].lookup_many_encoded(
+                keys, row_proj, dedup)
+        if op == "write":
+            _, ops, delta = request
+            self.values.extend(delta)
+            for cid, deleting, rows in ops:
+                index = self.indexes[cid]
+                apply_one = index.remove if deleting else index.add
+                for row_codes in rows:
+                    apply_one(row_codes)
+            return len(ops)
+        if op == "attach":
+            _, specs, rows_by_cid, values = request
+            self.values = list(values)
+            self.indexes = {cid: CodeIndex(x_len, width)
+                            for cid, x_len, width in specs}
+            for cid, rows in rows_by_cid.items():
+                index = self.indexes[cid]
+                for row_codes in rows:
+                    index.add(row_codes)
+            return len(self.indexes)
+        if op == "clear":
+            for index in self.indexes.values():
+                index.remove_all()
+            return True
+        if op == "stats":
+            return {"constraints": len(self.indexes),
+                    "dictionary_size": len(self.values),
+                    "groups": sum(index.group_count()
+                                  for index in self.indexes.values())}
+        if op == "ping":
+            return "pong"
+        raise ValueError(f"unknown worker op {op!r}")
+
+
+def serve_loop(conn, handler) -> None:
+    """The shared request loop for worker and replica processes: recv,
+    dispatch, reply ``("ok", payload)`` / ``("err", message)``; exit on
+    ``("stop",)`` or when the pipe closes (coordinator death)."""
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            return  # coordinator went away; nothing to clean up
+        if request[0] == "stop":
+            try:
+                conn.send(("ok", True))
+            except (BrokenPipeError, OSError):
+                pass
+            return
+        try:
+            payload = handler(request)
+        except Exception as error:  # ship the failure, keep serving
+            conn.send(("err", f"{type(error).__name__}: {error}"))
+        else:
+            conn.send(("ok", payload))
+
+
+def worker_main(conn) -> None:
+    """Process entry point: serve requests until ``stop`` or EOF."""
+    serve_loop(conn, WorkerState().handle)

@@ -108,6 +108,45 @@ def test_run_sharded_backend_same_answers(db_dir, capsys):
         sharded_out.split("storage: sharded(shards=4)\n")[1].splitlines()[0]
 
 
+def test_run_procshard_backend_same_answers(db_dir, capsys):
+    assert main(["run", "--db", db_dir, Q0]) == 0
+    memory_out = capsys.readouterr().out
+    assert main(["run", "--db", db_dir, "--backend", "procshard",
+                 "--shard-workers", "2", Q0]) == 0
+    out = capsys.readouterr().out
+    assert "storage: procshard(workers=2, replicas=0" in out
+    assert "(34,)" in out and "(51,)" in out
+    assert "2 answer(s)" in out
+    # Identical access accounting across process boundaries.
+    assert memory_out.split("storage: memory\n")[1].splitlines()[0] == \
+        out.split("\n", 1)[1].splitlines()[0]
+
+
+def test_run_procshard_with_replicas(db_dir, tmp_path, capsys):
+    data_dir = str(tmp_path / "durable")
+    assert main(["run", "--db", db_dir, "--backend", "procshard",
+                 "--shard-workers", "2", "--replicas", "1",
+                 "--data-dir", data_dir, Q0]) == 0
+    out = capsys.readouterr().out
+    assert "replicas=1" in out and "store=disk" in out
+    assert "(34,)" in out and "(51,)" in out
+
+
+def test_run_procshard_replicas_without_data_dir_is_actionable(
+        db_dir, capsys):
+    assert main(["run", "--db", db_dir, "--backend", "procshard",
+                 "--replicas", "1", Q0]) == 2
+    assert "--data-dir" in capsys.readouterr().err
+
+
+def test_run_sharded_shard_threads_flag(db_dir, capsys):
+    assert main(["run", "--db", db_dir, "--backend", "sharded",
+                 "--shards", "4", "--shard-threads", "2", Q0]) == 0
+    out = capsys.readouterr().out
+    assert "storage: sharded(shards=4, workers=2)" in out
+    assert "2 answer(s)" in out
+
+
 def test_run_disk_backend_same_answers_and_recovers(db_dir, tmp_path,
                                                     capsys):
     data_dir = str(tmp_path / "durable")

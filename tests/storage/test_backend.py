@@ -28,6 +28,13 @@ def _disk_backend(schema):
     return backend
 
 
+def _procshard_backend(schema):
+    """A one-worker process-sharded backend with RPC forced on (zero
+    fan-out threshold), so every encoded fetch crosses a pipe."""
+    from repro.storage.procshard import ProcessShardedBackend
+    return ProcessShardedBackend(schema, workers=1, fanout_threshold=0)
+
+
 BACKEND_FACTORIES = [
     pytest.param(lambda schema: MemoryBackend(schema), id="memory"),
     pytest.param(lambda schema: ShardedBackend(schema, shards=4),
@@ -35,6 +42,7 @@ BACKEND_FACTORIES = [
     pytest.param(lambda schema: ShardedBackend(schema, shards=4, workers=2),
                  id="sharded-pool"),
     pytest.param(_disk_backend, id="disk"),
+    pytest.param(_procshard_backend, id="procshard"),
 ]
 
 
@@ -226,7 +234,10 @@ class TestShardedLayout:
                 seen[x_value] = True
 
     def test_close_shuts_down_lookup_pool(self, schema, aschema):
-        backend = ShardedBackend(schema, shards=4, workers=2)
+        # fanout_threshold=0 forces the pool path even for this small
+        # batch; the default threshold is exercised separately below.
+        backend = ShardedBackend(schema, shards=4, workers=2,
+                                 fanout_threshold=0)
         db = Database(schema, aschema, backend=backend)
         db.insert_many("R", [(i, f"b{i}", i) for i in range(20)])
         constraint = aschema.constraints[0]
@@ -244,6 +255,42 @@ class TestShardedLayout:
         with pytest.raises(StorageError, match="worker count"):
             ShardedBackend(schema, workers=-1)
 
+    def test_small_batches_skip_the_pool(self, schema, aschema):
+        """Below ``fanout_threshold`` keys per touched shard, lookups
+        run sequentially: no pool is ever created, so tiny batches pay
+        zero submit/synchronization overhead."""
+        backend = ShardedBackend(schema, shards=4, workers=2)
+        db = Database(schema, aschema, backend=backend)
+        db.insert_many("R", [(i, f"b{i}", i) for i in range(40)])
+        constraint = aschema.constraints[0]
+        small = [(i,) for i in range(8)]
+        assert db.fetch_many(constraint, small) == \
+            [[(i, f"b{i}", i)] for i in range(8)]
+        db.fetch_flat(constraint, small)
+        backend.fetch_flat_encoded(
+            constraint, [backend.dictionary.encode(i) for i in range(8)])
+        assert backend._pool is None
+
+    def test_large_batches_use_the_pool(self, schema, aschema):
+        backend = ShardedBackend(schema, shards=2, workers=2)
+        db = Database(schema, aschema, backend=backend)
+        count = backend.fanout_threshold * 2 + 8  # over both shards
+        db.insert_many("R", [(i, f"b{i}", i) for i in range(count)])
+        constraint = aschema.constraints[0]
+        rows = db.fetch_many(constraint, [(i,) for i in range(count)])
+        assert rows == [[(i, f"b{i}", i)] for i in range(count)]
+        assert backend._pool is not None
+        backend.close()
+
+    def test_fanout_threshold_is_configurable(self, schema):
+        assert ShardedBackend(schema, workers=2).fanout_threshold == \
+            ShardedBackend.FANOUT_THRESHOLD
+        assert ShardedBackend(
+            schema, workers=2, fanout_threshold=7).fanout_threshold == 7
+        # Negative thresholds clamp to "always fan out".
+        assert ShardedBackend(
+            schema, workers=2, fanout_threshold=-3).fanout_threshold == 0
+
     def test_make_backend_factory(self, schema, tmp_path):
         assert isinstance(make_backend("memory", schema), MemoryBackend)
         sharded = make_backend("sharded", schema, shards=3, workers=1)
@@ -254,6 +301,15 @@ class TestShardedLayout:
         disk.close()
         with pytest.raises(StorageError, match="data directory"):
             make_backend("disk", schema)
+        from repro.storage.procshard import ProcessShardedBackend
+        procshard = make_backend("procshard", schema, workers=1)
+        assert isinstance(procshard, ProcessShardedBackend)
+        assert procshard.workers == 1 and procshard.replicas == 0
+        procshard.close()
+        with pytest.raises(StorageError, match="durable writer"):
+            make_backend("procshard", schema, workers=1, replicas=1)
+        with pytest.raises(StorageError, match="worker process"):
+            ProcessShardedBackend(schema, workers=0)
         with pytest.raises(StorageError, match="unknown storage backend"):
             make_backend("paper-tape", schema)
 
