@@ -97,7 +97,9 @@ def _load(args):
                                 workers=workers,
                                 replicas=getattr(args, "replicas", 0),
                                 data_dir=getattr(args, "data_dir", None),
-                                fsync=getattr(args, "fsync", False))
+                                fsync=getattr(args, "fsync", False),
+                                rpc_timeout_s=getattr(args, "rpc_timeout",
+                                                      None))
     db = load_database(args.db, backend_factory=factory)
     if db.access_schema is None or not len(db.access_schema):
         print("warning: no access constraints in schema.json",
@@ -176,6 +178,13 @@ def _add_backend_flags(parser) -> None:
     parser.add_argument("--fsync", action="store_true",
                         help="fsync the WAL after every write batch "
                              "(--backend disk; power-loss durability)")
+    parser.add_argument("--rpc-timeout", dest="rpc_timeout", type=float,
+                        default=None, metavar="SECONDS",
+                        help="per-RPC reply timeout for --backend "
+                             "procshard (default: "
+                             "ProcessShardedBackend.RPC_TIMEOUT_S); a "
+                             "worker that misses it is retired and "
+                             "respawned")
 
 
 def cmd_analyze(args) -> int:
@@ -380,14 +389,50 @@ def cmd_stats(args) -> int:
         print(f"  {name}: {size} rows (generation "
               f"{db.generation(name)})")
     registry = MetricsRegistry()
-    attach_storage_collector(registry, db.backend)
-    attach_database_collector(registry, db)
+    if db.access_schema is not None and len(db.access_schema):
+        # A service wired to the registry contributes the request and
+        # admission families (zeros here — no traffic has run — but the
+        # exposition shape matches what a live serving tier exports,
+        # and the service constructor attaches the storage and
+        # database collectors too).
+        service = BoundedQueryService(db, registry=registry)
+        print(service.stats())
+    else:
+        attach_storage_collector(registry, db.backend)
+        attach_database_collector(registry, db)
     text = render_exposition(registry)
     if args.metrics_out:
         pathlib.Path(args.metrics_out).write_text(text)
         print(f"metrics -> {args.metrics_out}")
     else:
         print(text, end="")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the resilient serving tier (see :mod:`repro.serve.server`)
+    over one database until SIGTERM/SIGINT."""
+    import asyncio
+
+    from .serve import ReproServer, ServerConfig, run_forever
+
+    db = _load(args)
+    config = ServerConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_depth=args.queue_depth, default_budget=args.budget,
+        default_timeout_ms=args.timeout_ms)
+    server = ReproServer(db, config)
+    budget = ("unlimited" if config.default_budget is None
+              else config.default_budget)
+    print(f"serving {args.db} on http://{config.host}:{config.port} "
+          f"({config.workers} workers, queue depth "
+          f"{config.queue_depth}, budget {budget})")
+    try:
+        asyncio.run(run_forever(server))
+    except KeyboardInterrupt:
+        pass
+    stats = server.tenants["default"].service.stats()
+    print(stats)
     return 0
 
 
@@ -438,6 +483,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the exposition to PATH instead of "
                             "stdout")
     stats.set_defaults(func=cmd_stats)
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP serving tier over a database")
+    serve.add_argument("--db", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--workers", type=int, default=4,
+                       help="executor threads running queries")
+    serve.add_argument("--queue-depth", dest="queue_depth", type=int,
+                       default=16,
+                       help="admitted requests allowed to wait beyond "
+                            "the workers; the rest are shed with 429")
+    serve.add_argument("--budget", type=int, default=None,
+                       help="fetch-bound budget for the default tenant; "
+                            "certified bounds above it are rejected "
+                            "with 429 before execution")
+    serve.add_argument("--timeout-ms", dest="timeout_ms", type=float,
+                       default=0.0,
+                       help="deadline applied to requests that carry "
+                            "none (0 = no deadline)")
+    _add_backend_flags(serve)
+    serve.set_defaults(func=cmd_serve)
 
     discover = sub.add_parser("discover",
                               help="mine access constraints from data")

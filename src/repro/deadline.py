@@ -1,0 +1,121 @@
+"""Per-request deadlines, threaded ambiently through the stack.
+
+A :class:`Deadline` is an absolute point on the monotonic clock.  The
+serving tier mints one per request (from the client's ``timeout_ms`` or
+the server default) and every layer below — service, executor, fetch
+boundary, procshard RPC — consults the *ambient* deadline rather than
+growing a ``deadline=`` parameter on every signature:
+
+    with deadline_scope(Deadline.after(0.250)):
+        service.execute(query)
+
+Inside the scope, ``current_deadline()`` returns the innermost active
+deadline (scopes nest; the innermost wins even if an outer scope is
+tighter — the caller who narrowed the scope asked for exactly that).
+The ambient stack is thread-local, matching how requests execute: one
+request per worker thread, so the scope entered on the request thread
+is visible to everything that request calls.  Work handed to *other*
+threads or processes must re-enter the scope explicitly — the procshard
+coordinator does this by converting ``remaining()`` into a poll timeout
+at the pipe, which is the only place a deadline crosses a process
+boundary.
+
+Checks are two-tier on purpose: ``expired()`` is a cheap predicate for
+hot loops, ``check(where)`` raises :class:`DeadlineExceeded` tagged
+with the abort site so partial-work counters and logs say *where* the
+request died, not just that it did.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from time import monotonic
+from typing import Iterator, Optional
+
+from .errors import DeadlineExceeded
+
+__all__ = [
+    "Deadline",
+    "DeadlineExceeded",
+    "current_deadline",
+    "deadline_scope",
+]
+
+
+class Deadline:
+    """An absolute monotonic-clock cutoff for one request.
+
+    Built from a relative budget via :meth:`after`; absolute so that
+    nested layers each burn from the *same* budget instead of
+    restarting it (the classic timeout-per-hop bug where five hops at
+    1s each turn a 1s request budget into 5s of wall clock).
+    """
+
+    __slots__ = ("at",)
+
+    def __init__(self, at: float):
+        self.at = at
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now on the monotonic clock."""
+        return cls(monotonic() + seconds)
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired (callers clamp)."""
+        return self.at - monotonic()
+
+    def expired(self) -> bool:
+        return monotonic() >= self.at
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` tagged ``where`` if expired."""
+        overrun = monotonic() - self.at
+        if overrun >= 0:
+            raise DeadlineExceeded(where, overrun_s=overrun)
+
+    def timeout(self, cap: float) -> float:
+        """The poll/wait timeout honouring both this deadline and a
+        per-operation ``cap`` (e.g. the RPC timeout): whichever is
+        sooner, floored at zero so an expired deadline polls
+        non-blocking and fails fast instead of raising here."""
+        left = self.at - monotonic()
+        if left < 0.0:
+            left = 0.0
+        return left if left < cap else cap
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+class _Ambient(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[Deadline] = []
+
+
+_AMBIENT = _Ambient()
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The innermost active deadline on this thread, or ``None``."""
+    stack = _AMBIENT.stack
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[Deadline]) -> Iterator[Optional[Deadline]]:
+    """Make ``deadline`` ambient for the duration of the block.
+
+    ``None`` is accepted and pushes nothing, so call sites can write
+    ``with deadline_scope(maybe_deadline):`` without branching.
+    """
+    if deadline is None:
+        yield None
+        return
+    stack = _AMBIENT.stack
+    stack.append(deadline)
+    try:
+        yield deadline
+    finally:
+        stack.pop()

@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..deadline import current_deadline
 from ..errors import ExecutionError
 from ..obs.trace import span
 from ..storage.database import Database
@@ -179,8 +180,15 @@ class Executor:
         batches: list[Batch] = []
         append = batches.append
         largest = 0
+        deadline = current_deadline()
         with span("execute"):
             for step, label in zip(spec.steps, spec.labels):
+                if deadline is not None:
+                    # Between-steps is the executor's cancellation
+                    # point: a batch in flight always completes (the
+                    # storage layer has its own finer-grained checks),
+                    # partial pipelines never leak out.
+                    deadline.check(f"executor:{label}")
                 batch = step(batches, self, stats)
                 op_counts[label] = op_counts.get(label, 0) + 1
                 if batch.length > largest:
@@ -203,6 +211,9 @@ class Executor:
         lookup per distinct X-value, every returned tuple counted.
         Subclasses may interpose a per-X cache here (see
         ``repro.service.fetchcache.CachingExecutor``)."""
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check("fetch_flat")
         rows = self.db.fetch_flat(constraint, x_values)
         stats.index_lookups += len(x_values)
         stats.tuples_fetched += len(rows)
@@ -223,6 +234,9 @@ class Executor:
         specialized fetch step, never inside an engine.  (``fetch_calls``
         and the ``fetch`` span are counted at the call sites: the
         specialized step closures and ``_run_fetch``.)"""
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check("fetch_flat_encoded")
         cols, length = self.db.fetch_flat_encoded(constraint, keys)
         stats.index_lookups += len(keys)
         stats.tuples_fetched += length

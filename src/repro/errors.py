@@ -108,3 +108,22 @@ class BudgetExceeded(ReproError):
 
 class UndecidableForFO(ReproError):
     """The requested analysis is undecidable for full FO (paper, Table 1)."""
+
+
+class DeadlineExceeded(ReproError):
+    """A request's deadline expired before the work completed.
+
+    Raised by any layer that observes an expired
+    :class:`repro.deadline.Deadline` — the executor between plan steps,
+    the fetch boundary before a storage crossing, or the procshard RPC
+    plumbing while waiting on a peer reply.  Carries ``where`` so the
+    abort site is visible in logs and counters.
+    """
+
+    def __init__(self, where: str = "", overrun_s: float = 0.0):
+        self.where = where
+        self.overrun_s = overrun_s
+        detail = f" at {where}" if where else ""
+        if overrun_s > 0:
+            detail += f" ({overrun_s * 1000:.1f}ms past deadline)"
+        super().__init__(f"deadline exceeded{detail}")

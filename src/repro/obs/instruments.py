@@ -132,6 +132,38 @@ def attach_cache_collector(registry: MetricsRegistry, service) -> None:
     registry.register_collector(collect)
 
 
+def attach_admission_collector(registry: MetricsRegistry, service) -> None:
+    """Mirror a service's admission-control outcomes at snapshot time.
+
+    ``service.stats()`` must carry ``shed_requests`` (admission queue
+    full → 429), ``rejected_requests`` (certified cost bound over the
+    tenant budget → 429, before execution) and
+    ``deadline_exceeded_requests`` (aborted mid-flight → 504).  One
+    collector per service; the serving tier attaches it for every
+    tenant against the same registry only when tenants get distinct
+    services *and* registries — the shared-registry arrangement
+    aggregates through a single wrapper instead.
+    """
+    shed = registry.counter(
+        "repro_shed_requests_total",
+        "Requests shed because the admission queue was full")
+    rejected = registry.counter(
+        "repro_rejected_requests_total",
+        "Requests rejected because the certified bound exceeded the "
+        "tenant budget")
+    deadline_exceeded = registry.counter(
+        "repro_deadline_exceeded_requests_total",
+        "Requests aborted by an expired deadline")
+
+    def collect() -> None:
+        stats = service.stats()
+        shed.set_total(stats.shed_requests)
+        rejected.set_total(stats.rejected_requests)
+        deadline_exceeded.set_total(stats.deadline_exceeded_requests)
+
+    registry.register_collector(collect)
+
+
 def attach_storage_collector(registry: MetricsRegistry, backend) -> None:
     """Mirror a storage backend's internal counters at snapshot time.
 

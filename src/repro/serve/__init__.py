@@ -1,0 +1,26 @@
+"""The resilient serving tier: HTTP front-end, certificate-gated
+admission control, deadline propagation and housekeeping over
+:class:`~repro.service.service.BoundedQueryService`.  See
+:mod:`repro.serve.server` for the architecture overview."""
+
+from .admission import (AdmissionController, AdmissionDecision, Tenant,
+                        budget_decision)
+from .housekeeping import Housekeeper
+from .http import HttpError, Request, json_response, read_request
+from .server import DEFAULT_TENANT, ReproServer, ServerConfig, run_forever
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "Tenant",
+    "budget_decision",
+    "Housekeeper",
+    "HttpError",
+    "Request",
+    "json_response",
+    "read_request",
+    "DEFAULT_TENANT",
+    "ReproServer",
+    "ServerConfig",
+    "run_forever",
+]

@@ -1,0 +1,116 @@
+"""Admission control for the serving tier.
+
+Two independent gates run before a query executes, and both produce a
+429 with ``Retry-After`` rather than queueing work the tier cannot
+absorb:
+
+* **Capacity** — :class:`AdmissionController` caps in-flight requests
+  at (executor workers + a bounded wait queue).  Past that, the tier
+  *sheds*: admitting more work would only grow latency for everyone
+  (the queue is the system, per the usual overload argument), so the
+  honest answer is "come back later".
+
+* **Budget** — the paper's own admission signal.  A boundedly evaluable
+  query carries a cost certificate whose ``fetch_bound`` is computable
+  from Q and A alone, *before* touching data.  :func:`budget_decision`
+  compares that bound against the tenant's budget and rejects
+  over-budget (or uncertified) work up front — zero data cost for a
+  refusal, which is exactly what makes certificate-gated admission
+  viable where effort-based admission is not.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..engine.cost import static_bounds
+from ..service.service import BoundedQueryService
+
+
+@dataclass
+class Tenant:
+    """One tenant's slice of the serving tier: a service compiled
+    against the tenant's access schema plus a fetch-bound budget
+    (``None`` = unlimited; then uncertified queries fall back to scan
+    instead of being rejected).  Templates live on the service itself."""
+
+    name: str
+    service: BoundedQueryService
+    budget: int | None = None
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of the budget gate for one compiled query."""
+
+    admitted: bool
+    reason: str = ""
+    bound: int | None = None
+
+
+def budget_decision(entry, tenant: Tenant, db_size: int) -> AdmissionDecision:
+    """Apply the certificate gate to one compiled query.
+
+    * no budget → admit (unbounded queries will use the scan fallback);
+    * budget set but no certificate → reject: the tier cannot price the
+      query, and a finite budget means unpriced work is refused;
+    * certificate's fetch bound over budget → reject, quoting the bound
+      so the caller can see how far off they are.
+    """
+    if tenant.budget is None:
+        return AdmissionDecision(admitted=True)
+    if not entry.bounded:
+        return AdmissionDecision(
+            admitted=False,
+            reason=f"no cost certificate ({entry.reason}); tenant "
+                   f"{tenant.name!r} has a finite budget, so uncertified "
+                   "queries are refused")
+    bound = static_bounds(entry.plan, db_size=db_size).fetch_bound
+    if bound > tenant.budget:
+        return AdmissionDecision(
+            admitted=False, bound=bound,
+            reason=f"certified fetch bound {bound} exceeds tenant "
+                   f"{tenant.name!r} budget {tenant.budget}")
+    return AdmissionDecision(admitted=True, bound=bound)
+
+
+class AdmissionController:
+    """A counting gate over in-flight requests.
+
+    ``max_inflight`` should be (executor workers + acceptable queue
+    depth): requests past the workers wait in the executor's queue, and
+    requests past the whole gate are shed with 429.  The gate itself is
+    two integer ops under a lock — negligible against any query.
+    """
+
+    def __init__(self, max_inflight: int):
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {max_inflight}")
+        self.max_inflight = max_inflight
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self.admitted_total = 0
+        self.shed_total = 0
+
+    def try_enter(self) -> bool:
+        """Claim a slot; ``False`` means shed (no slot was claimed)."""
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                self.shed_total += 1
+                return False
+            self._inflight += 1
+            self.admitted_total += 1
+            return True
+
+    def leave(self) -> None:
+        with self._lock:
+            if self._inflight <= 0:
+                raise RuntimeError("leave() without a matching try_enter()")
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight

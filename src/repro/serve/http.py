@@ -1,0 +1,154 @@
+"""A minimal HTTP/1.1 layer over asyncio streams — stdlib only.
+
+The serving tier needs exactly four things from HTTP: parse a request
+(line, headers, Content-Length body), render a response, keep-alive so
+closed-loop load clients can reuse connections, and hard size limits so
+a malformed or hostile client cannot balloon coordinator memory.  A
+full framework buys nothing here and would break the repo's
+no-dependencies rule, so this module implements just that surface.
+
+Deliberately unsupported: chunked transfer encoding (both directions —
+every response carries Content-Length), HTTP/1.0 keep-alive
+negotiation, multi-line headers, and TLS.  A request using them gets a
+clean 400, not undefined behaviour.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+#: Hard caps, applied while reading — a request that exceeds one is
+#: answered 400/413 and the connection is closed.
+MAX_REQUEST_LINE = 8192
+MAX_HEADERS = 100
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level problem with one request; the handler converts
+    it to a response with ``status`` and closes the connection."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed request.  Header names are lower-cased."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self):
+        """The body parsed as JSON (an object), or a 400."""
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON object")
+        try:
+            payload = json.loads(self.body)
+        except ValueError as error:
+            raise HttpError(400, f"request body is not valid JSON: "
+                                 f"{error}") from error
+        if not isinstance(payload, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return payload
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off the stream; ``None`` on a clean EOF
+    (client closed between requests — the keep-alive end condition)."""
+    try:
+        line = await reader.readline()
+    except (ValueError, ConnectionError):
+        raise HttpError(400, "request line too long") from None
+    if not line:
+        return None
+    if len(line) > MAX_REQUEST_LINE:
+        raise HttpError(400, "request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {line[:80]!r}")
+    method, path, _version = parts
+    headers: dict[str, str] = {}
+    while True:
+        try:
+            raw = await reader.readline()
+        except (ValueError, ConnectionError):
+            raise HttpError(400, "header line too long") from None
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise HttpError(400, "too many headers")
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header: {raw[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "transfer-encoding" in headers:
+        raise HttpError(400, "chunked transfer encoding is not supported")
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length: "
+                                 f"{length_text!r}") from None
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length: {length}")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body of {length} bytes exceeds the "
+                                 f"{MAX_BODY_BYTES}-byte limit")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as error:
+                raise HttpError(
+                    400, f"body truncated at {len(error.partial)} of "
+                         f"{length} bytes") from error
+    return Request(method=method, path=path, headers=headers, body=body)
+
+
+def render_response(status: int, body: bytes,
+                    content_type: str = "application/json",
+                    extra_headers: tuple = (),
+                    keep_alive: bool = True) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def json_response(status: int, payload,
+                  extra_headers: tuple = (),
+                  keep_alive: bool = True) -> bytes:
+    body = (json.dumps(payload, separators=(",", ":"),
+                       sort_keys=True) + "\n").encode("utf-8")
+    return render_response(status, body, extra_headers=extra_headers,
+                           keep_alive=keep_alive)

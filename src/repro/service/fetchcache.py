@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ..deadline import current_deadline
 from ..engine.executor import AccessStats, Executor
 from ..schema.access import AccessConstraint
 from ..storage.database import Database
@@ -145,6 +146,29 @@ class FetchCache:
             self._entries.put_many(puts)
         return entries, hits
 
+    def sweep(self, db: Database) -> int:
+        """Purge entries cached under a write generation older than the
+        relation's current one.
+
+        Stale entries can never be *served* (the lookup key carries the
+        current generation), but they occupy LRU slots until recency
+        pushes them out; a periodic sweep — the serving tier's
+        housekeeping loop calls this — hands those slots back to live
+        epochs immediately.  Returns the number of entries dropped.
+        """
+        current: dict[str, int] = {}
+
+        def stale(key) -> bool:
+            constraint = key[0]
+            generation = key[2]
+            relation = constraint.relation_name
+            latest = current.get(relation)
+            if latest is None:
+                latest = current[relation] = db.generation(relation)
+            return generation < latest
+
+        return self._entries.prune(stale)
+
     def clear(self) -> None:
         self._entries.clear()
 
@@ -176,6 +200,9 @@ class CachingExecutor(Executor):
                     stats: AccessStats) -> list[tuple]:
         if self.fetch_cache is None:
             return super()._fetch_flat(constraint, x_values, stats)
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check("fetch_flat")
         rows_per_x, hits = self.fetch_cache.lookup_many(
             self.db, constraint, x_values)
         stats.index_lookups += len(x_values)
@@ -194,6 +221,9 @@ class CachingExecutor(Executor):
                             stats: AccessStats):
         if self.fetch_cache is None:
             return super()._fetch_flat_encoded(constraint, keys, stats)
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check("fetch_flat_encoded")
         entries, hits = self.fetch_cache.lookup_many_encoded(
             self.db, constraint, keys)
         stats.index_lookups += len(keys)

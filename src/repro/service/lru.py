@@ -94,6 +94,16 @@ class LruDict:
                 self._data.popitem(last=False)
                 self.evictions += 1
 
+    def prune(self, predicate) -> int:
+        """Drop every entry whose ``predicate(key)`` is true, under one
+        lock pass; returns the drop count.  Pruned entries are not
+        counted as evictions (they were unservable, not crowded out)."""
+        with self._lock:
+            doomed = [key for key in self._data if predicate(key)]
+            for key in doomed:
+                del self._data[key]
+            return len(doomed)
+
     def clear(self) -> None:
         with self._lock:
             self._data.clear()

@@ -30,11 +30,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Hashable, Mapping, Sequence
 
+from ..deadline import Deadline, deadline_scope
 from ..engine.executor import AccessStats
 from ..engine.naive import ScanStats, evaluate
 from ..engine.optimizer.specialize import specialized_plan
-from ..errors import ServiceError
-from ..obs.instruments import (RequestMetrics, attach_cache_collector,
+from ..errors import DeadlineExceeded, ServiceError
+from ..obs.instruments import (RequestMetrics, attach_admission_collector,
+                               attach_cache_collector,
                                attach_database_collector,
                                attach_storage_collector)
 from ..obs.metrics import MetricsRegistry
@@ -87,6 +89,14 @@ class ServiceStats:
     requests: int = 0
     bounded_requests: int = 0
     fallback_requests: int = 0
+    #: Requests the serving tier refused before execution because the
+    #: admission queue was full (overload shedding, HTTP 429).
+    shed_requests: int = 0
+    #: Requests refused before execution because the certified cost
+    #: bound exceeded the tenant's budget (the paper's admission signal).
+    rejected_requests: int = 0
+    #: Requests aborted mid-execution by an expired deadline.
+    deadline_exceeded_requests: int = 0
     templates: int = 0
     plan_cache: CacheInfo = field(default_factory=CacheInfo)
     fetch_cache: CacheInfo = field(default_factory=CacheInfo)
@@ -106,6 +116,9 @@ class ServiceStats:
         text = (f"requests: {self.requests} "
                 f"({self.bounded_requests} bounded, "
                 f"{self.fallback_requests} fallback); "
+                f"shed: {self.shed_requests}; "
+                f"rejected: {self.rejected_requests}; "
+                f"deadline-exceeded: {self.deadline_exceeded_requests}; "
                 f"templates: {self.templates}; "
                 f"plan cache: {self.plan_cache}; "
                 f"fetch cache: {self.fetch_cache}")
@@ -132,7 +145,8 @@ class BoundedQueryService:
                  access_schema: AccessSchema | None = None,
                  plan_cache_size: int = 256,
                  fetch_cache_size: int = 4096,
-                 registry: MetricsRegistry | None = None):
+                 registry: MetricsRegistry | None = None,
+                 attach: bool = True):
         self.db = db
         if access_schema is None:
             access_schema = db.access_schema
@@ -147,8 +161,13 @@ class BoundedQueryService:
                     "the supplied access schema is empty; bounded "
                     "evaluation needs the constraints' indexes — pass a "
                     "non-empty schema or run `repro discover`")
-            if db.access_schema is not access_schema:
+            if attach and db.access_schema is not access_schema:
                 db.attach_access_schema(access_schema)
+            # attach=False: compile against access_schema while the
+            # database keeps its own (wider) attached schema — the
+            # multi-tenant arrangement, one service per tenant over a
+            # shared Database.  Execution resolves each tenant
+            # constraint structurally against the attached indexes.
         self.access_schema = access_schema
         self.plan_cache = PlanCache(plan_cache_size)
         self.fetch_cache = FetchCache(fetch_cache_size)
@@ -161,6 +180,9 @@ class BoundedQueryService:
         self._requests = 0
         self._bounded_requests = 0
         self._fallback_requests = 0
+        self._shed_requests = 0
+        self._rejected_requests = 0
+        self._deadline_exceeded_requests = 0
         # Observability is strictly opt-in: with no registry the hot
         # path pays one attribute check per request, nothing more.
         self.registry = registry
@@ -168,6 +190,7 @@ class BoundedQueryService:
         if registry is not None:
             self._request_metrics = RequestMetrics(registry)
             attach_cache_collector(registry, self)
+            attach_admission_collector(registry, self)
             attach_storage_collector(registry, db.backend)
             attach_database_collector(registry, db)
 
@@ -237,12 +260,18 @@ class BoundedQueryService:
     # -- execution ---------------------------------------------------------
 
     def execute(self, query,
-                params: Mapping[str, Hashable] | None = None
-                ) -> ServiceResult:
+                params: Mapping[str, Hashable] | None = None,
+                deadline: Deadline | None = None) -> ServiceResult:
         """Answer one query (text or parsed), binding ``params`` if the
-        query carries ``$name`` placeholders."""
+        query carries ``$name`` placeholders.
+
+        With ``deadline=`` set, the whole request runs inside its
+        scope: the executor, the fetch boundary and the procshard RPC
+        layer all observe it ambiently and abort with
+        :class:`DeadlineExceeded` once it expires.
+        """
         start = time.perf_counter()
-        with span("request"):
+        with span("request"), deadline_scope(deadline):
             if isinstance(query, str):
                 entry, cached = self.plan_cache.compile_text(
                     query, self.access_schema, parse_query,
@@ -255,10 +284,11 @@ class BoundedQueryService:
                              where="execute")
 
     def execute_template(self, name: str,
-                         params: Mapping[str, Hashable]) -> ServiceResult:
+                         params: Mapping[str, Hashable],
+                         deadline: Deadline | None = None) -> ServiceResult:
         """Answer one bound template request — the per-user hot path."""
         start = time.perf_counter()
-        with span("request"):
+        with span("request"), deadline_scope(deadline):
             template = self.template(name)
             return self._run(template.compiled, True, params, start,
                              where=f"template {name!r}")
@@ -266,22 +296,30 @@ class BoundedQueryService:
     def _run(self, entry: CompiledQuery, plan_cached: bool,
              params: Mapping[str, Hashable], start: float,
              where: str) -> ServiceResult:
-        if entry.bounded:
-            # The hot path runs the *optimized physical* plan straight
-            # from the cache: binding is one constant-substitution pass,
-            # never a re-parse, re-plan or re-optimize.
-            with span("bind"):
-                plan = self._bound_plan(entry, params, where)
-            result = CachingExecutor(self.db, self.fetch_cache).execute(plan)
-            answers, stats, scan = result.answers, result.stats, None
-        else:
-            with span("bind"):
-                query = bind_query(entry.query, entry.parameters, params,
-                                   where=where)
-            scan = ScanStats()
-            with span("execute"):
-                answers = evaluate(query, self.db, scan)
-            stats = None
+        try:
+            if entry.bounded:
+                # The hot path runs the *optimized physical* plan
+                # straight from the cache: binding is one constant-
+                # substitution pass, never a re-parse, re-plan or
+                # re-optimize.
+                with span("bind"):
+                    plan = self._bound_plan(entry, params, where)
+                result = CachingExecutor(
+                    self.db, self.fetch_cache).execute(plan)
+                answers, stats, scan = result.answers, result.stats, None
+            else:
+                with span("bind"):
+                    query = bind_query(entry.query, entry.parameters,
+                                       params, where=where)
+                scan = ScanStats()
+                with span("execute"):
+                    answers = evaluate(query, self.db, scan)
+                stats = None
+        except DeadlineExceeded:
+            with self._lock:
+                self._requests += 1
+                self._deadline_exceeded_requests += 1
+            raise
         latency = time.perf_counter() - start
         with self._lock:
             self._requests += 1
@@ -335,6 +373,20 @@ class BoundedQueryService:
         return run_batch(self, requests, max_workers=max_workers,
                          fail_fast=fail_fast)
 
+    # -- admission accounting (the serving tier records, we count) ---------
+
+    def record_shed(self) -> None:
+        """Count one request refused because the admission queue was
+        full — the serving tier's 429 shed path."""
+        with self._lock:
+            self._shed_requests += 1
+
+    def record_rejected(self) -> None:
+        """Count one request refused because its certified cost bound
+        exceeded the tenant budget, before any execution."""
+        with self._lock:
+            self._rejected_requests += 1
+
     # -- maintenance -------------------------------------------------------
 
     def clear_caches(self) -> None:
@@ -343,16 +395,27 @@ class BoundedQueryService:
         self.fetch_cache.clear()
         self._bound_plans.clear()
 
+    def sweep_caches(self) -> int:
+        """Purge fetch-cache entries whose write generation has gone
+        stale — the housekeeping loop's periodic sweep."""
+        return self.fetch_cache.sweep(self.db)
+
     def stats(self) -> ServiceStats:
         with self._lock:
             requests = self._requests
             bounded = self._bounded_requests
             fallback = self._fallback_requests
+            shed = self._shed_requests
+            rejected = self._rejected_requests
+            deadline_exceeded = self._deadline_exceeded_requests
             templates = len(self._templates)
         backend = self.db.backend
         return ServiceStats(requests=requests,
                             bounded_requests=bounded,
                             fallback_requests=fallback,
+                            shed_requests=shed,
+                            rejected_requests=rejected,
+                            deadline_exceeded_requests=deadline_exceeded,
                             templates=templates,
                             plan_cache=self.plan_cache.info(),
                             fetch_cache=self.fetch_cache.info(),

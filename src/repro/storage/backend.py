@@ -950,13 +950,15 @@ BACKENDS = ("memory", "sharded", "disk", "procshard")
 
 def make_backend(name: str, schema: Schema, *, shards: int = 8,
                  workers: int = 0, replicas: int = 0, data_dir=None,
-                 fsync: bool = False) -> StorageBackend:
+                 fsync: bool = False,
+                 rpc_timeout_s: float | None = None) -> StorageBackend:
     """Build a backend by name — the CLI's ``--backend`` hook.
 
     ``workers`` means the lookup thread-pool size for ``sharded``
     (CLI: ``--shard-threads``) and the shard *process* count for
     ``procshard`` (CLI: ``--shard-workers``); ``replicas`` is the
-    WAL-shipped read-replica process count for ``procshard``.
+    WAL-shipped read-replica process count and ``rpc_timeout_s`` the
+    per-RPC peer timeout for ``procshard`` (CLI: ``--rpc-timeout``).
 
     Adding an engine means implementing :class:`StorageBackend` and
     registering it here (see README, "Adding a storage backend").
@@ -976,7 +978,7 @@ def make_backend(name: str, schema: Schema, *, shards: int = 8,
         from .procshard import ProcessShardedBackend  # deferred, as above
         return ProcessShardedBackend(
             schema, workers=workers or 4, replicas=replicas,
-            data_dir=data_dir, fsync=fsync)
+            data_dir=data_dir, fsync=fsync, rpc_timeout_s=rpc_timeout_s)
     raise StorageError(
         f"unknown storage backend {name!r}; available: "
         f"{', '.join(BACKENDS)}")

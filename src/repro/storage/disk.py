@@ -59,6 +59,7 @@ except ImportError:  # non-POSIX: advisory single-owner locking disabled
     fcntl = None
 
 from ..errors import StorageError
+from ..faults import fault_hook
 from ..obs.trace import span
 from ..schema.relation import Schema
 from .backend import MemoryBackend
@@ -314,6 +315,19 @@ class DiskBackend(MemoryBackend):
                 f"({', '.join(t.__name__ for t in _DURABLE_TYPES)}): "
                 f"{error}") from error
         counters = self._counters
+        fault = fault_hook("wal_append")
+        if fault is not None and fault.kind == "torn_tail":
+            # Crash mid-append: flush only a prefix of the frame and
+            # fail the write.  Recovery (and the kill-point tests) must
+            # treat the torn tail exactly like a power cut would leave
+            # it — scanned up to the last intact record, then truncated.
+            torn = data[:max(0, len(data) - int(fault.arg))]
+            self._wal.write(torn)
+            self._wal.flush()
+            counters["wal_bytes_total"] += len(torn)
+            raise StorageError(
+                f"simulated crash mid-append (injected torn_tail fault, "
+                f"{len(data) - len(torn)} bytes short)")
         started = time.perf_counter()
         with span("wal_append"):
             self._wal.write(data)

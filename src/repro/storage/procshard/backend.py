@@ -41,6 +41,7 @@ bulk batches.
 
 from __future__ import annotations
 
+import atexit
 import json
 import multiprocessing
 import threading
@@ -48,7 +49,9 @@ import time
 import weakref
 from typing import Iterable, Iterator, Sequence
 
-from ...errors import StorageError
+from ...deadline import Deadline, current_deadline
+from ...errors import DeadlineExceeded, StorageError
+from ...faults import fault_hook
 from ...obs.metrics import Histogram
 from ...obs.trace import span
 from ...schema.access import AccessConstraint, AccessSchema
@@ -58,6 +61,7 @@ from ..disk import DiskBackend
 from ..encoding import int_column
 from ..indexes import AccessIndex
 from .replica import replica_main
+from .resilience import HALF_OPEN, CircuitBreaker, RetryPolicy
 from .worker import worker_main
 
 Row = tuple
@@ -66,18 +70,38 @@ Row = tuple
 #: pipes or open WAL handles mid-state.
 _SPAWN = multiprocessing.get_context("spawn")
 
-#: How long a single RPC may take before the peer is declared dead.
-_RPC_TIMEOUT_S = 120.0
+#: Every live backend, swept at interpreter exit so a coordinator that
+#: dies without ``close()`` (test harness teardown, SIGTERM handlers
+#: that re-raise, plain sys.exit) still leaves zero child processes.
+#: Children are daemonic *and* exit on pipe EOF, so this is the third
+#: line of defence, not the first.
+_LIVE_BACKENDS: "weakref.WeakSet[ProcessShardedBackend]" = weakref.WeakSet()
+
+
+def _atexit_sweep() -> None:
+    for backend in list(_LIVE_BACKENDS):
+        try:
+            backend.emergency_stop()
+        except Exception:
+            pass  # exit path: nothing useful to do with a failure
+
+
+atexit.register(_atexit_sweep)
 
 
 class _PeerFailure(Exception):
     """One worker/replica RPC failed (dead pipe, timeout, or an
     ``err`` reply).  Internal: call sites respawn/rebuild or fall back;
-    this never escapes the backend."""
+    this never escapes the backend.  ``deadline=True`` marks an abort
+    caused by the *request's* deadline rather than peer health — call
+    sites convert it to :class:`DeadlineExceeded` instead of respawning
+    and retrying."""
 
-    def __init__(self, peer: "_Peer | None", reason: str):
+    def __init__(self, peer: "_Peer | None", reason: str,
+                 deadline: bool = False):
         super().__init__(reason)
         self.peer = peer
+        self.deadline = deadline
 
 
 class _Peer:
@@ -85,7 +109,7 @@ class _Peer:
 
     __slots__ = ("index", "kind", "process", "conn", "lock",
                  "known_values", "wal_offset", "snapshot_id", "gens",
-                 "sent_at")
+                 "sent_at", "poisoned")
 
     def __init__(self, index: int, kind: str, process, conn):
         self.index = index
@@ -98,6 +122,11 @@ class _Peer:
         self.snapshot_id = -1   # writer snapshot this peer booted from
         self.gens: dict[str, int] = {}
         self.sent_at = 0.0
+        # A poisoned peer's pipe may hold an unconsumed reply (timeout
+        # or deadline abort mid-exchange): the process can be healthy,
+        # but request/response alignment is gone, so the bootstrap
+        # paths must replace it rather than re-attach.
+        self.poisoned = False
 
 
 def _close_connections(conns: list) -> None:
@@ -124,9 +153,22 @@ class ProcessShardedBackend(StorageBackend):
     #: keys the coordinator's local index wins outright.
     FANOUT_THRESHOLD = 32
 
+    #: How long a single RPC may take before the peer is declared dead
+    #: (overridable per backend; a request deadline tightens it further).
+    RPC_TIMEOUT_S = 120.0
+
+    #: Total budget for the polite phase of ``close()`` before the
+    #: escalation to ``terminate()``/``kill()`` starts.
+    CLOSE_TIMEOUT_S = 5.0
+
     def __init__(self, schema: Schema, workers: int = 4,
                  replicas: int = 0, data_dir=None, fsync: bool = False,
-                 fanout_threshold: int | None = None):
+                 fanout_threshold: int | None = None,
+                 rpc_timeout_s: float | None = None,
+                 close_timeout_s: float | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 breaker_failure_threshold: int = 3,
+                 breaker_reset_after_s: float = 5.0):
         if workers < 1:
             raise StorageError(
                 f"procshard needs at least one worker process, "
@@ -152,6 +194,20 @@ class ProcessShardedBackend(StorageBackend):
         self.fanout_threshold = (self.FANOUT_THRESHOLD
                                  if fanout_threshold is None
                                  else max(0, fanout_threshold))
+        self.rpc_timeout_s = (self.RPC_TIMEOUT_S if rpc_timeout_s is None
+                              else float(rpc_timeout_s))
+        if self.rpc_timeout_s <= 0:
+            raise StorageError(
+                f"rpc_timeout_s must be positive, got {self.rpc_timeout_s}")
+        self.close_timeout_s = (self.CLOSE_TIMEOUT_S
+                                if close_timeout_s is None
+                                else float(close_timeout_s))
+        self._retry = retry_policy if retry_policy is not None else (
+            RetryPolicy(attempts=2, base_delay_s=0.02, seed=0))
+        self._breakers = [
+            CircuitBreaker(failure_threshold=breaker_failure_threshold,
+                           reset_after_s=breaker_reset_after_s)
+            for _ in range(replicas)]
         self._write_lock = threading.RLock()
         self._worker_peers: list[_Peer | None] = [None] * workers
         self._replica_peers: list[_Peer | None] = [None] * replicas
@@ -173,6 +229,11 @@ class ProcessShardedBackend(StorageBackend):
             "replica_wal_bytes_shipped_total": 0,
             "replica_catchups_total": 0,
             "replica_bootstraps_total": 0,
+            "rpc_timeouts_total": 0,
+            "rpc_deadline_aborts_total": 0,
+            "rpc_retries_total": 0,
+            "replica_breaker_skips_total": 0,
+            "close_escalations_total": 0,
         }
         for i in range(workers):
             self._counters[f"rpc_w{i}_requests_total"] = 0
@@ -187,6 +248,7 @@ class ProcessShardedBackend(StorageBackend):
         self._conns_for_gc: list = []
         self._finalizer = weakref.finalize(
             self, _close_connections, self._conns_for_gc)
+        _LIVE_BACKENDS.add(self)
 
     # -- process plumbing --------------------------------------------------
 
@@ -201,13 +263,47 @@ class ProcessShardedBackend(StorageBackend):
         self._conns_for_gc.append(parent)
         return _Peer(index, kind, process, parent)
 
+    def _retire(self, peer: _Peer) -> None:
+        """Take a peer out of service before its replacement spawns:
+        close the pipe (EOF ends a healthy child) and terminate the
+        process if it is still alive (poisoned peers usually are)."""
+        try:
+            self._conns_for_gc.remove(peer.conn)
+        except ValueError:
+            pass
+        try:
+            peer.conn.close()
+        except OSError:
+            pass
+        if peer.process.is_alive():
+            peer.process.terminate()
+            peer.process.join(timeout=1.0)
+            if peer.process.is_alive():
+                peer.process.kill()
+                peer.process.join(timeout=1.0)
+
     def _send(self, peer: _Peer, message, shipped: int) -> None:
+        if peer.poisoned:
+            # The pipe may still hold the reply of an abandoned
+            # request; sending would read that stale reply as this
+            # request's answer.  Fail fast so the caller's normal
+            # failure path (bootstrap → retry) replaces the peer.
+            raise _PeerFailure(
+                peer, f"{peer.kind}{peer.index} is poisoned (stale "
+                      f"reply pending); awaiting replacement")
         counters = self._counters
         counters["rpc_requests_total"] += 1
         counters["rpc_bytes_shipped_total"] += shipped
         if peer.kind == "w":
             counters[f"rpc_w{peer.index}_requests_total"] += 1
             counters[f"rpc_w{peer.index}_bytes_shipped_total"] += shipped
+        fault = fault_hook("rpc_send")
+        if fault is not None:
+            if fault.kind == "kill_peer":
+                peer.process.kill()
+                peer.process.join(timeout=5.0)
+            elif fault.kind == "delay":
+                time.sleep(fault.arg)
         peer.sent_at = time.perf_counter()
         try:
             peer.conn.send(message)
@@ -216,19 +312,53 @@ class ProcessShardedBackend(StorageBackend):
                 peer, f"{peer.kind}{peer.index} send failed: "
                       f"{error}") from error
 
-    def _recv(self, peer: _Peer):
+    def _recv(self, peer: _Peer, use_deadline: bool = True):
+        counters = self._counters
+        timeout = self.rpc_timeout_s
+        deadline = current_deadline() if use_deadline else None
+        if deadline is not None:
+            timeout = deadline.timeout(timeout)
+        fault = fault_hook("rpc_recv")
+        if fault is not None:
+            if fault.kind == "drop_reply":
+                # Consume the real reply and report a timeout: the
+                # failure paths run deterministically, without waiting
+                # out a real timeout window.
+                try:
+                    if peer.conn.poll(timeout):
+                        peer.conn.recv()
+                except (EOFError, OSError):
+                    pass
+                peer.poisoned = True
+                counters["rpc_timeouts_total"] += 1
+                raise _PeerFailure(
+                    peer, f"{peer.kind}{peer.index} reply dropped "
+                          f"(injected fault)")
+            if fault.kind == "delay":
+                time.sleep(fault.arg)
         try:
-            if not peer.conn.poll(_RPC_TIMEOUT_S):
+            if not peer.conn.poll(timeout):
+                # The pipe now holds (or will hold) a reply no caller
+                # will consume: poison the peer so the bootstrap paths
+                # replace it instead of re-attaching misaligned.
+                peer.poisoned = True
+                if deadline is not None and deadline.expired():
+                    counters["rpc_deadline_aborts_total"] += 1
+                    raise _PeerFailure(
+                        peer, f"{peer.kind}{peer.index} abandoned: "
+                              f"request deadline expired",
+                        deadline=True)
+                counters["rpc_timeouts_total"] += 1
                 raise _PeerFailure(
                     peer, f"{peer.kind}{peer.index} timed out after "
-                          f"{_RPC_TIMEOUT_S:g}s")
+                          f"{timeout:g}s")
             kind, payload = peer.conn.recv()
         except (EOFError, OSError) as error:
             raise _PeerFailure(
                 peer, f"{peer.kind}{peer.index} recv failed: "
                       f"{error}") from error
         elapsed = time.perf_counter() - peer.sent_at
-        self._counters["rpc_roundtrip_seconds_total"] += elapsed
+        counters["rpc_roundtrip_seconds_total"] += elapsed
         self._rpc_histogram.observe(elapsed)
         if peer.kind == "w":
             self._worker_histograms[peer.index].observe(elapsed)
@@ -237,10 +367,25 @@ class ProcessShardedBackend(StorageBackend):
                 peer, f"{peer.kind}{peer.index} replied: {payload}")
         return payload
 
-    def _request(self, peer: _Peer, message, shipped: int):
+    def _request(self, peer: _Peer, message, shipped: int,
+                 use_deadline: bool = True):
+        if use_deadline:
+            self._check_deadline_before_send(peer)
         with peer.lock:
             self._send(peer, message, shipped)
-            return self._recv(peer)
+            return self._recv(peer, use_deadline=use_deadline)
+
+    def _check_deadline_before_send(self, peer: "_Peer | None") -> None:
+        """Refuse to ship a request whose deadline has already expired:
+        nothing crosses the pipe, so no peer is poisoned and the abort
+        is deterministic (a reply racing ``poll(0)`` could otherwise
+        let an expired request through)."""
+        deadline = current_deadline()
+        if deadline is not None and deadline.expired():
+            self._counters["rpc_deadline_aborts_total"] += 1
+            raise _PeerFailure(
+                peer, "request deadline expired before send",
+                deadline=True)
 
     def _fanout(self, requests: "list[tuple[_Peer, tuple, int]]") -> list:
         """Ship a batch of requests (one per distinct peer, ascending
@@ -248,7 +393,11 @@ class ProcessShardedBackend(StorageBackend):
         locks are held across the whole exchange so a concurrent
         caller can never interleave on a pipe; on failure, responses
         already in flight from *other* peers are drained so their
-        pipes stay request/response aligned."""
+        pipes stay request/response aligned.  On a *deadline* abort
+        the drain gets only a short grace per peer — peers whose reply
+        still has not landed are poisoned and replaced later, because
+        a deadline abort must not block for the full RPC timeout."""
+        self._check_deadline_before_send(None)
         for peer in (peer for peer, _, _ in requests):
             peer.lock.acquire()
         outstanding: list[_Peer] = []
@@ -262,12 +411,15 @@ class ProcessShardedBackend(StorageBackend):
                 outstanding.remove(peer)
             return results
         except _PeerFailure as failure:
+            grace = 0.05 if failure.deadline else self.rpc_timeout_s
             for peer in outstanding:
                 if peer is failure.peer:
                     continue
                 try:
-                    if peer.conn.poll(_RPC_TIMEOUT_S):
+                    if peer.conn.poll(grace):
                         peer.conn.recv()
+                    else:
+                        peer.poisoned = True
                 except (EOFError, OSError):
                     pass
             raise
@@ -311,7 +463,9 @@ class ProcessShardedBackend(StorageBackend):
         authoritative store (callers hold ``_write_lock`` or accept the
         pre-batch snapshot semantics documented on the write path)."""
         peer = self._worker_peers[i]
-        if peer is None or not peer.process.is_alive():
+        if peer is None or peer.poisoned or not peer.process.is_alive():
+            if peer is not None:
+                self._retire(peer)
             peer = self._worker_peers[i] = self._spawn(i, "w")
         specs = []
         rows_by_cid: dict[int, list] = {}
@@ -334,8 +488,11 @@ class ProcessShardedBackend(StorageBackend):
                             + tuple(coded[p] for p in y_positions))
             shipped += len(rows) * width * 8
         values = self.dictionary.values_from(0)
+        # Bootstrap must complete even under an expired request
+        # deadline: an un-rebuilt shard would poison every later
+        # request, not just the one that ran out of time.
         self._request(peer, ("attach", specs, rows_by_cid, values),
-                      shipped)
+                      shipped, use_deadline=False)
         peer.known_values = len(values)
 
     def _bootstrap_replica(self, i: int) -> bool:
@@ -346,7 +503,9 @@ class ProcessShardedBackend(StorageBackend):
         if not isinstance(store, DiskBackend):
             return False
         peer = self._replica_peers[i]
-        if peer is None or not peer.process.is_alive():
+        if peer is None or peer.poisoned or not peer.process.is_alive():
+            if peer is not None:
+                self._retire(peer)
             peer = self._replica_peers[i] = self._spawn(i, "r")
         if store._snapshot_id == 0:
             store.snapshot()  # first bootstrap needs a snapshot to ship
@@ -371,7 +530,8 @@ class ProcessShardedBackend(StorageBackend):
         }
         shipped = sum(len(seg) for seg in segments.values()) + len(wal)
         try:
-            result = self._request(peer, ("bootstrap", payload), shipped)
+            result = self._request(peer, ("bootstrap", payload), shipped,
+                                   use_deadline=False)
         except _PeerFailure:
             return False
         peer.known_values = len(values)
@@ -428,7 +588,11 @@ class ProcessShardedBackend(StorageBackend):
                 if peer is None:
                     continue
                 try:
-                    self._request(peer, ("clear",), 0)
+                    # Write-plane op: deadline-immune like every other
+                    # shipped mutation (half-cleared shards would drift
+                    # from the authoritative store).
+                    self._request(peer, ("clear",), 0,
+                                  use_deadline=False)
                 except _PeerFailure as failure:
                     raise StorageError(
                         f"shard worker failed during clear: "
@@ -468,11 +632,17 @@ class ProcessShardedBackend(StorageBackend):
                 self._ship_write_one(w, ops[w], shipped[w])
 
     def _ship_write_one(self, w: int, ops: list, shipped: int) -> None:
+        # Write shipping ignores the ambient request deadline: once a
+        # batch starts crossing pipes it must land everywhere or be
+        # compensated — aborting halfway would leave shards drifted
+        # from the authoritative store.  Deadline enforcement for
+        # writes belongs before this point.
         for attempt in (0, 1):
             peer = self._worker_peers[w]
             delta = self.dictionary.values_from(peer.known_values)
             try:
-                self._request(peer, ("write", ops, delta), shipped)
+                self._request(peer, ("write", ops, delta), shipped,
+                              use_deadline=False)
                 peer.known_values += len(delta)
                 return
             except _PeerFailure as failure:
@@ -484,6 +654,7 @@ class ProcessShardedBackend(StorageBackend):
                 # yet contain this batch, so the retried op lands on a
                 # clean pre-batch slice.
                 self._counters["worker_respawns_total"] += 1
+                self._counters["rpc_retries_total"] += 1
                 self._bootstrap_worker(w)
 
     # -- reads: route encoded batches across workers and replicas ---------
@@ -577,7 +748,9 @@ class ProcessShardedBackend(StorageBackend):
                 positions[hash(key) % workers].append(position)
             touched = [w for w in range(workers) if positions[w]]
             payloads = [[keys[p] for p in positions[w]] for w in touched]
-        for attempt in (0, 1):
+        attempts = max(2, self._retry.attempts)
+        delays = self._retry.delays()
+        for attempt in range(attempts):
             requests = [
                 (self._worker_peers[w],
                  (op, cid, payload, row_proj, dedup),
@@ -588,9 +761,18 @@ class ProcessShardedBackend(StorageBackend):
                     parts = self._fanout(requests)
                 break
             except _PeerFailure as failure:
-                if attempt:
+                if failure.deadline:
+                    # The request ran out of time, not the peer out of
+                    # health: no respawn, no retry, no local fallback —
+                    # surface the typed abort to the caller.
+                    raise DeadlineExceeded("procshard_rpc") from failure
+                if attempt == attempts - 1:
                     return None
                 self._counters["worker_respawns_total"] += 1
+                self._counters["rpc_retries_total"] += 1
+                backoff = next(delays, 0.0)
+                if backoff:
+                    time.sleep(backoff)
                 dead = failure.peer
                 with self._write_lock:
                     self._bootstrap_worker(
@@ -622,24 +804,38 @@ class ProcessShardedBackend(StorageBackend):
 
     def _replica_fetch(self, i: int, op: str, cid: int, relation: str,
                        keys: Sequence, row_proj, dedup, width: int):
-        """Serve one whole batch from replica ``i`` iff it has caught
-        up to the writer's generation for ``relation``; None means the
-        caller should use the writer path instead."""
+        """Serve one whole batch from replica ``i`` iff its circuit
+        breaker admits traffic and it has caught up to the writer's
+        generation for ``relation``; None means the caller should use
+        the writer path instead.  Failures feed the breaker, so a
+        flapping replica degrades to writer-local reads (a counter
+        bump per read) instead of a bootstrap storm."""
+        breaker = self._breakers[i]
+        if not breaker.allow():
+            self._counters["replica_breaker_skips_total"] += 1
+            return None
         peer = self._replica_peers[i]
         needed = self._generations[relation]
-        if peer is None or peer.gens.get(relation, -1) < needed:
+        if (peer is None or peer.poisoned
+                or peer.gens.get(relation, -1) < needed):
             if not self._catch_up_replica(i):
+                breaker.record_failure()
                 return None
             peer = self._replica_peers[i]
             if peer is None or peer.gens.get(relation, -1) < needed:
+                breaker.record_failure()
                 return None
         try:
             with span("rpc_replica_fetch"):
                 payload = self._request(
                     peer, (op, cid, keys, row_proj, dedup),
                     self._key_bytes(keys))
-        except _PeerFailure:
+        except _PeerFailure as failure:
+            if failure.deadline:
+                raise DeadlineExceeded("procshard_replica_rpc") from failure
+            breaker.record_failure()
             return None
+        breaker.record_success()
         self._counters["replica_reads_total"] += 1
         if op == "fm":
             received = sum(length for _, length in payload)
@@ -658,7 +854,8 @@ class ProcessShardedBackend(StorageBackend):
             if not isinstance(store, DiskBackend):
                 return False
             peer = self._replica_peers[i]
-            if (peer is None or not peer.process.is_alive()
+            if (peer is None or peer.poisoned
+                    or not peer.process.is_alive()
                     or peer.snapshot_id != store._snapshot_id):
                 return self._bootstrap_replica(i)
             try:
@@ -667,11 +864,22 @@ class ProcessShardedBackend(StorageBackend):
                     chunk = handle.read()
             except OSError:
                 return self._bootstrap_replica(i)
+            fault = fault_hook("wal_ship")
+            if fault is not None and fault.kind == "torn_tail":
+                # Ship a chunk cut mid-frame: the replica must consume
+                # only up to its last intact record and the remainder
+                # re-ships on the next catch-up.
+                chunk = chunk[:max(0, len(chunk) - int(fault.arg))]
             delta = self.dictionary.values_from(peer.known_values)
             try:
                 result = self._request(
                     peer, ("wal", chunk, delta), len(chunk))
-            except _PeerFailure:
+            except _PeerFailure as failure:
+                if failure.deadline:
+                    # Out of request time, not a replica fault: leave
+                    # the (poisoned) peer for the housekeeping probe
+                    # instead of re-bootstrapping on a dead budget.
+                    return False
                 return self._bootstrap_replica(i)
             peer.known_values += len(delta)
             peer.wal_offset += result["consumed"]
@@ -725,6 +933,8 @@ class ProcessShardedBackend(StorageBackend):
         merged.update({key: round(value, 6) if isinstance(value, float)
                        else value
                        for key, value in self._counters.items()})
+        merged["replica_breaker_opens_total"] = sum(
+            breaker.opens_total for breaker in self._breakers)
         return merged
 
     def gauges(self) -> dict:
@@ -735,6 +945,9 @@ class ProcessShardedBackend(StorageBackend):
         levels["replicas_alive"] = sum(
             1 for peer in self._replica_peers
             if peer is not None and peer.process.is_alive())
+        for i, breaker in enumerate(self._breakers):
+            # 0=closed, 1=open, 2=half-open (resilience module encoding).
+            levels[f"replica_breaker_state_r{i}"] = breaker.state
         return levels
 
     def histograms(self) -> list:
@@ -746,11 +959,61 @@ class ProcessShardedBackend(StorageBackend):
                 f"store={self._store.describe()}, "
                 f"threshold={self.fanout_threshold})")
 
+    # -- health ------------------------------------------------------------
+
+    def health_check(self) -> dict:
+        """One housekeeping pass over the fleet: respawn dead or
+        poisoned workers off the request path, and probe half-open
+        replica breakers with a ping so a recovered replica re-closes
+        without waiting for live read traffic to gamble on it.
+
+        Safe to call from a background thread at any cadence; returns
+        a summary the serving tier logs."""
+        report = {"workers_respawned": 0, "replicas_probed": 0,
+                  "replicas_reclosed": 0}
+        if self._closed or not self._specs:
+            return report
+        for i, peer in enumerate(self._worker_peers):
+            if (peer is None or peer.poisoned
+                    or not peer.process.is_alive()):
+                with self._write_lock:
+                    try:
+                        self._bootstrap_worker(i)
+                    except _PeerFailure:
+                        continue
+                self._counters["worker_respawns_total"] += 1
+                report["workers_respawned"] += 1
+        for i, breaker in enumerate(self._breakers):
+            if breaker.state != HALF_OPEN:
+                continue
+            report["replicas_probed"] += 1
+            peer = self._replica_peers[i]
+            try:
+                if (peer is None or peer.poisoned
+                        or not peer.process.is_alive()):
+                    with self._write_lock:
+                        healthy = self._bootstrap_replica(i)
+                else:
+                    healthy = self._request(
+                        peer, ("ping",), 0, use_deadline=False) == "pong"
+            except _PeerFailure:
+                healthy = False
+            if healthy:
+                breaker.record_success()
+                report["replicas_reclosed"] += 1
+            else:
+                breaker.record_failure()
+        return report
+
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
         """Stop every child, close the pipes, close the inner store
-        (idempotent)."""
+        (idempotent).  The polite phase (stop handshake + join) runs
+        under a ``close_timeout_s`` budget; a peer that is still alive
+        when the budget runs out is escalated to ``terminate()`` and,
+        if it shrugs that off too, ``kill()`` — so ``close()`` returns
+        in bounded time even with a worker wedged mid-request."""
         with self._write_lock:
             if self._closed:
                 return
@@ -760,19 +1023,63 @@ class ProcessShardedBackend(StorageBackend):
                      if peer is not None]
             self._worker_peers = [None] * self.workers
             self._replica_peers = [None] * self.replicas
+        budget = Deadline.after(self.close_timeout_s)
         for peer in peers:
-            try:
-                with peer.lock:
+            self._shutdown_peer(peer, budget)
+        _LIVE_BACKENDS.discard(self)
+        self._store.close()
+
+    def _shutdown_peer(self, peer: _Peer, budget: Deadline) -> None:
+        # A request thread wedged inside _recv holds the peer lock;
+        # don't inherit its fate — skip the handshake and let the
+        # escalation below reclaim the process.
+        locked = peer.lock.acquire(timeout=budget.timeout(0.5))
+        try:
+            if locked:
+                try:
                     peer.conn.send(("stop",))
-                    if peer.conn.poll(1.0):
+                    if peer.conn.poll(budget.timeout(1.0)):
                         peer.conn.recv()
-            except (OSError, EOFError, ValueError):
-                pass
+                except (OSError, EOFError, ValueError):
+                    pass
+        finally:
+            if locked:
+                peer.lock.release()
+        try:
+            peer.conn.close()
+        except OSError:
+            pass
+        peer.process.join(timeout=budget.timeout(self.close_timeout_s))
+        if peer.process.is_alive():
+            self._counters["close_escalations_total"] += 1
+            peer.process.terminate()
+            peer.process.join(timeout=max(0.2, budget.timeout(1.0)))
+            if peer.process.is_alive():
+                peer.process.kill()
+                peer.process.join(timeout=1.0)
+
+    def emergency_stop(self) -> None:
+        """The atexit/last-resort teardown: no stop handshake, no
+        polite joins — close pipes, SIGKILL anything still alive, close
+        the store.  Used by the module's interpreter-exit sweep so a
+        coordinator abandoned without ``close()`` cannot orphan its
+        children."""
+        self._closed = True
+        peers = [peer for peer
+                 in (*self._worker_peers, *self._replica_peers)
+                 if peer is not None]
+        self._worker_peers = [None] * self.workers
+        self._replica_peers = [None] * self.replicas
+        for peer in peers:
             try:
                 peer.conn.close()
             except OSError:
                 pass
-            peer.process.join(timeout=5.0)
             if peer.process.is_alive():
-                peer.process.terminate()
-        self._store.close()
+                peer.process.kill()
+        for peer in peers:
+            peer.process.join(timeout=1.0)
+        try:
+            self._store.close()
+        except Exception:
+            pass

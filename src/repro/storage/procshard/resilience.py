@@ -1,0 +1,135 @@
+"""Peer-facing resilience primitives: circuit breaker and retry policy.
+
+Both are deliberately dependency-free and clock-injectable so the unit
+tests drive state transitions with a fake clock instead of sleeping.
+
+:class:`CircuitBreaker` guards one peer (one replica process, in
+practice).  Closed → open after ``failure_threshold`` *consecutive*
+failures; open → half-open after ``reset_after_s`` of wall quiet;
+half-open admits one probe — success re-closes, failure re-opens and
+restarts the quiet period.  While open, the coordinator skips the peer
+entirely and degrades to writer-local reads: a flapping replica costs
+a counter bump per read instead of a respawn storm.
+
+:class:`RetryPolicy` yields jittered exponential backoff delays.  The
+jitter is drawn from a seeded :class:`random.Random`, so a given
+policy instance produces a reproducible delay sequence — chaos runs
+stay deterministic end to end.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Iterator
+
+__all__ = ["CircuitBreaker", "RetryPolicy"]
+
+# Numeric state encoding for gauge export (repro_storage_replica_breaker_state).
+CLOSED = 0
+OPEN = 1
+HALF_OPEN = 2
+
+_STATE_NAMES = {CLOSED: "closed", OPEN: "open", HALF_OPEN: "half_open"}
+
+
+class CircuitBreaker:
+    """A per-peer closed/open/half-open breaker.
+
+    Not thread-safe on its own: the procshard coordinator already
+    serializes per-peer traffic under the peer lock, and tests drive it
+    single-threaded with a fake clock.
+    """
+
+    __slots__ = ("failure_threshold", "reset_after_s", "_clock", "_state",
+                 "_failures", "_opened_at", "opens_total")
+
+    def __init__(self, failure_threshold: int = 3, reset_after_s: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        #: Lifetime closed→open transitions (counter-exported).
+        self.opens_total = 0
+
+    @property
+    def state(self) -> int:
+        """Current numeric state, promoting open → half-open when the
+        quiet period has elapsed (reads are how time advances here)."""
+        if (self._state == OPEN
+                and self._clock() - self._opened_at >= self.reset_after_s):
+            self._state = HALF_OPEN
+        return self._state
+
+    @property
+    def state_name(self) -> str:
+        return _STATE_NAMES[self.state]
+
+    def allow(self) -> bool:
+        """May the caller attempt the peer right now?
+
+        Closed and half-open say yes (half-open is the single probe:
+        the coordinator's per-peer lock means one request is in flight
+        at a time, so no extra probe token is needed).  Open says no.
+        """
+        return self.state != OPEN
+
+    def record_success(self) -> None:
+        self._state = CLOSED
+        self._failures = 0
+
+    def record_failure(self) -> None:
+        if self._state == HALF_OPEN:
+            # Failed probe: straight back to open, restart the quiet
+            # period from now.
+            self._state = OPEN
+            self._opened_at = self._clock()
+            self.opens_total += 1
+            return
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._state = OPEN
+            self._opened_at = self._clock()
+            self._failures = 0
+            self.opens_total += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"CircuitBreaker(state={self.state_name}, "
+                f"failures={self._failures}, opens={self.opens_total})")
+
+
+class RetryPolicy:
+    """Seeded jittered exponential backoff.
+
+    ``delays()`` yields ``attempts - 1`` sleep durations (no sleep
+    after the final attempt): ``base * 2^i``, capped at ``max_delay_s``,
+    scaled by a jitter factor drawn uniformly from
+    ``[1 - jitter, 1 + jitter]``.
+    """
+
+    __slots__ = ("attempts", "base_delay_s", "max_delay_s", "jitter", "_rng")
+
+    def __init__(self, attempts: int = 3, base_delay_s: float = 0.05,
+                 max_delay_s: float = 1.0, jitter: float = 0.5,
+                 seed: int = 0):
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.attempts = attempts
+        self.base_delay_s = base_delay_s
+        self.max_delay_s = max_delay_s
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    def delays(self) -> Iterator[float]:
+        delay = self.base_delay_s
+        for _ in range(self.attempts - 1):
+            scale = 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+            yield min(delay, self.max_delay_s) * scale
+            delay *= 2.0

@@ -22,6 +22,7 @@ exits when the pipe closes (coordinator death) or on ``("stop",)``.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 from ..encoding import int_column
@@ -209,6 +210,13 @@ class WorkerState:
                                   for index in self.indexes.values())}
         if op == "ping":
             return "pong"
+        if op == "sleep":
+            # Chaos/test hook: wedge this worker for N seconds, as a
+            # stand-in for a request stuck on a lost lock or a runaway
+            # computation.  The coordinator's close()/timeout
+            # escalation paths are tested against exactly this.
+            time.sleep(request[1])
+            return True
         raise ValueError(f"unknown worker op {op!r}")
 
 

@@ -1,0 +1,100 @@
+"""Admission gates: the capacity controller and the certificate
+(budget) gate, including the over-budget and no-certificate refusals."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine.cost import static_bounds
+from repro.serve.admission import (AdmissionController, Tenant,
+                                   budget_decision)
+from repro.service import BoundedQueryService
+
+BOUNDED_QUERY = "Q(d) :- Accident(a, d, t), t = '1/5/2005'"
+UNBOUNDED_QUERY = "Q(a) :- Casualty(c, a, cl, v)"
+
+
+@pytest.fixture
+def service(accident_db):
+    return BoundedQueryService(accident_db)
+
+
+class TestAdmissionController:
+    def test_admits_until_the_cap_then_sheds(self):
+        gate = AdmissionController(max_inflight=2)
+        assert gate.try_enter() and gate.try_enter()
+        assert not gate.try_enter()  # full: shed
+        assert gate.inflight == 2
+        assert gate.admitted_total == 2 and gate.shed_total == 1
+        gate.leave()
+        assert gate.try_enter()  # a slot freed up
+
+    def test_leave_without_enter_is_a_bug(self):
+        gate = AdmissionController(max_inflight=1)
+        with pytest.raises(RuntimeError):
+            gate.leave()
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+
+    def test_thread_safe_under_contention(self):
+        gate = AdmissionController(max_inflight=5)
+        outcomes = []
+
+        def worker():
+            for _ in range(200):
+                if gate.try_enter():
+                    outcomes.append(1)
+                    gate.leave()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert gate.inflight == 0
+        assert gate.admitted_total == len(outcomes)
+        assert gate.admitted_total + gate.shed_total == 8 * 200
+
+
+class TestBudgetDecision:
+    def test_no_budget_admits_everything(self, accident_db, service):
+        tenant = Tenant("t", service, budget=None)
+        for text in (BOUNDED_QUERY, UNBOUNDED_QUERY):
+            entry = service.compile(text)
+            decision = budget_decision(entry, tenant, accident_db.size())
+            assert decision.admitted
+
+    def test_bound_within_budget_admits_and_quotes_bound(
+            self, accident_db, service):
+        entry = service.compile(BOUNDED_QUERY)
+        assert entry.bounded
+        bound = static_bounds(entry.plan,
+                              db_size=accident_db.size()).fetch_bound
+        tenant = Tenant("t", service, budget=bound)
+        decision = budget_decision(entry, tenant, accident_db.size())
+        assert decision.admitted
+        assert decision.bound == bound
+
+    def test_bound_over_budget_rejects_before_execution(
+            self, accident_db, service):
+        entry = service.compile(BOUNDED_QUERY)
+        bound = static_bounds(entry.plan,
+                              db_size=accident_db.size()).fetch_bound
+        tenant = Tenant("t", service, budget=bound - 1)
+        decision = budget_decision(entry, tenant, accident_db.size())
+        assert not decision.admitted
+        assert decision.bound == bound
+        assert "exceeds" in decision.reason
+
+    def test_uncertified_query_rejected_under_finite_budget(
+            self, accident_db, service):
+        entry = service.compile(UNBOUNDED_QUERY)
+        assert not entry.bounded
+        tenant = Tenant("t", service, budget=10_000)
+        decision = budget_decision(entry, tenant, accident_db.size())
+        assert not decision.admitted
+        assert "no cost certificate" in decision.reason

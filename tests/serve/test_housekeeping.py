@@ -1,0 +1,118 @@
+"""The single housekeeping loop: scheduling, error survival, reporting."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.housekeeping import Housekeeper
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def keeper(clock):
+    return Housekeeper(clock=clock)
+
+
+class TestScheduling:
+    def test_nothing_due_before_the_first_interval(self, keeper, clock):
+        ran = []
+        keeper.register("sweep", 5.0, lambda: ran.append(1))
+        clock.now = 4.9
+        assert keeper.run_due() == 0
+        assert ran == []
+
+    def test_runs_when_due_and_reschedules(self, keeper, clock):
+        ran = []
+        keeper.register("sweep", 5.0, lambda: ran.append(1))
+        clock.now = 5.0
+        assert keeper.run_due() == 1
+        assert ran == [1]
+        # Re-armed relative to the run, not the original registration.
+        clock.now = 9.9
+        assert keeper.run_due() == 0
+        clock.now = 10.0
+        assert keeper.run_due() == 1
+        assert ran == [1, 1]
+
+    def test_handlers_run_independently(self, keeper, clock):
+        ran = []
+        keeper.register("fast", 1.0, lambda: ran.append("fast"))
+        keeper.register("slow", 10.0, lambda: ran.append("slow"))
+        clock.now = 1.0
+        keeper.run_due()
+        assert ran == ["fast"]
+        clock.now = 10.0
+        keeper.run_due()
+        assert sorted(ran) == ["fast", "fast", "slow"]
+
+    def test_duplicate_names_and_bad_intervals_rejected(self, keeper):
+        keeper.register("x", 1.0, lambda: None)
+        with pytest.raises(ValueError):
+            keeper.register("x", 1.0, lambda: None)
+        with pytest.raises(ValueError):
+            keeper.register("y", 0.0, lambda: None)
+
+
+class TestErrorSurvival:
+    def test_a_raising_handler_stays_scheduled(self, keeper, clock):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("transient dependency down")
+            return "ok"
+
+        keeper.register("flaky", 1.0, flaky)
+        clock.now = 1.0
+        keeper.run_due()
+        clock.now = 2.0
+        keeper.run_due()
+        assert len(calls) == 2
+        report = keeper.report()["flaky"]
+        assert report["runs"] == 1
+        assert report["errors"] == 1
+        assert "transient dependency down" in report["last_error"]
+
+
+class TestReport:
+    def test_report_shape(self, keeper, clock):
+        keeper.register("sweep", 5.0, lambda: 3)
+        clock.now = 5.0
+        keeper.run_due()
+        report = keeper.report()
+        assert report == {"sweep": {"interval_s": 5.0, "runs": 1,
+                                    "errors": 0, "last_error": ""}}
+
+
+class TestAsyncLoop:
+    def test_run_executes_due_handlers_and_stops(self):
+        keeper = Housekeeper()
+        keeper.MAX_SLEEP_S = 0.02
+        ran = []
+        keeper.register("tick", 0.01, lambda: ran.append(1))
+
+        async def go():
+            stop = asyncio.Event()
+            task = asyncio.ensure_future(keeper.run(stop))
+            await asyncio.sleep(0.2)
+            stop.set()
+            await asyncio.wait_for(task, timeout=5.0)
+
+        asyncio.run(go())
+        assert len(ran) >= 2
+        assert keeper.report()["tick"]["runs"] == len(ran)

@@ -1,0 +1,117 @@
+"""The minimal HTTP layer: request parsing, limits, responses."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (MAX_BODY_BYTES, HttpError, Request,
+                              json_response, read_request, render_response)
+
+
+def parse(raw: bytes) -> Request | None:
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_get_without_body(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\n"
+                        b"Host: localhost\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.headers["host"] == "localhost"
+        assert request.body == b""
+        assert request.keep_alive
+
+    def test_post_with_content_length_body(self):
+        body = b'{"query": "Q(x) :- R(x)"}'
+        request = parse(b"POST /query HTTP/1.1\r\n"
+                        b"Content-Type: application/json\r\n"
+                        + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                        + body)
+        assert request.method == "POST"
+        assert request.body == body
+        assert request.json()["query"] == "Q(x) :- R(x)"
+
+    def test_connection_close_disables_keep_alive(self):
+        request = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HttpError) as info:
+            parse(b"NONSENSE\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_malformed_header_is_400(self):
+        with pytest.raises(HttpError) as info:
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_bad_content_length_is_400(self):
+        for value in (b"abc", b"-5"):
+            with pytest.raises(HttpError) as info:
+                parse(b"GET / HTTP/1.1\r\nContent-Length: " + value
+                      + b"\r\n\r\n")
+            assert info.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        with pytest.raises(HttpError) as info:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: "
+                  + str(MAX_BODY_BYTES + 1).encode() + b"\r\n\r\n")
+        assert info.value.status == 413
+
+    def test_truncated_body_is_400(self):
+        with pytest.raises(HttpError) as info:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort")
+        assert info.value.status == 400
+
+    def test_chunked_transfer_is_refused(self):
+        with pytest.raises(HttpError) as info:
+            parse(b"POST / HTTP/1.1\r\n"
+                  b"Transfer-Encoding: chunked\r\n\r\n")
+        assert info.value.status == 400
+
+
+class TestRequestJson:
+    def test_empty_body_is_400(self):
+        with pytest.raises(HttpError):
+            Request("POST", "/query").json()
+
+    def test_invalid_json_is_400(self):
+        with pytest.raises(HttpError):
+            Request("POST", "/query", body=b"{nope").json()
+
+    def test_non_object_json_is_400(self):
+        with pytest.raises(HttpError):
+            Request("POST", "/query", body=b"[1, 2]").json()
+
+
+class TestResponses:
+    def test_render_response_shape(self):
+        raw = render_response(200, b"hi", content_type="text/plain")
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 2" in head
+        assert b"Connection: keep-alive" in head
+        assert body == b"hi"
+
+    def test_json_response_round_trips_with_extra_headers(self):
+        raw = json_response(429, {"error": "shed"},
+                            extra_headers=(("Retry-After", "1"),),
+                            keep_alive=False)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 429 Too Many Requests\r\n")
+        assert b"Retry-After: 1" in head
+        assert b"Connection: close" in head
+        assert json.loads(body) == {"error": "shed"}

@@ -1,0 +1,119 @@
+"""Circuit breaker and retry policy units, driven by a fake clock —
+no sleeping, every transition asserted explicitly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.procshard.resilience import (CLOSED, HALF_OPEN, OPEN,
+                                                CircuitBreaker, RetryPolicy)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, reset_after_s=5.0,
+                          clock=clock)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self, breaker):
+        assert breaker.state == CLOSED and breaker.allow()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # threshold not reached
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.opens_total == 1
+
+    def test_success_resets_the_failure_streak(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # streak restarted, not resumed
+
+    def test_half_open_after_quiet_period(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(4.9)
+        assert breaker.state == OPEN and not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # the single probe
+        assert breaker.state_name == "half_open"
+
+    def test_probe_success_recloses(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED and breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_quiet_period(
+            self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()  # one failed probe is enough
+        assert breaker.state == OPEN
+        assert breaker.opens_total == 2
+        clock.advance(4.9)
+        assert breaker.state == OPEN  # the period restarted from the probe
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_threshold_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0, clock=clock)
+
+
+class TestRetryPolicy:
+    def test_yields_attempts_minus_one_delays(self):
+        assert len(list(RetryPolicy(attempts=4).delays())) == 3
+        assert list(RetryPolicy(attempts=1).delays()) == []
+
+    def test_delays_grow_exponentially_within_jitter(self):
+        policy = RetryPolicy(attempts=4, base_delay_s=0.1,
+                             max_delay_s=10.0, jitter=0.5, seed=7)
+        delays = list(policy.delays())
+        for i, delay in enumerate(delays):
+            nominal = 0.1 * 2 ** i
+            assert nominal * 0.5 <= delay <= nominal * 1.5
+
+    def test_cap_applies_before_jitter_scale(self):
+        policy = RetryPolicy(attempts=5, base_delay_s=1.0,
+                             max_delay_s=1.0, jitter=0.25, seed=0)
+        assert all(delay <= 1.25 for delay in policy.delays())
+
+    def test_seeded_sequences_reproduce(self):
+        first = list(RetryPolicy(attempts=5, seed=42).delays())
+        second = list(RetryPolicy(attempts=5, seed=42).delays())
+        other = list(RetryPolicy(attempts=5, seed=43).delays())
+        assert first == second
+        assert first != other
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)

@@ -1,0 +1,79 @@
+"""Ambient per-request deadlines: the absolute-cutoff arithmetic and
+the thread-local scope stack the whole serving path relies on."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.deadline import Deadline, current_deadline, deadline_scope
+from repro.errors import DeadlineExceeded, ReproError
+
+
+class TestDeadline:
+    def test_after_remaining_and_expiry(self):
+        deadline = Deadline.after(60.0)
+        assert not deadline.expired()
+        assert 59.0 < deadline.remaining() <= 60.0
+        deadline.check("anywhere")  # must not raise
+
+    def test_expired_deadline_checks_raise_typed_error(self):
+        deadline = Deadline.after(-0.5)
+        assert deadline.expired()
+        assert deadline.remaining() < 0
+        with pytest.raises(DeadlineExceeded) as info:
+            deadline.check("executor:join")
+        assert "executor:join" in str(info.value)
+        assert info.value.overrun_s >= 0.5
+
+    def test_deadline_exceeded_is_a_repro_error(self):
+        # The CLI/service error funnels catch ReproError; a deadline
+        # abort must flow through them, not past them.
+        assert issubclass(DeadlineExceeded, ReproError)
+
+    def test_timeout_is_min_of_cap_and_remaining(self):
+        assert Deadline.after(60.0).timeout(2.0) == 2.0
+        short = Deadline.after(0.5).timeout(2.0)
+        assert 0.0 < short <= 0.5
+        # Expired: non-blocking poll, never negative.
+        assert Deadline.after(-1.0).timeout(2.0) == 0.0
+
+
+class TestAmbientScope:
+    def test_no_scope_means_none(self):
+        assert current_deadline() is None
+
+    def test_scope_installs_and_restores(self):
+        deadline = Deadline.after(1.0)
+        with deadline_scope(deadline) as active:
+            assert active is deadline
+            assert current_deadline() is deadline
+        assert current_deadline() is None
+
+    def test_none_scope_is_a_no_op(self):
+        with deadline_scope(None) as active:
+            assert active is None
+            assert current_deadline() is None
+
+    def test_innermost_scope_wins(self):
+        outer, inner = Deadline.after(10.0), Deadline.after(1.0)
+        with deadline_scope(outer):
+            with deadline_scope(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+
+    def test_scope_pops_even_on_error(self):
+        with pytest.raises(RuntimeError):
+            with deadline_scope(Deadline.after(1.0)):
+                raise RuntimeError("boom")
+        assert current_deadline() is None
+
+    def test_scope_is_thread_local(self):
+        seen = []
+        with deadline_scope(Deadline.after(1.0)):
+            thread = threading.Thread(
+                target=lambda: seen.append(current_deadline()))
+            thread.start()
+            thread.join()
+        assert seen == [None]
