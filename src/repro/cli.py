@@ -8,8 +8,9 @@ Usage (after ``pip install -e .`` the ``repro`` entry point is on PATH;
     repro run      --db DIR [--backend sharded --shards S] "Q(x) :- ..."
     repro discover --db DIR [--max-bound N]
     repro batch    --db DIR [--workers K] [--backend sharded] requests.json
-    repro bench-service --db DIR [--requests N] [--backend sharded] "Q(x) :- ..."
+    repro bench-service --db DIR [--requests N] [--write-fraction F] "Q(x) :- ..."
     repro stats    --db DIR [--backend disk --data-dir D]
+    repro serve    --db DIR [--port P] [--workers K] [--budget B]
 
 ``run``, ``batch`` and ``bench-service`` also take the observability
 flags (see README, "Observability"): ``--trace PATH`` records per-stage
@@ -41,7 +42,12 @@ specialization advice; ``explain`` prints the full compilation pipeline
 ``discover`` mines an access schema from the data and prints it;
 ``batch`` serves a JSON file of requests through a persistent
 :class:`~repro.service.BoundedQueryService`; ``bench-service`` measures
-cold vs. warm service latency for one query.
+cold vs. warm service latency for one query — with ``--write-fraction
+F`` it interleaves row rewrites into the warm loop, exercising the
+fetch cache's incremental maintenance under mixed traffic (EXP-14
+measures the same thing reproducibly); ``serve`` runs the resilient
+HTTP serving tier (admission control, deadlines, graceful shutdown)
+until interrupted.
 
 The batch file format::
 
@@ -348,6 +354,8 @@ def cmd_batch(args) -> int:
 
 
 def cmd_bench_service(args) -> int:
+    import random
+
     db = _load(args)
     query = args.query
     registry = MetricsRegistry() if args.metrics_out else None
@@ -356,11 +364,28 @@ def cmd_bench_service(args) -> int:
     cold = cold_service.execute(query)
     cold_ms = cold.latency_ms
 
+    write_fraction = max(0.0, min(1.0, args.write_fraction))
+    churn_relation = churn_rows = None
+    if write_fraction > 0:
+        # Interleaved writes rewrite (delete + reinsert) random rows of
+        # the largest relation: content is unchanged, but every rewrite
+        # bumps the write generation — exactly the traffic incremental
+        # cache maintenance absorbs in place.
+        churn_relation = max(db.summary().items(), key=lambda kv: kv[1])[0]
+        churn_rows = db.relation_tuples(churn_relation)
+
+    rng = random.Random(0)
+    writes = 0
     service = BoundedQueryService(db, registry=registry)
     with _maybe_trace(args):
         service.execute(query)  # prime the caches
         warm_ms = []
         for _ in range(max(1, args.requests)):
+            if churn_rows and rng.random() < write_fraction:
+                row = rng.choice(churn_rows)
+                db.delete(churn_relation, row)
+                db.insert(churn_relation, row)
+                writes += 1
             warm_ms.append(service.execute(query).latency_ms)
     warm_ms.sort()
     p50 = warm_ms[len(warm_ms) // 2]
@@ -373,6 +398,12 @@ def cmd_bench_service(args) -> int:
     print(f"warm x{len(warm_ms)} (plan cache + fetch cache): "
           f"p50 {p50:.3f}ms  p95 {p95:.3f}ms  "
           f"speedup {cold_ms / max(p50, 1e-6):.0f}x")
+    if writes:
+        cache = service.fetch_cache
+        print(f"writes interleaved: {writes} rewrites of {churn_relation} "
+              f"({write_fraction:.0%} of requests); maintenance: "
+              f"{cache.maintained_deltas} deltas applied in place, "
+              f"{cache.maintenance_fallbacks} fallbacks")
     print(service.stats())
     _maybe_write_metrics(args, registry)
     return 0
@@ -529,6 +560,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--db", required=True)
     bench.add_argument("--requests", type=int, default=100,
                        help="warm repetitions to measure")
+    bench.add_argument("--write-fraction", dest="write_fraction",
+                       type=float, default=0.0,
+                       help="fraction of warm requests preceded by a row "
+                            "rewrite of the largest relation (0..1), "
+                            "exercising incremental cache maintenance "
+                            "under mixed traffic")
     _add_backend_flags(bench)
     _add_obs_flags(bench)
     bench.add_argument("query")

@@ -106,6 +106,7 @@ def attach_cache_collector(registry: MetricsRegistry, service) -> None:
     """
     plan = _cache_instruments(registry, "plan")
     fetch = _cache_instruments(registry, "fetch")
+    answer = _cache_instruments(registry, "answer")
     # Fetch-cache hits split by entry family: encoded column views
     # (the columnar path, no re-encoding on a warm hit) vs legacy row
     # lists — the ratio shows how much traffic runs columnar.
@@ -115,6 +116,29 @@ def attach_cache_collector(registry: MetricsRegistry, service) -> None:
     legacy_hits = registry.counter(
         "repro_fetch_cache_legacy_hits_total",
         "fetch cache hits served as decoded row lists")
+    # Incremental-maintenance outcomes: deltas applied in place vs
+    # deltas that fell back to invalidation.  A healthy write-heavy
+    # workload shows maintained ≫ fallbacks; fallbacks climbing means
+    # wipes (clear/reattach/recovery) or stream gaps are eating the
+    # cache's warmth.
+    maintained_deltas = registry.counter(
+        "repro_fetch_cache_maintained_deltas_total",
+        "write deltas applied to cached fetch entries in place")
+    maintained_entries = registry.counter(
+        "repro_fetch_cache_maintained_entries_total",
+        "cached fetch entries updated in place by deltas")
+    fallbacks = registry.counter(
+        "repro_fetch_cache_maintenance_fallbacks_total",
+        "write deltas that fell back to invalidation")
+    invalidations = registry.counter(
+        "repro_fetch_cache_maintenance_invalidations_total",
+        "cached fetch entries dropped by maintenance fallbacks")
+    answer_maintained = registry.counter(
+        "repro_answer_cache_maintained_entries_total",
+        "cached answer sets validated past an unobservable write")
+    answer_invalidations = registry.counter(
+        "repro_answer_cache_maintenance_invalidations_total",
+        "cached answer sets dropped by write maintenance")
 
     def collect() -> None:
         for instruments, info in ((plan, service.plan_cache.info()),
@@ -128,6 +152,26 @@ def attach_cache_collector(registry: MetricsRegistry, service) -> None:
         fetch_cache = service.fetch_cache
         encoded_hits.set_total(getattr(fetch_cache, "encoded_hits", 0))
         legacy_hits.set_total(getattr(fetch_cache, "legacy_hits", 0))
+        maintained_deltas.set_total(
+            getattr(fetch_cache, "maintained_deltas", 0))
+        maintained_entries.set_total(
+            getattr(fetch_cache, "maintained_entries", 0))
+        fallbacks.set_total(
+            getattr(fetch_cache, "maintenance_fallbacks", 0))
+        invalidations.set_total(
+            getattr(fetch_cache, "maintenance_invalidations", 0))
+        answer_cache = getattr(service, "answer_cache", None)
+        if answer_cache is not None:
+            info = answer_cache.info()
+            hits, misses, evictions, size, rate = answer
+            hits.set_total(info.hits)
+            misses.set_total(info.misses)
+            evictions.set_total(info.evictions)
+            size.set(info.size)
+            rate.set(round(info.hit_rate, 6))
+            answer_maintained.set_total(answer_cache.maintained_entries)
+            answer_invalidations.set_total(
+                answer_cache.maintenance_invalidations)
 
     registry.register_collector(collect)
 

@@ -1,17 +1,37 @@
-"""A bounded LRU over ``Database.fetch`` results.
+"""A bounded LRU over ``Database.fetch`` results, maintained under
+writes.
 
 ``fetch(constraint, x_value)`` is the only primitive through which
 bounded plans touch data, and an access constraint ``R(X → Y, N)``
 certifies that any one result holds at most ``N`` distinct tuples — so
 a cache of ``capacity`` entries occupies at most ``capacity · N_max``
-tuples.  Memory is certifiably bounded by Q-and-A-style reasoning, the
-same guarantee the plans themselves enjoy.
+tuples.  Memory is certifiably bounded by the same reasoning the plans
+themselves enjoy.
 
-Freshness comes from the per-relation generation counters maintained by
-:class:`~repro.storage.database.Database`: the cache key includes the
-relation's write epoch, so any ``insert``/``insert_many`` naturally
-invalidates every cached fetch against that relation (stale entries age
-out of the LRU; they can never be served).
+Freshness comes in two flavours (the full soundness argument lives in
+``docs/ARCHITECTURE.md``):
+
+* **Maintained entries** — for constraints that resolve *exactly*
+  against an attached index (same relation, X, Y and bound), entries
+  are keyed without a generation and kept current by applying the
+  backend's :class:`~repro.storage.delta.WriteDelta` stream: an
+  insert/delete touches exactly the entries whose X-key it changed,
+  everything else stays warm.  A per-relation *epoch* (the generation
+  of the last applied delta) validates lookups; a delta that cannot be
+  applied exactly (a ``clear``, recovery, schema reattach, or a gap in
+  the stream) falls back to invalidating the relation's maintained
+  entries — counted, so dashboards can see maintenance degrade.
+* **Generation-keyed entries** — constraints that resolve through a
+  key permutation or row projection (structural recreations with a
+  different layout) keep the original scheme: the cache key carries
+  ``db.generation(relation)``, so any write cold-starts them.  This
+  *is* the fallback-to-invalidate path, with no purge needed on the
+  write itself (stale entries age out or are swept).
+
+Maintenance is attached per database via :meth:`FetchCache.
+attach_maintenance` (the service does this at construction); an
+unattached cache behaves exactly like the original generation-keyed
+design.
 
 :class:`CachingExecutor` interposes the cache on the executor's fetch
 hook and keeps the access accounting honest: cold lookups count toward
@@ -21,33 +41,85 @@ separately as ``fetch_cache_hits`` / ``tuples_from_cache``.
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 from ..deadline import current_deadline
 from ..engine.executor import AccessStats, Executor
 from ..schema.access import AccessConstraint
 from ..storage.database import Database
+from ..storage.delta import WriteDelta
 from ..storage.encoding import extend_column, int_column, readonly_view
 from .lru import LruDict
 from .plancache import CacheInfo
 
+#: Key marker for maintained *encoded* entries: ``(constraint, code
+#: key, _ENCODED)``.  A unique object, so the key can never collide
+#: with a generation-keyed 3-tuple ``(constraint, x_value, int)`` even
+#: when a code tuple equals a value tuple under ``==``.
+_ENCODED = object()
+
+
+def _encoded_plus(entry, row_codes):
+    """``entry`` with one code row appended, or None if it is already
+    present (idempotent, copy-on-write: readers keep their views)."""
+    views, length = entry
+    width = len(row_codes)
+    for i in range(length):
+        if all(views[c][i] == row_codes[c] for c in range(width)):
+            return None
+    cols = []
+    for c in range(width):
+        column = int_column()
+        extend_column(column, views[c])
+        column.append(row_codes[c])
+        cols.append(readonly_view(column))
+    return tuple(cols), length + 1
+
+
+def _encoded_minus(entry, row_codes):
+    """``entry`` with one code row removed, or None if it is absent."""
+    views, length = entry
+    width = len(row_codes)
+    position = -1
+    for i in range(length):
+        if all(views[c][i] == row_codes[c] for c in range(width)):
+            position = i
+            break
+    if position < 0:
+        return None
+    cols = []
+    for c in range(width):
+        column = int_column()
+        extend_column(column, views[c])
+        del column[position]
+        cols.append(readonly_view(column))
+    return tuple(cols), length - 1
+
 
 class FetchCache:
-    """Thread-safe LRU from ``(constraint, x_value, generation)`` to the
-    fetched ``X∪Y`` rows.
+    """Thread-safe LRU over per-X-value fetch results.
 
-    Two entry families share the LRU: *legacy* entries (value X-keys →
-    row-tuple lists, the pre-columnar surface) and *encoded* entries
-    (dictionary-code keys → readonly ``array('q')`` column views plus a
-    length).  Encoded entries are what the columnar executor consumes:
-    a warm hit hands back zero-copy views that flow straight into a
-    batch — no re-encoding, no row materialization.  Key shapes differ
-    (3-tuples vs 4-tuples) so the families can never collide even when
-    a code tuple equals a value tuple.
+    Four key shapes share the LRU and can never collide:
+
+    * maintained legacy — ``(constraint, x_value)`` → row-tuple list;
+    * maintained encoded — ``(constraint, code key, _ENCODED)`` →
+      ``(readonly column views, length)``;
+    * generation-keyed legacy — ``(constraint, x_value, generation)``;
+    * generation-keyed encoded — ``(constraint, code key, generation,
+      0)``.
+
+    Encoded entries are what the columnar executor consumes: a warm hit
+    hands back zero-copy views that flow straight into a batch — no
+    re-encoding, no row materialization.  Maintenance rebuilds an
+    entry's arrays copy-on-write, so views already handed out stay
+    frozen at the content they were served with.
 
     >>> cache = FetchCache(capacity=128)
     >>> cache.info().size
     0
+    >>> cache.maintained_deltas, cache.maintenance_fallbacks
+    (0, 0)
     """
 
     def __init__(self, capacity: int = 4096):
@@ -60,14 +132,122 @@ class FetchCache:
         #: (advisory counters; the obs layer exports both).
         self.encoded_hits = 0
         self.legacy_hits = 0
+        # -- incremental maintenance state ---------------------------------
+        # Serializes delta application, epoch reads/writes and the
+        # store-a-fill decision.  Never held while calling into the
+        # backend (writers call the listener while holding the backend
+        # lock, so the reverse order would deadlock).
+        self._maintenance_lock = threading.Lock()
+        #: relation -> generation of the last applied delta.  Invariant:
+        #: a relation with no epoch has no maintained entries.
+        self._epochs: dict[str, int] = {}
+        self._backend = None
+        # Maintainability verdicts, memoized per constraint *value*
+        # against the identity of the backend's attached schema.
+        self._verdicts: dict[AccessConstraint, bool] = {}
+        self._verdict_schema = None
+        #: Deltas applied to maintained entries in place.
+        self.maintained_deltas = 0
+        #: Cached entries updated (not dropped) by delta application.
+        self.maintained_entries = 0
+        #: Deltas that could not be applied exactly (wipe, epoch gap,
+        #: schema reattach) and fell back to invalidation.
+        self.maintenance_fallbacks = 0
+        #: Entries dropped by those fallbacks.
+        self.maintenance_invalidations = 0
+
+    # -- maintenance wiring ------------------------------------------------
+
+    def attach_maintenance(self, db: Database) -> None:
+        """Subscribe this cache to ``db``'s write-delta stream.
+
+        Constraints that resolve exactly against the attached schema
+        switch to maintained (epoch-validated) entries; everything else
+        stays generation-keyed.  Idempotent per backend; attaching to a
+        different backend detaches from the previous one first.
+        """
+        backend = db.backend
+        if backend is self._backend:
+            return
+        self.detach_maintenance()
+        with self._maintenance_lock:
+            self._epochs.clear()
+            self._verdicts = {}
+            self._verdict_schema = None
+            self._backend = backend
+        backend.add_write_listener(self._on_delta)
+
+    def detach_maintenance(self) -> int:
+        """Unsubscribe and drop every maintained entry (they would go
+        silently stale without the delta stream).  Returns the number
+        of entries dropped.  Safe to call when not attached."""
+        backend = self._backend
+        if backend is not None:
+            backend.remove_write_listener(self._on_delta)
+        with self._maintenance_lock:
+            self._backend = None
+            self._epochs.clear()
+            self._verdicts = {}
+            self._verdict_schema = None
+            return self._entries.prune(self._is_maintained_key)
+
+    @staticmethod
+    def _is_maintained_key(key) -> bool:
+        return len(key) == 2 or key[2] is _ENCODED
+
+    def _maintainable(self, constraint: AccessConstraint) -> bool:
+        """Can this constraint's entries be maintained by deltas?
+
+        Yes exactly when some attached constraint *equals* it (same
+        relation, X, Y and bound): deltas are keyed by the attached
+        constraint objects, and frozen-dataclass equality makes the
+        requested constraint address the same entries.  Anything that
+        resolves through a key permutation, row projection or a
+        different bound stays generation-keyed.
+        """
+        backend = self._backend
+        if backend is None:
+            return False
+        schema = backend.access_schema
+        if schema is not self._verdict_schema:
+            # A reattach changes the constraint->index mapping; old
+            # verdicts (either way) are meaningless against it.
+            self._verdicts = {}
+            self._verdict_schema = schema
+        verdict = self._verdicts.get(constraint)
+        if verdict is None:
+            verdict = schema is not None and any(
+                attached == constraint for attached in schema)
+            self._verdicts[constraint] = verdict
+        return verdict
+
+    # -- lookups -----------------------------------------------------------
 
     def lookup(self, db: Database, constraint: AccessConstraint,
                x_value: tuple) -> tuple[list[tuple], bool]:
         """Return ``(rows, hit)`` for one index lookup.
 
-        A miss reads through the database and populates the cache.  The
-        key carries ``db.generation(relation)``, so rows cached before a
-        write can never satisfy a lookup issued after it.
+        A miss reads through the database and populates the cache;
+        entries can never serve rows staler than the write epoch the
+        lookup observed.
+
+        >>> from repro import (AccessConstraint, AccessSchema, Database,
+        ...                    Schema)
+        >>> schema = Schema.from_dict({"R": ("A", "B")})
+        >>> access = AccessSchema(schema,
+        ...                       [AccessConstraint("R", ("A",), ("B",), 4)])
+        >>> db = Database(schema, access)
+        >>> db.insert("R", (1, 10))
+        >>> cache = FetchCache(capacity=16)
+        >>> cache.attach_maintenance(db)
+        >>> constraint = access.constraints[0]
+        >>> cache.lookup(db, constraint, (1,))
+        ([(1, 10)], False)
+        >>> db.insert("R", (1, 11))      # maintained: the entry stays warm
+        >>> cache.lookup(db, constraint, (1,))
+        ([(1, 10), (1, 11)], True)
+        >>> cache.maintained_deltas
+        1
         """
         rows_per_x, hits = self.lookup_many(db, constraint, (x_value,))
         return rows_per_x[0], hits[0]
@@ -81,11 +261,15 @@ class FetchCache:
 
         Both returned lists align with ``x_values``.  The generation is
         read once for the batch: a write racing the batch at worst
-        caches fresher rows under the older epoch (benign — the write
-        was concurrent), never stale rows under a newer one, because
-        generations bump only after the backend's index updates.
+        caches fresher rows under the older epoch (benign — delta
+        application is idempotent and converges the entry), never stale
+        rows under a newer one, because generations bump only after the
+        backend's index updates.
         """
         generation = db.generation(constraint.relation_name)
+        if self._maintainable(constraint):
+            return self._lookup_many_maintained(db, constraint, x_values,
+                                                generation)
         keys = [(constraint, x_value, generation) for x_value in x_values]
         cached = self._entries.get_many(keys)
         rows_per_x: list = list(cached)
@@ -107,6 +291,46 @@ class FetchCache:
                 for i, rows in zip(miss_positions, fetched))
         return rows_per_x, hits
 
+    def _lookup_many_maintained(self, db: Database,
+                                constraint: AccessConstraint,
+                                x_values: Sequence[tuple],
+                                generation: int):
+        """The maintained-family twin of :meth:`lookup_many`."""
+        relation = constraint.relation_name
+        backend = self._backend
+        schema = backend.access_schema if backend is not None else None
+        with self._maintenance_lock:
+            live = self._epochs.get(relation) == generation
+        keys = [(constraint, x_value) for x_value in x_values]
+        if live:
+            cached = self._entries.get_many(keys)
+        else:
+            # The epoch lags (a delta is in flight) or leads (entries
+            # were purged): treat the whole batch as misses, but never
+            # purge here — an in-flight delta may be about to repair
+            # the entries.
+            cached = [None] * len(keys)
+            self._entries.record_misses(len(keys))
+        rows_per_x: list = list(cached)
+        hits = [value is not None for value in cached]
+        miss_positions = [i for i, value in enumerate(cached)
+                          if value is None]
+        self.legacy_hits += len(x_values) - len(miss_positions)
+        if miss_positions:
+            fetched = db.fetch_many(
+                constraint, [x_values[i] for i in miss_positions])
+            largest = self.max_entry_rows
+            for position, rows in zip(miss_positions, fetched):
+                rows_per_x[position] = rows
+                if len(rows) > largest:
+                    largest = len(rows)
+            self.max_entry_rows = largest
+            self._store_maintained(
+                relation, generation, schema,
+                [(keys[i], rows)
+                 for i, rows in zip(miss_positions, fetched)])
+        return rows_per_x, hits
+
     def lookup_many_encoded(self, db: Database,
                             constraint: AccessConstraint, keys: Sequence
                             ) -> tuple[list, list[bool]]:
@@ -118,8 +342,13 @@ class FetchCache:
         at miss time — warm hits share them by reference, and all
         bookkeeping (entry sizing included) runs on code columns and
         plain lengths; no decoded row is ever materialized here.
+        Maintenance replaces an updated entry's arrays wholesale, so
+        views handed to in-flight batches stay frozen.
         """
         generation = db.generation(constraint.relation_name)
+        if self._maintainable(constraint):
+            return self._lookup_many_encoded_maintained(db, constraint,
+                                                        keys, generation)
         # 4-tuple keys: legacy keys are 3-tuples, so a code key can
         # never alias a value key (the code tuple (3,) IS the value
         # tuple (3,) under ==).
@@ -146,19 +375,183 @@ class FetchCache:
             self._entries.put_many(puts)
         return entries, hits
 
-    def sweep(self, db: Database) -> int:
-        """Purge entries cached under a write generation older than the
-        relation's current one.
+    def _lookup_many_encoded_maintained(self, db: Database,
+                                        constraint: AccessConstraint,
+                                        keys: Sequence, generation: int):
+        relation = constraint.relation_name
+        backend = self._backend
+        schema = backend.access_schema if backend is not None else None
+        with self._maintenance_lock:
+            live = self._epochs.get(relation) == generation
+        cache_keys = [(constraint, key, _ENCODED) for key in keys]
+        if live:
+            cached = self._entries.get_many(cache_keys)
+        else:
+            cached = [None] * len(cache_keys)
+            self._entries.record_misses(len(cache_keys))
+        entries: list = list(cached)
+        hits = [value is not None for value in cached]
+        miss_positions = [i for i, value in enumerate(cached)
+                          if value is None]
+        self.encoded_hits += len(keys) - len(miss_positions)
+        if miss_positions:
+            fetched = db.fetch_many_encoded(
+                constraint, [keys[i] for i in miss_positions])
+            largest = self.max_entry_rows
+            puts = []
+            for position, (cols, length) in zip(miss_positions, fetched):
+                entry = (tuple(readonly_view(column) for column in cols),
+                         length)
+                entries[position] = entry
+                if length > largest:
+                    largest = length
+                puts.append((cache_keys[position], entry))
+            self.max_entry_rows = largest
+            self._store_maintained(relation, generation, schema, puts)
+        return entries, hits
 
-        Stale entries can never be *served* (the lookup key carries the
-        current generation), but they occupy LRU slots until recency
-        pushes them out; a periodic sweep — the serving tier's
-        housekeeping loop calls this — hands those slots back to live
-        epochs immediately.  Returns the number of entries dropped.
+    def _store_maintained(self, relation: str, stamp: int, schema,
+                          items: list) -> None:
+        """Store freshly fetched fills for maintained entries.
+
+        ``stamp`` is the generation read *before* the fetch.  Under the
+        maintenance lock:
+
+        * if the relation's epoch moved past the stamp, a write (whose
+          delta already landed) raced the fetch — the fill might
+          predate it, so discard;
+        * if the backend's schema object changed since the lookup
+          started, the maintainability verdict is void — discard;
+        * otherwise store.  A fill *fresher* than its stamp is fine:
+          in-flight deltas apply idempotently, so the entry converges
+          to current content either way (``docs/ARCHITECTURE.md``
+          spells out the argument).
+        """
+        backend = self._backend
+        with self._maintenance_lock:
+            if (backend is None or backend is not self._backend
+                    or backend.access_schema is not schema):
+                return
+            epoch = self._epochs.get(relation)
+            if epoch is None:
+                self._epochs[relation] = stamp
+            elif epoch > stamp:
+                return
+            self._entries.put_many(items)
+
+    # -- delta application (the backend's write listener) ------------------
+
+    def _on_delta(self, delta: WriteDelta) -> None:
+        """Apply one write delta to the maintained entries.
+
+        Runs synchronously on the writer's thread, under the backend's
+        write lock — so it must stay cheap and must never call back
+        into the backend.  Cost is O(changes · touched entries), never
+        O(cache).
+        """
+        relation = delta.relation
+        with self._maintenance_lock:
+            epoch = self._epochs.get(relation)
+            if not delta.maintainable:
+                if epoch is not None:
+                    dropped = self._purge_relation(relation)
+                    self.maintenance_invalidations += dropped
+                    self.maintenance_fallbacks += 1
+                    self._epochs[relation] = max(epoch,
+                                                 delta.new_generation)
+                else:
+                    self._epochs[relation] = delta.new_generation
+                return
+            if epoch is None:
+                # Nothing maintained yet; start tracking at this write.
+                self._epochs[relation] = delta.new_generation
+                return
+            if delta.new_generation <= epoch:
+                return  # duplicate / late delivery: already reflected
+            if delta.old_generation != epoch:
+                # A gap in the stream (e.g. attached mid-traffic):
+                # entries may have missed writes — invalidate.
+                dropped = self._purge_relation(relation)
+                self.maintenance_invalidations += dropped
+                self.maintenance_fallbacks += 1
+                self._epochs[relation] = delta.new_generation
+                return
+            touched = 0
+            for constraint, changes in delta.constraints.items():
+                touched += self._apply_changes(constraint, changes)
+            self._epochs[relation] = delta.new_generation
+            self.maintained_deltas += 1
+            self.maintained_entries += touched
+
+    def _apply_changes(self, constraint: AccessConstraint,
+                       changes) -> int:
+        """Apply one constraint's projection changes to whatever
+        entries are cached (absent entries are simply not maintained).
+        Returns the number of entries updated."""
+        entries = self._entries
+        touched = 0
+        largest = self.max_entry_rows
+        for x_value, row_value, key_code, row_codes in changes.removed:
+            key = (constraint, x_value)
+            rows = entries.get(key, count=False)
+            if rows is not None and row_value in rows:
+                entries.put(key, [r for r in rows if r != row_value])
+                touched += 1
+            ekey = (constraint, key_code, _ENCODED)
+            entry = entries.get(ekey, count=False)
+            if entry is not None:
+                updated = _encoded_minus(entry, row_codes)
+                if updated is not None:
+                    entries.put(ekey, updated)
+                    touched += 1
+        for x_value, row_value, key_code, row_codes in changes.added:
+            key = (constraint, x_value)
+            rows = entries.get(key, count=False)
+            if rows is not None and row_value not in rows:
+                entries.put(key, rows + [row_value])
+                touched += 1
+                if len(rows) + 1 > largest:
+                    largest = len(rows) + 1
+            ekey = (constraint, key_code, _ENCODED)
+            entry = entries.get(ekey, count=False)
+            if entry is not None:
+                updated = _encoded_plus(entry, row_codes)
+                if updated is not None:
+                    entries.put(ekey, updated)
+                    touched += 1
+                    if updated[1] > largest:
+                        largest = updated[1]
+        self.max_entry_rows = largest
+        return touched
+
+    def _purge_relation(self, relation: str) -> int:
+        """Drop the relation's maintained entries (callers hold the
+        maintenance lock); generation-keyed families are left to age
+        out as before."""
+        def doomed(key) -> bool:
+            return (self._is_maintained_key(key)
+                    and key[0].relation_name == relation)
+        return self._entries.prune(doomed)
+
+    # -- housekeeping ------------------------------------------------------
+
+    def sweep(self, db: Database) -> int:
+        """Purge generation-keyed entries cached under a write
+        generation older than the relation's current one.
+
+        Stale generation-keyed entries can never be *served* (the
+        lookup key carries the current generation), but they occupy LRU
+        slots until recency pushes them out; a periodic sweep — the
+        serving tier's housekeeping loop calls this — hands those slots
+        back immediately.  Maintained entries are never swept: they are
+        kept current by deltas and dropped only by fallback purges.
+        Returns the number of entries dropped.
         """
         current: dict[str, int] = {}
 
         def stale(key) -> bool:
+            if self._is_maintained_key(key):
+                return False
             constraint = key[0]
             generation = key[2]
             relation = constraint.relation_name
@@ -170,7 +563,11 @@ class FetchCache:
         return self._entries.prune(stale)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._maintenance_lock:
+            self._entries.clear()
+            # Invariant: no maintained entries -> no epochs; fills and
+            # deltas re-establish them.
+            self._epochs.clear()
 
     def info(self) -> CacheInfo:
         return CacheInfo(hits=self._entries.hits,
@@ -189,7 +586,7 @@ class CachingExecutor(Executor):
     With ``fetch_cache=None`` it behaves exactly like the base executor.
     Results are identical either way — the cache only ever returns what
     ``db.fetch`` returned for the same (constraint, X-value) at the same
-    write epoch.
+    write epoch, maintained forward by the exact per-write deltas.
     """
 
     def __init__(self, db: Database, fetch_cache: FetchCache | None = None):

@@ -94,6 +94,26 @@ class LruDict:
                 self._data.popitem(last=False)
                 self.evictions += 1
 
+    def discard(self, key) -> bool:
+        """Drop one entry if present; returns whether it was.  Not an
+        eviction (the caller invalidated it, it was not crowded out)."""
+        with self._lock:
+            return self._data.pop(key, None) is not None
+
+    def record_hits(self, count: int) -> None:
+        """Count hits decided outside the map (callers that validate a
+        :meth:`get` result before honouring it report here, so the
+        hit/miss tallies still describe what was actually served)."""
+        with self._lock:
+            self.hits += count
+
+    def record_misses(self, count: int) -> None:
+        """Count misses decided outside the map — e.g. a whole batch
+        bypassing :meth:`get_many` because its entries are known to be
+        unservable."""
+        with self._lock:
+            self.misses += count
+
     def prune(self, predicate) -> int:
         """Drop every entry whose ``predicate(key)`` is true, under one
         lock pass; returns the drop count.  Pruned entries are not

@@ -49,7 +49,8 @@ from ..storage.statistics import TableStatistics
 from .batch import BatchReport, BatchRequest, run_batch
 from .fetchcache import CachingExecutor, FetchCache
 from .lru import LruDict
-from .plancache import CacheInfo, CompiledQuery, PlanCache
+from .plancache import (AnswerCache, CacheInfo, CompiledQuery, FetchProfile,
+                        PlanCache)
 from .templates import QueryTemplate, bind_physical_plan, bind_query
 
 
@@ -69,6 +70,9 @@ class ServiceResult:
     reason: str = ""
     stats: AccessStats | None = None
     scan_stats: ScanStats | None = None
+    #: Served straight from the answer cache: no execution ran, so
+    #: ``stats`` is all zeros (no index was touched).
+    answers_cached: bool = False
 
     def __post_init__(self):
         if (self.stats is None) == (self.scan_stats is None):
@@ -100,6 +104,9 @@ class ServiceStats:
     templates: int = 0
     plan_cache: CacheInfo = field(default_factory=CacheInfo)
     fetch_cache: CacheInfo = field(default_factory=CacheInfo)
+    #: Counters of the (opt-in) materialized answer cache; all zeros
+    #: when ``answer_cache_size=0``.
+    answer_cache: CacheInfo = field(default_factory=CacheInfo)
     #: The storage engine's internal tallies
     #: (:meth:`~repro.storage.backend.StorageBackend.counters`) — empty
     #: for engines with nothing to report; WAL/fsync/snapshot/recovery
@@ -145,6 +152,7 @@ class BoundedQueryService:
                  access_schema: AccessSchema | None = None,
                  plan_cache_size: int = 256,
                  fetch_cache_size: int = 4096,
+                 answer_cache_size: int = 0,
                  registry: MetricsRegistry | None = None,
                  attach: bool = True):
         self.db = db
@@ -171,6 +179,22 @@ class BoundedQueryService:
         self.access_schema = access_schema
         self.plan_cache = PlanCache(plan_cache_size)
         self.fetch_cache = FetchCache(fetch_cache_size)
+        # Subscribe the fetch cache to the backend's write-delta
+        # stream: entries over exactly-attached constraints are then
+        # maintained in place instead of cold-starting on every write.
+        self.fetch_cache.attach_maintenance(db)
+        # Materialized answers are opt-in (answer_cache_size > 0):
+        # cached requests skip execution entirely, so their AccessStats
+        # report zero index accesses — workloads that audit per-request
+        # accounting should leave this off.
+        self.answer_cache: AnswerCache | None = None
+        if answer_cache_size > 0:
+            self.answer_cache = AnswerCache(answer_cache_size)
+            db.backend.add_write_listener(self.answer_cache._on_delta)
+        # Per-compiled-query fetch profiles (what the plan reads),
+        # voided wholesale when the attached schema changes.
+        self._fetch_profiles: dict[int, FetchProfile] = {}
+        self._profile_schema = None
         self._templates: dict[str, QueryTemplate] = {}
         # Bound-plan memo: repeated identical bindings of one compiled
         # query skip even the constant-substitution pass.  Plans are
@@ -296,6 +320,7 @@ class BoundedQueryService:
     def _run(self, entry: CompiledQuery, plan_cached: bool,
              params: Mapping[str, Hashable], start: float,
              where: str) -> ServiceResult:
+        answers_cached = False
         try:
             if entry.bounded:
                 # The hot path runs the *optimized physical* plan
@@ -304,9 +329,32 @@ class BoundedQueryService:
                 # re-optimize.
                 with span("bind"):
                     plan = self._bound_plan(entry, params, where)
-                result = CachingExecutor(
-                    self.db, self.fetch_cache).execute(plan)
-                answers, stats, scan = result.answers, result.stats, None
+                key = (self._answer_key(entry, params)
+                       if self.answer_cache is not None else None)
+                answers = (self.answer_cache.lookup(self.db, key)
+                           if key is not None else None)
+                if answers is not None:
+                    answers_cached = True
+                    stats, scan = AccessStats(), None
+                else:
+                    profile = dependencies = None
+                    if key is not None:
+                        # Dependency generations are read before the
+                        # execution they vouch for: a write landing
+                        # mid-run leaves the stamp behind, so the entry
+                        # can never validate as current.
+                        profile = self._fetch_profile(entry)
+                        dependencies = {
+                            relation: self.db.generation(relation)
+                            for relation in profile.relations}
+                    result = CachingExecutor(
+                        self.db, self.fetch_cache).execute(plan)
+                    answers, stats, scan = (result.answers, result.stats,
+                                            None)
+                    if key is not None and (self.db.access_schema
+                                            is profile.schema):
+                        self.answer_cache.store(key, answers, dependencies,
+                                                profile)
             else:
                 with span("bind"):
                     query = bind_query(entry.query, entry.parameters,
@@ -330,10 +378,35 @@ class BoundedQueryService:
         outcome = ServiceResult(answers=answers, bounded=entry.bounded,
                                 plan_cached=plan_cached, latency_s=latency,
                                 reason=entry.reason, stats=stats,
-                                scan_stats=scan)
+                                scan_stats=scan,
+                                answers_cached=answers_cached)
         if self._request_metrics is not None:
             self._request_metrics.observe(outcome)
         return outcome
+
+    def _answer_key(self, entry: CompiledQuery,
+                    params: Mapping[str, Hashable]):
+        """The answer-cache key for one bound request, or ``None`` when
+        the binding is unhashable (such requests execute uncached)."""
+        try:
+            key = (entry.serial, tuple(sorted(params.items())))
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
+    def _fetch_profile(self, entry: CompiledQuery) -> FetchProfile:
+        """``entry``'s fetch profile, memoized per compiled query
+        against the identity of the currently attached schema."""
+        schema = self.db.access_schema
+        if schema is not self._profile_schema:
+            self._fetch_profiles = {}
+            self._profile_schema = schema
+        profile = self._fetch_profiles.get(entry.serial)
+        if profile is None:
+            profile = FetchProfile.of(entry.physical, schema)
+            self._fetch_profiles[entry.serial] = profile
+        return profile
 
     def _bound_plan(self, entry: CompiledQuery,
                     params: Mapping[str, Hashable], where: str):
@@ -390,10 +463,13 @@ class BoundedQueryService:
     # -- maintenance -------------------------------------------------------
 
     def clear_caches(self) -> None:
-        """Drop compiled plans and cached fetches (templates stay)."""
+        """Drop compiled plans, cached fetches and cached answers
+        (templates stay)."""
         self.plan_cache.clear()
         self.fetch_cache.clear()
         self._bound_plans.clear()
+        if self.answer_cache is not None:
+            self.answer_cache.clear()
 
     def sweep_caches(self) -> int:
         """Purge fetch-cache entries whose write generation has gone
@@ -419,6 +495,9 @@ class BoundedQueryService:
                             templates=templates,
                             plan_cache=self.plan_cache.info(),
                             fetch_cache=self.fetch_cache.info(),
+                            answer_cache=(self.answer_cache.info()
+                                          if self.answer_cache is not None
+                                          else CacheInfo()),
                             storage=backend.counters(),
                             storage_gauges=getattr(
                                 backend, "gauges", dict)())

@@ -43,6 +43,7 @@ from ..errors import ExecutionError, StorageError
 from ..obs.trace import span
 from ..schema.access import AccessConstraint, AccessSchema
 from ..schema.relation import Schema
+from .delta import DeltaRecorder, WriteDelta, WriteListener
 from .encoding import ValueDictionary, int_column
 from .indexes import AccessIndex
 
@@ -94,6 +95,11 @@ class StorageBackend(ABC):
         # schema; values keep the requested object alive (see
         # _Resolution).
         self._resolutions: dict[int, _Resolution] = {}
+        # Write listeners (see add_write_listener).  Mutated rarely;
+        # emission iterates a snapshot, so registration during a
+        # concurrent write is safe (the registrant simply misses the
+        # in-flight delta and starts at the next one).
+        self._write_listeners: list[WriteListener] = []
 
     # -- the protocol ------------------------------------------------------
 
@@ -244,6 +250,67 @@ class StorageBackend(ABC):
     def write_epoch(self) -> int:
         return sum(self._generations.values())
 
+    # -- the write-delta maintenance hook ----------------------------------
+
+    def add_write_listener(self, listener: WriteListener) -> None:
+        """Subscribe to :class:`~repro.storage.delta.WriteDelta`
+        notifications — the incremental-maintenance hook read-side
+        caches attach to.
+
+        The listener is called synchronously for every effective write,
+        inside the lock that serializes the relation's generation
+        bumps, immediately after the bump — so the delta stream is
+        ordered and gap-free per relation (each delta's
+        ``old_generation`` equals the previous one's
+        ``new_generation``).  Listeners must be quick and must never
+        call back into the backend.
+
+        Delta *collection* is skipped entirely while no listener is
+        registered, so unobserved backends pay nothing.
+
+        >>> from repro.schema.relation import Schema
+        >>> backend = MemoryBackend(Schema.from_dict({"R": ("A", "B")}))
+        >>> seen = []
+        >>> backend.add_write_listener(seen.append)
+        >>> backend.insert_rows("R", [(1, 2)])
+        1
+        >>> [(d.relation, d.old_generation, d.new_generation)
+        ...  for d in seen]
+        [('R', 0, 1)]
+        >>> backend.remove_write_listener(seen.append)
+        """
+        self._write_listeners.append(listener)
+
+    def remove_write_listener(self, listener: WriteListener) -> None:
+        """Unsubscribe a listener registered with
+        :meth:`add_write_listener` (a no-op if it is not registered)."""
+        try:
+            self._write_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _recorder(self, relation_name: str) -> DeltaRecorder | None:
+        """A fresh per-batch recorder, or None when nobody listens
+        (the common case — write paths then skip delta bookkeeping)."""
+        if not self._write_listeners:
+            return None
+        return DeltaRecorder(relation_name)
+
+    def _notify(self, delta: WriteDelta) -> None:
+        """Deliver one delta to every listener (callers hold the lock
+        that orders the relation's generation bumps)."""
+        for listener in tuple(self._write_listeners):
+            listener(delta)
+
+    def _notify_wipes(self) -> None:
+        """Emit a non-maintainable delta for every relation — what
+        ``clear``, recovery and schema reattach tell listeners (callers
+        hold the write lock; generations must already be final)."""
+        if not self._write_listeners:
+            return
+        for name, generation in self._generations.items():
+            self._notify(WriteDelta.wipe(name, generation, generation))
+
     # -- constraint resolution (shared by engines) -------------------------
 
     def _resolve(self, constraint: AccessConstraint) -> _Resolution:
@@ -382,6 +449,9 @@ class MemoryBackend(StorageBackend):
             self._indexes = indexes
             self.access_schema = access_schema
             self._reset_resolutions()
+            # Reattach invalidates any constraint->index mapping a
+            # listener's entries were maintained under.
+            self._notify_wipes()
 
     def insert_rows(self, relation_name: str, rows: Iterable[Row]) -> int:
         store = self._rows[relation_name]
@@ -392,6 +462,7 @@ class MemoryBackend(StorageBackend):
             # registered on the discarded ones would be lost.
             indexes = self.indexes_for(relation_name)
             encode_row = self.dictionary.encode_row
+            recorder = self._recorder(relation_name)
             for row in rows:
                 if row in store:
                     continue
@@ -400,10 +471,14 @@ class MemoryBackend(StorageBackend):
                     # Encode once per row, not once per index.
                     coded = encode_row(row)
                     for index in indexes:
-                        index.add(row, coded)
+                        if index.add(row, coded) and recorder is not None:
+                            recorder.added(index, row, coded)
                 added += 1
             if added:
-                self._generations[relation_name] += 1
+                old = self._generations[relation_name]
+                self._generations[relation_name] = old + 1
+                if recorder is not None:
+                    self._notify(recorder.finish(old, old + 1))
         return added
 
     def delete_rows(self, relation_name: str, rows: Iterable[Row]) -> int:
@@ -411,18 +486,26 @@ class MemoryBackend(StorageBackend):
         removed = 0
         with self._lock:
             indexes = self.indexes_for(relation_name)
+            encode_row = self.dictionary.encode_row
+            recorder = self._recorder(relation_name)
             for row in rows:
                 if row not in store:
                     continue
                 del store[row]
+                coded = (encode_row(row)
+                         if indexes and recorder is not None else None)
                 for index in indexes:
-                    index.remove(row)
+                    if index.remove(row, coded) and recorder is not None:
+                        recorder.removed(index, row, coded)
                 removed += 1
             if removed:
                 # After the index updates, like insert: a concurrent
                 # reader at the pre-bump epoch may see the deletion
                 # early (benign), never cache deleted rows post-bump.
-                self._generations[relation_name] += 1
+                old = self._generations[relation_name]
+                self._generations[relation_name] = old + 1
+                if recorder is not None:
+                    self._notify(recorder.finish(old, old + 1))
         return removed
 
     def clear(self) -> None:
@@ -433,6 +516,7 @@ class MemoryBackend(StorageBackend):
                 index.remove_all()
             for name in self._generations:
                 self._generations[name] += 1
+            self._notify_wipes()
 
     # -- reads -------------------------------------------------------------
 
@@ -599,6 +683,10 @@ class ShardedBackend(StorageBackend):
             self._indexes = indexes
             self.access_schema = access_schema
             self._reset_resolutions()
+            # As in MemoryBackend: maintained entries predate this
+            # constraint->index mapping; listeners must invalidate.
+            with self._generation_lock:
+                self._notify_wipes()
 
     def _all_locks(self):
         class _Held:
@@ -665,14 +753,20 @@ class ShardedBackend(StorageBackend):
             if self._indexes_by_relation(relation_name) != index_families:
                 return None
             encode_row = self.dictionary.encode_row
+            recorder = self._recorder(relation_name)
             for row, row_shard, index_targets in placements:
                 store = shards[row_shard]
                 if deleting:
                     if row not in store:
                         continue
                     del store[row]
+                    coded = (encode_row(row) if index_targets
+                             and recorder is not None else None)
                     for shard_indexes, index_shard in index_targets:
-                        shard_indexes[index_shard].remove(row)
+                        if (shard_indexes[index_shard].remove(row, coded)
+                                and recorder is not None):
+                            recorder.removed(shard_indexes[index_shard],
+                                             row, coded)
                 else:
                     if row in store:
                         continue
@@ -680,14 +774,21 @@ class ShardedBackend(StorageBackend):
                     if index_targets:
                         coded = encode_row(row)  # once per row, all indexes
                         for shard_indexes, index_shard in index_targets:
-                            shard_indexes[index_shard].add(row, coded)
+                            if (shard_indexes[index_shard].add(row, coded)
+                                    and recorder is not None):
+                                recorder.added(shard_indexes[index_shard],
+                                               row, coded)
                 changed += 1
             if changed:
                 # Post-index bump, same contract as MemoryBackend; the
                 # dedicated lock keeps concurrent disjoint-shard
-                # writers from losing a bump.
+                # writers from losing a bump, and orders the delta
+                # notifications with the bumps they describe.
                 with self._generation_lock:
-                    self._generations[relation_name] += 1
+                    old = self._generations[relation_name]
+                    self._generations[relation_name] = old + 1
+                    if recorder is not None:
+                        self._notify(recorder.finish(old, old + 1))
         finally:
             for shard_id in reversed(ordered):
                 self._locks[shard_id].release()
@@ -710,6 +811,7 @@ class ShardedBackend(StorageBackend):
             with self._generation_lock:
                 for name in self._generations:
                     self._generations[name] += 1
+                self._notify_wipes()
 
     # -- reads -------------------------------------------------------------
 

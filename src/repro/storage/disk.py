@@ -369,13 +369,17 @@ class DiskBackend(MemoryBackend):
                        [list(row) for row in fresh]])
             indexes = self.indexes_for(relation_name)
             encode_row = self.dictionary.encode_row
+            recorder = self._recorder(relation_name)
             for row in fresh:
                 store[row] = None
                 if indexes:
                     coded = encode_row(row)  # once per row, all indexes
                     for index in indexes:
-                        index.add(row, coded)
+                        if index.add(row, coded) and recorder is not None:
+                            recorder.added(index, row, coded)
             self._generations[relation_name] = generation
+            if recorder is not None:
+                self._notify(recorder.finish(generation - 1, generation))
         return len(fresh)
 
     def delete_rows(self, relation_name: str, rows: Iterable[Row]) -> int:
@@ -389,11 +393,18 @@ class DiskBackend(MemoryBackend):
             self._log(["d", relation_name, generation,
                        [list(row) for row in present]])
             indexes = self.indexes_for(relation_name)
+            encode_row = self.dictionary.encode_row
+            recorder = self._recorder(relation_name)
             for row in present:
                 del store[row]
+                coded = (encode_row(row)
+                         if indexes and recorder is not None else None)
                 for index in indexes:
-                    index.remove(row)
+                    if index.remove(row, coded) and recorder is not None:
+                        recorder.removed(index, row, coded)
             self._generations[relation_name] = generation
+            if recorder is not None:
+                self._notify(recorder.finish(generation - 1, generation))
         return len(present)
 
     def clear(self) -> None:
@@ -406,6 +417,7 @@ class DiskBackend(MemoryBackend):
             for index in self._indexes.values():
                 index.remove_all()
             self._generations.update(generations)
+            self._notify_wipes()
 
     # -- snapshots ---------------------------------------------------------
 

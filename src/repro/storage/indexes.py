@@ -98,21 +98,30 @@ class AccessIndex:
         self._encoded: dict | None = (
             {} if dictionary is not None else None)
 
-    def add(self, row: Sequence, coded_row: Sequence[int] | None = None) -> None:
+    def add(self, row: Sequence,
+            coded_row: Sequence[int] | None = None) -> bool:
         """Register one stored row.
 
         Backends that bulk-encode pass ``coded_row`` (the full
         relation row as dictionary codes, computed once per row across
         all of the relation's indexes); otherwise the index encodes
         on demand — either way a value is interned exactly once.
+
+        Returns True exactly when a *new distinct projection* appeared
+        (the row is its group's first witness) — the projection-level
+        effect write-delta emission reports to read-side caches; a
+        row whose ``X∪Y`` projection was already witnessed changes no
+        fetch result and returns False.
         """
         x_value = tuple(row[i] for i in self.x_positions)
         y_value = tuple(row[i] for i in self.y_positions)
         group = self._groups.setdefault(x_value, {})
         count = group.get(y_value, 0)
         group[y_value] = count + 1
-        if count or self._encoded is None:
-            return
+        if count:
+            return False
+        if self._encoded is None:
+            return True
         # First witness of this X∪Y projection: mirror it encoded.
         if coded_row is None:
             coded_row = self.dictionary.encode_row(row)
@@ -124,27 +133,38 @@ class AccessIndex:
         y_key = tuple(coded_row[i] for i in self.y_positions)
         entry.append([coded_row[i] for i in self.x_positions]
                      + [coded_row[i] for i in self.y_positions], y_key)
+        return True
 
-    def remove(self, row: Sequence) -> None:
+    def remove(self, row: Sequence,
+               coded_row: Sequence[int] | None = None) -> bool:
         """Unregister one stored row (callers pass only rows they
-        actually deleted, exactly once per deletion)."""
+        actually deleted, exactly once per deletion).
+
+        Returns True exactly when the row's distinct projection
+        *disappeared* (it was the last witness) — the dual of
+        :meth:`add`'s return.  ``coded_row`` may be passed by callers
+        that already encoded the row (delta emission does); otherwise
+        the index encodes on demand, and only when the encoded mirror
+        actually needs updating.
+        """
         x_value = tuple(row[i] for i in self.x_positions)
         y_value = tuple(row[i] for i in self.y_positions)
         group = self._groups.get(x_value)
         if group is None:
-            return
+            return False
         count = group.get(y_value)
         if count is None:
-            return
+            return False
         if count > 1:
             group[y_value] = count - 1
-            return
+            return False
         del group[y_value]
         if not group:
             del self._groups[x_value]
         if self._encoded is None:
-            return
-        coded_row = self.dictionary.encode_row(row)
+            return True
+        if coded_row is None:
+            coded_row = self.dictionary.encode_row(row)
         key = (coded_row[self.x_positions[0]] if self.scalar_key
                else tuple(coded_row[i] for i in self.x_positions))
         entry = self._encoded.get(key)
@@ -153,6 +173,7 @@ class AccessIndex:
                           len(self.x_positions))
             if not entry.pos:
                 del self._encoded[key]
+        return True
 
     def remove_all(self) -> None:
         self._groups.clear()

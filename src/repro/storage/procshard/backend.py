@@ -545,6 +545,21 @@ class ProcessShardedBackend(StorageBackend):
     def _workers_live(self) -> bool:
         return any(peer is not None for peer in self._worker_peers)
 
+    # -- the write-delta maintenance hook ----------------------------------
+
+    # Every write lands on the authoritative inner store (under
+    # _write_lock, after shipping), so the store's own emission is the
+    # complete, ordered delta stream — coordinator listeners simply
+    # subscribe there.  The coordinator aliases the store's dictionary
+    # and generation map, so deltas carry exactly the codes and
+    # generations a coordinator-side cache observes.
+
+    def add_write_listener(self, listener) -> None:
+        self._store.add_write_listener(listener)
+
+    def remove_write_listener(self, listener) -> None:
+        self._store.remove_write_listener(listener)
+
     # -- writes (ship to workers, then apply to the store) -----------------
 
     def insert_rows(self, relation_name: str, rows: Iterable[Row]) -> int:

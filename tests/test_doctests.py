@@ -19,6 +19,7 @@ import repro.service.fetchcache
 import repro.service.lru
 import repro.service.plancache
 import repro.service.service
+import repro.storage.backend
 import repro.storage.database
 import repro.graph.graph
 import repro.graph.pattern
@@ -33,6 +34,7 @@ MODULES = [
     repro.schema.access,
     repro.schema.discovery,
     repro.schema.relation,
+    repro.storage.backend,
     repro.storage.database,
     repro.service.plancache,
     repro.service.fetchcache,
